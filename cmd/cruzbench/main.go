@@ -1,0 +1,173 @@
+// Command cruzbench regenerates every table and figure of the paper's
+// evaluation (§6) from the simulated cluster, printing them as text
+// tables and traces. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental]
+//	          [-scale 1.0] [-ckpts 3] [-maxnodes 8]
+//
+// scale 1.0 reproduces the paper's ≈100 MB pod images (slowest); smaller
+// scales preserve every shape result and run faster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cruz"
+	"cruz/internal/exp"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental")
+		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's ~100 MB pod images)")
+		ckpts    = flag.Int("ckpts", 3, "checkpoints per configuration (fig5)")
+		maxNodes = flag.Int("maxnodes", 8, "largest node count for sweeps")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "cruzbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig5", func() error { return fig5(*ckpts, *maxNodes, *scale) })
+	run("fig6", fig6)
+	run("overhead", overhead)
+	run("msgs", func() error { return msgs(*maxNodes, *scale) })
+	run("fig4", func() error { return fig4(*maxNodes, *scale) })
+	run("restart", func() error { return restart(*maxNodes, *scale) })
+	run("incremental", func() error { return incremental(*scale) })
+}
+
+func sweep(maxNodes int) []int {
+	var out []int
+	for n := 2; n <= maxNodes; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+func fig5(ckpts, maxNodes int, scale float64) error {
+	fmt.Println("== Figure 5: coordinated checkpoint of slm ==")
+	fmt.Printf("   (%d checkpoints per config, 8s interval, scale %.2f)\n\n", ckpts, scale)
+	rows, err := exp.Fig5(sweep(maxNodes), ckpts, 8*cruz.Second, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- Fig 5(a): total checkpoint latency --")
+	fmt.Println("nodes   latency(ms)   stddev   local(ms)   image/pod(MB)")
+	for _, r := range rows {
+		fmt.Printf("%5d   %11.1f   %6.1f   %9.1f   %13.1f\n",
+			r.Nodes, r.LatencyMeanMs, r.LatencyStdMs, r.LocalMeanMs, r.PerPodImageMB)
+	}
+	fmt.Println("\n-- Fig 5(b): coordination overhead --")
+	fmt.Println("nodes   overhead(µs)   stddev")
+	for _, r := range rows {
+		fmt.Printf("%5d   %12.1f   %6.1f\n", r.Nodes, r.OverheadMeanUs, r.OverheadStdUs)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig6() error {
+	fmt.Println("== Figure 6: TCP stream across a checkpoint ==")
+	res, err := exp.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steady rate:          %7.0f Mb/s\n", res.SteadyMbps)
+	fmt.Printf("checkpoint latency:   %7.1f ms\n", res.CheckpointMs)
+	fmt.Printf("zero-rate span:       %7.1f ms\n", res.ZeroMs)
+	fmt.Printf("recovery (90%% rate): %7.1f ms after checkpoint start\n", res.RecoveryMs)
+	fmt.Printf("  (TCP retransmission gap after completion: %.1f ms)\n\n", res.RecoveryMs-res.CheckpointMs)
+	fmt.Println(res.Series.Format())
+	return nil
+}
+
+func overhead() error {
+	fmt.Println("== §6 runtime virtualization overhead ==")
+	res, err := exp.RuntimeOverhead()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("native run:  %10.1f ms\n", res.NativeMs)
+	fmt.Printf("in-pod run:  %10.1f ms\n", res.PodMs)
+	fmt.Printf("overhead:    %10.4f %%  (paper bound: <0.5%%)\n\n", res.OverheadPct)
+	return nil
+}
+
+func msgs(maxNodes int, scale float64) error {
+	fmt.Println("== §5.2 message complexity: Cruz O(N) vs flushing O(N²) ==")
+	rows, err := exp.MessageComplexity(sweep(maxNodes), scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("nodes   cruz msgs   flush coord   flush markers   cruz lat(ms)   flush lat(ms)   drain(ms)")
+	for _, r := range rows {
+		fmt.Printf("%5d   %9d   %11d   %13d   %12.1f   %13.1f   %9.2f\n",
+			r.Nodes, r.CruzMsgs, r.FlushCoordMsgs, r.FlushMarkerMsgs,
+			r.CruzLatencyMs, r.FlushLatencyMs, r.FlushDrainMs)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig4(maxNodes int, scale float64) error {
+	fmt.Println("== Fig 4 / §5.2 optimizations: application-visible freeze ==")
+	nodes := []int{2, 4}
+	if maxNodes >= 8 {
+		nodes = append(nodes, 8)
+	}
+	rows, err := exp.Fig4Compare(nodes, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("   (one straggler pod with a 2x image; freeze = how long pods stay stopped)")
+	fmt.Println("nodes   variant           slowest-pod freeze(ms)   fastest-pod freeze(ms)   latency(ms)")
+	for _, r := range rows {
+		for _, v := range r.Variants {
+			fmt.Printf("%5d   %-16s  %22.1f   %22.1f   %11.1f\n",
+				r.Nodes, v.Name, v.MaxBlockedMs, v.MinBlockedMs, v.LatencyMs)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func restart(maxNodes int, scale float64) error {
+	fmt.Println("== Coordinated restart (paper: 'similar to Fig. 5') ==")
+	rows, err := exp.RestartLatency(sweep(maxNodes), 2, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("nodes   latency(ms)   stddev   overhead(µs)   local(ms)")
+	for _, r := range rows {
+		fmt.Printf("%5d   %11.1f   %6.1f   %12.1f   %9.1f\n",
+			r.Nodes, r.LatencyMeanMs, r.LatencyStdMs, r.OverheadMeanUs, r.LocalMeanMs)
+	}
+	fmt.Println()
+	return nil
+}
+
+func incremental(scale float64) error {
+	fmt.Println("== Ablation: incremental checkpointing ==")
+	rows, err := exp.IncrementalAblation(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("kind          image(MB)   latency(ms)")
+	for _, r := range rows {
+		fmt.Printf("%-12s  %9.1f   %11.1f\n", r.Kind, r.ImageMB, r.LatencyMs)
+	}
+	fmt.Println()
+	return nil
+}

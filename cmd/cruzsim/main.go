@@ -1,0 +1,263 @@
+// Command cruzsim runs interactive-scale scenarios on the simulated
+// cluster, printing an event timeline. It is the "kick the tires" tool;
+// cmd/cruzbench regenerates the paper's evaluation.
+//
+// Usage:
+//
+//	cruzsim -scenario migrate|failover|periodic [-nodes 4] [-seed 1]
+//
+// Scenarios:
+//
+//	migrate   A live kvstore server pod moves between machines while an
+//	          external client keeps issuing verified operations.
+//	failover  An slm job loses a machine; its pod restarts on a spare
+//	          node from the last coordinated checkpoint.
+//	periodic  An slm job checkpoints every 2s using the Fig. 4 optimized
+//	          protocol; prints per-checkpoint latencies and overheads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cruz"
+	"cruz/internal/apps/kvstore"
+	"cruz/internal/apps/slm"
+	"cruz/internal/ckpt"
+	"cruz/internal/sim"
+)
+
+func init() {
+	cruz.RegisterProgram(&slm.Worker{})
+	cruz.RegisterProgram(&kvstore.Server{})
+	cruz.RegisterProgram(&kvstore.Client{})
+}
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "migrate", "migrate|failover|periodic")
+		nodes    = flag.Int("nodes", 4, "application nodes")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var err error
+	switch *scenario {
+	case "migrate":
+		err = migrate(*seed)
+	case "failover":
+		err = failover(*nodes, *seed)
+	case "periodic":
+		err = periodic(*nodes, *seed)
+	default:
+		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func stamp(cl *cruz.Cluster, format string, args ...any) {
+	fmt.Printf("[%10v] %s\n", cl.Engine.Now(), fmt.Sprintf(format, args...))
+}
+
+func migrate(seed int64) error {
+	cl, err := cruz.New(cruz.Config{Nodes: 3, Seed: seed})
+	if err != nil {
+		return err
+	}
+	pod, err := cl.NewPod(0, "db")
+	if err != nil {
+		return err
+	}
+	server := kvstore.NewServer(0)
+	pod.Spawn("kvd", server)
+	client := kvstore.NewClient(cruz.AddrPort{Addr: pod.IP(), Port: kvstore.DefaultPort})
+	cl.Nodes[1].Kernel.Spawn("kvc", client, 0)
+
+	cl.Run(250 * cruz.Millisecond)
+	stamp(cl, "kvstore serving on node 0 (%v); client verified %d ops", pod.IP(), client.Done)
+
+	for hop, target := range []int{2, 0} {
+		src := cl.Pod("db")
+		filter := src.Kernel().Stack().Filter()
+		rule := filter.AddDropAddr(src.IP())
+		stopped := false
+		src.Stop(func() { stopped = true })
+		if !cl.RunUntil(func() bool { return stopped }, cruz.Second) {
+			return fmt.Errorf("pod did not quiesce")
+		}
+		img, cerr := ckpt.Capture(src, hop+1, ckpt.Options{})
+		if cerr != nil {
+			return cerr
+		}
+		src.Destroy()
+		filter.RemoveRule(rule)
+		dst, rerr := ckpt.Restore(cl.Nodes[target].Kernel, img)
+		if rerr != nil {
+			return rerr
+		}
+		dst.Resume()
+		cl.Nodes[target].Agent.Manage(dst)
+		cl.MovePod("db", target)
+		before := client.Done
+		cl.Run(250 * cruz.Millisecond)
+		stamp(cl, "hop %d: pod now on node %d; client verified %d more ops (fault=%q)",
+			hop+1, target, client.Done-before, client.Fault)
+		if client.Fault != "" {
+			return fmt.Errorf("client disturbed: %s", client.Fault)
+		}
+	}
+	stamp(cl, "two live migrations, zero client disruptions")
+	return nil
+}
+
+func slmJob(cl *cruz.Cluster, n int) (*cruz.Job, []*slm.Worker, error) {
+	cfg := slm.Config{
+		Workers:             n,
+		Steps:               0,
+		TotalComputePerStep: 80 * sim.Millisecond,
+		StepOverhead:        5 * sim.Millisecond,
+		HaloBytes:           32 << 10,
+		GridBytes:           8 << 20,
+		DirtyPagesPerStep:   64,
+		Port:                9200,
+	}
+	var names []string
+	var ips []cruz.Addr
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("slm-%d", i)
+		pod, err := cl.NewPod(i%len(cl.Nodes), name)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name)
+		ips = append(ips, pod.IP())
+	}
+	var workers []*slm.Worker
+	for i, name := range names {
+		w := slm.NewWorker(cfg, i, ips[(i+1)%n])
+		if _, err := cl.Pod(name).Spawn("slm", w); err != nil {
+			return nil, nil, err
+		}
+		workers = append(workers, w)
+	}
+	job, err := cl.DefineJob("slm", names...)
+	return job, workers, err
+}
+
+func failover(nodes int, seed int64) error {
+	if nodes < 3 {
+		nodes = 3
+	}
+	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed})
+	if err != nil {
+		return err
+	}
+	// Job on nodes 0..nodes-2; the last node is the spare.
+	ringSize := nodes - 1
+	cfgCl := cl
+	job := &cruz.Job{}
+	var workers []*slm.Worker
+	{
+		var names []string
+		var ips []cruz.Addr
+		cfg := slm.Config{Workers: ringSize, TotalComputePerStep: 80 * sim.Millisecond,
+			StepOverhead: 5 * sim.Millisecond, HaloBytes: 32 << 10, GridBytes: 8 << 20,
+			DirtyPagesPerStep: 64, Port: 9200}
+		for i := 0; i < ringSize; i++ {
+			name := fmt.Sprintf("slm-%d", i)
+			pod, perr := cl.NewPod(i, name)
+			if perr != nil {
+				return perr
+			}
+			names = append(names, name)
+			ips = append(ips, pod.IP())
+		}
+		for i, name := range names {
+			w := slm.NewWorker(cfg, i, ips[(i+1)%ringSize])
+			if _, err := cl.Pod(name).Spawn("slm", w); err != nil {
+				return err
+			}
+			workers = append(workers, w)
+		}
+		job, err = cfgCl.DefineJob("slm", names...)
+		if err != nil {
+			return err
+		}
+	}
+	cl.Run(500 * cruz.Millisecond)
+	stamp(cl, "slm ring of %d running at step %d; spare node %d idle", ringSize, workers[0].StepsDone, nodes-1)
+
+	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	if err != nil {
+		return err
+	}
+	stamp(cl, "checkpoint %d committed (latency %v)", res.Seq, res.Latency)
+	cl.Run(300 * cruz.Millisecond)
+
+	victim := ringSize - 1
+	victimPod := fmt.Sprintf("slm-%d", victim)
+	stamp(cl, "node %d fails (step was %d)", victim, workers[0].StepsDone)
+	cl.FailNode(victim)
+	cl.Run(50 * cruz.Millisecond)
+
+	for i := 0; i < ringSize-1; i++ {
+		cl.Pod(fmt.Sprintf("slm-%d", i)).Destroy()
+	}
+	if err := cl.CopyImages(victimPod, cl.Nodes[victim], cl.Nodes[nodes-1]); err != nil {
+		return err
+	}
+	cl.MovePod(victimPod, nodes-1)
+	var names []string
+	for i := 0; i < ringSize; i++ {
+		names = append(names, fmt.Sprintf("slm-%d", i))
+	}
+	job2, err := cl.DefineJob("slm-recovered", names...)
+	if err != nil {
+		return err
+	}
+	if _, err := cl.Restart(job2, res.Seq); err != nil {
+		return err
+	}
+	w := cl.Pod(victimPod).Process(1).Program().(*slm.Worker)
+	stamp(cl, "restarted on spare node %d at step %d", nodes-1, w.StepsDone)
+	cl.Run(500 * cruz.Millisecond)
+	for i := 0; i < ringSize; i++ {
+		ww := cl.Pod(fmt.Sprintf("slm-%d", i)).Process(1).Program().(*slm.Worker)
+		if ww.Fault != "" {
+			return fmt.Errorf("worker %d fault: %s", i, ww.Fault)
+		}
+	}
+	stamp(cl, "ring healthy at step %d after failover", w.StepsDone)
+	return nil
+}
+
+func periodic(nodes int, seed int64) error {
+	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed})
+	if err != nil {
+		return err
+	}
+	job, workers, err := slmJob(cl, nodes)
+	if err != nil {
+		return err
+	}
+	cl.Run(500 * cruz.Millisecond)
+	for k := 0; k < 5; k++ {
+		res, cerr := cl.Checkpoint(job, cruz.CheckpointOptions{Optimized: true})
+		if cerr != nil {
+			return cerr
+		}
+		stamp(cl, "checkpoint %d: latency %v  overhead %v  blocked %v  %d msgs  step %d",
+			res.Seq, res.Latency, res.Overhead, res.MaxBlocked, res.Messages, workers[0].StepsDone)
+		cl.Run(2 * cruz.Second)
+	}
+	for i, w := range workers {
+		if w.Fault != "" {
+			return fmt.Errorf("worker %d fault: %s", i, w.Fault)
+		}
+	}
+	stamp(cl, "5 optimized checkpoints, application undisturbed")
+	return nil
+}

@@ -1,0 +1,417 @@
+// Package cruz is the public API of the Cruz reproduction: a simulated
+// cluster on which distributed applications run inside Zap pods and are
+// checkpointed, restarted, and migrated by the Cruz coordinated protocol
+// (Janakiraman, Santos, Subhraveti, Turner — DSN 2005).
+//
+// A Cluster bundles the discrete-event engine, the Ethernet fabric, one
+// simulated node (kernel + TCP/IP stack + checkpoint agent + image store)
+// per machine, a service node hosting the Checkpoint Coordinator, and
+// helpers that drive the event loop until asynchronous operations finish.
+//
+// Quick start:
+//
+//	cl, _ := cruz.New(cruz.Config{Nodes: 4})
+//	pod, _ := cl.NewPod(0, "db")
+//	pod.Spawn("server", myProgram) // any kernel.Program
+//	job := cl.DefineJob("myjob", "db")
+//	res, _ := cl.Checkpoint(job, cruz.CheckpointOptions{})
+//
+// See examples/ for complete programs and DESIGN.md for the mapping from
+// the paper's systems and experiments to packages in this repository.
+package cruz
+
+import (
+	"errors"
+	"fmt"
+
+	"cruz/internal/ckpt"
+	"cruz/internal/core"
+	"cruz/internal/ether"
+	"cruz/internal/flush"
+	"cruz/internal/kernel"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+	"cruz/internal/zap"
+)
+
+// Re-exported types: the facade keeps user code to one import for the
+// common workflow.
+type (
+	// Job names a distributed application managed as a unit.
+	Job = core.Job
+	// Member binds one pod to the agent managing it.
+	Member = core.Member
+	// CheckpointOptions selects the protocol variant.
+	CheckpointOptions = core.CheckpointOptions
+	// CheckpointResult reports a coordinated checkpoint's measurements.
+	CheckpointResult = core.CheckpointResult
+	// RestartResult reports a coordinated restart's measurements.
+	RestartResult = core.RestartResult
+	// Pod is a Zap PrOcess Domain.
+	Pod = zap.Pod
+	// Program is the state-machine interface application code implements.
+	Program = kernel.Program
+	// Duration and Time are virtual-time units.
+	Duration = sim.Duration
+	// Time is a point in virtual time.
+	Time = sim.Time
+	// Addr is an IPv4 address on the simulated network.
+	Addr = tcpip.Addr
+	// AddrPort is an address-port endpoint.
+	AddrPort = tcpip.AddrPort
+)
+
+// Common virtual durations, re-exported for callers of Run.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// RegisterProgram must be called for every concrete Program type that
+// will be checkpointed (usually from an init function).
+func RegisterProgram(p Program) { ckpt.RegisterProgram(p) }
+
+// Config describes the cluster to build.
+type Config struct {
+	// Nodes is the number of application machines (a service machine for
+	// the coordinator is added automatically).
+	Nodes int
+	// Seed drives all simulation randomness; runs are reproducible per
+	// seed. Zero means 1.
+	Seed int64
+	// Kernel overrides node hardware parameters (zero value = defaults:
+	// 2 CPUs, 110 MB/s disk).
+	Kernel kernel.Params
+	// Link overrides the Ethernet links (zero value = gigabit).
+	Link ether.LinkConfig
+	// Agent and Coordinator override daemon cost models.
+	Agent       core.AgentParams
+	Coordinator core.CoordinatorParams
+	// FlushBaseline also starts a CoCheck-style flushing agent on every
+	// node and a flushing coordinator, for comparison experiments.
+	FlushBaseline bool
+}
+
+// Node is one simulated machine.
+type Node struct {
+	Index      int
+	Kernel     *kernel.Kernel
+	NIC        *ether.NIC
+	Agent      *core.Agent
+	FlushAgent *flush.Agent
+	Store      *ckpt.Store
+}
+
+// Addr returns the node's physical IP address.
+func (n *Node) Addr() Addr { return Addr{10, 0, 0, byte(n.Index + 1)} }
+
+// Cluster is a complete simulated deployment.
+type Cluster struct {
+	Engine           *sim.Engine
+	Switch           *ether.Switch
+	Nodes            []*Node
+	Service          *Node // hosts the coordinator (and any native daemons)
+	Coordinator      *core.Coordinator
+	FlushCoordinator *flush.Coordinator
+
+	cfg      Config
+	pods     map[string]podRef
+	podCount int
+}
+
+type podRef struct {
+	pod  *zap.Pod
+	node *Node
+}
+
+// ErrUnknownPod is returned when a job references a pod the cluster never
+// created.
+var ErrUnknownPod = errors.New("cruz: unknown pod")
+
+// New builds a cluster per cfg.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Kernel.NumCPUs == 0 {
+		cfg.Kernel = kernel.DefaultParams()
+	}
+	if cfg.Link.BandwidthBPS == 0 {
+		cfg.Link = ether.GigabitLink
+	}
+	if cfg.Agent.MsgCost == 0 {
+		cfg.Agent = core.DefaultAgentParams()
+	}
+	if cfg.Coordinator.MsgCost == 0 {
+		cfg.Coordinator = core.DefaultCoordinatorParams()
+	}
+	cl := &Cluster{
+		Engine: sim.NewEngine(cfg.Seed),
+		cfg:    cfg,
+		pods:   make(map[string]podRef),
+	}
+	cl.Switch = ether.NewSwitch(cl.Engine)
+
+	mkNode := func(i int) (*Node, error) {
+		mac := ether.MAC{0x02, 0, 0, 0, 0, byte(i + 1)}
+		nic := ether.NewNIC(cl.Engine, fmt.Sprintf("node%d/eth0", i), mac)
+		cl.Switch.Attach(nic, cfg.Link)
+		st := tcpip.NewStack(cl.Engine, fmt.Sprintf("node%d", i))
+		if _, err := st.AddInterface("eth0", Addr{10, 0, 0, byte(i + 1)}, mac, nic, false); err != nil {
+			return nil, err
+		}
+		k := kernel.New(cl.Engine, fmt.Sprintf("node%d", i), cfg.Kernel, st)
+		return &Node{Index: i, Kernel: k, NIC: nic, Store: ckpt.NewStore(k.Disk())}, nil
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := mkNode(i)
+		if err != nil {
+			return nil, err
+		}
+		agent, err := core.NewAgent(n.Kernel, n.Store, cfg.Agent)
+		if err != nil {
+			return nil, err
+		}
+		n.Agent = agent
+		if cfg.FlushBaseline {
+			fa, ferr := flush.NewAgent(n.Kernel, n.Store, flush.DefaultAgentParams())
+			if ferr != nil {
+				return nil, ferr
+			}
+			n.FlushAgent = fa
+		}
+		cl.Nodes = append(cl.Nodes, n)
+	}
+	svc, err := mkNode(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	cl.Service = svc
+	cl.Coordinator = core.NewCoordinator(svc.Kernel.Stack(), cfg.Coordinator)
+	if cfg.FlushBaseline {
+		cl.FlushCoordinator = flush.NewCoordinator(svc.Kernel.Stack())
+	}
+	return cl, nil
+}
+
+// Run advances virtual time by d.
+func (cl *Cluster) Run(d Duration) {
+	// RunFor only errors when Stop is called, which the facade never does.
+	_ = cl.Engine.RunFor(d)
+}
+
+// RunUntil advances time in small slices until cond holds or max time
+// elapses, reporting whether cond held.
+func (cl *Cluster) RunUntil(cond func() bool, max Duration) bool {
+	const slice = 5 * sim.Millisecond
+	for waited := Duration(0); waited < max; waited += slice {
+		if cond() {
+			return true
+		}
+		cl.Run(slice)
+	}
+	return cond()
+}
+
+// NewPod creates a pod on node with an automatically assigned externally
+// routable IP (10.0.1.x) and VIF MAC, and registers it with the node's
+// agents.
+func (cl *Cluster) NewPod(node int, name string) (*Pod, error) {
+	if node < 0 || node >= len(cl.Nodes) {
+		return nil, fmt.Errorf("cruz: no node %d", node)
+	}
+	if _, dup := cl.pods[name]; dup {
+		return nil, fmt.Errorf("cruz: pod %q already exists", name)
+	}
+	cl.podCount++
+	id := byte(cl.podCount)
+	n := cl.Nodes[node]
+	pod, err := zap.New(n.Kernel, name, zap.NetConfig{
+		IP:  Addr{10, 0, 1, id},
+		MAC: ether.MAC{0x02, 0, 0, 1, 0, id},
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.Agent.Manage(pod)
+	if n.FlushAgent != nil {
+		n.FlushAgent.Manage(pod)
+	}
+	cl.pods[name] = podRef{pod: pod, node: n}
+	return pod, nil
+}
+
+// Pod returns a pod by name (its current incarnation after any restart).
+func (cl *Cluster) Pod(name string) *Pod {
+	if ref, ok := cl.pods[name]; ok {
+		if cur := ref.node.Agent.Pod(name); cur != nil {
+			return cur
+		}
+		return ref.pod
+	}
+	return nil
+}
+
+// PodNode returns the node currently responsible for a pod.
+func (cl *Cluster) PodNode(name string) *Node {
+	if ref, ok := cl.pods[name]; ok {
+		return ref.node
+	}
+	return nil
+}
+
+// PodIP returns a pod's externally routable address.
+func (cl *Cluster) PodIP(name string) (Addr, error) {
+	if ref, ok := cl.pods[name]; ok {
+		return ref.pod.IP(), nil
+	}
+	return Addr{}, fmt.Errorf("%w: %s", ErrUnknownPod, name)
+}
+
+// DefineJob builds a Job from pod names and connects the coordinator to
+// the agents involved.
+func (cl *Cluster) DefineJob(name string, podNames ...string) (*Job, error) {
+	job := &Job{Name: name}
+	for _, pn := range podNames {
+		ref, ok := cl.pods[pn]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownPod, pn)
+		}
+		job.Members = append(job.Members, Member{Pod: pn, Agent: ref.node.Agent.Addr()})
+	}
+	var connectErr error
+	connected := false
+	cl.Coordinator.Connect(job, func(err error) { connectErr, connected = err, true })
+	if !cl.RunUntil(func() bool { return connected }, 10*Second) {
+		return nil, errors.New("cruz: coordinator connect timed out")
+	}
+	if connectErr != nil {
+		return nil, connectErr
+	}
+	return job, nil
+}
+
+// Checkpoint runs one coordinated checkpoint synchronously (driving the
+// event loop until the protocol completes).
+func (cl *Cluster) Checkpoint(job *Job, opts CheckpointOptions) (*CheckpointResult, error) {
+	var res *CheckpointResult
+	var cerr error
+	fired := false
+	cl.Coordinator.Checkpoint(job, opts, func(r *CheckpointResult, err error) {
+		res, cerr, fired = r, err, true
+	})
+	if !cl.RunUntil(func() bool { return fired }, 10*60*Second) {
+		return nil, errors.New("cruz: checkpoint timed out")
+	}
+	return res, cerr
+}
+
+// Restart runs a coordinated restart from checkpoint seq (0 = latest
+// committed) synchronously.
+func (cl *Cluster) Restart(job *Job, seq int) (*RestartResult, error) {
+	var res *RestartResult
+	var rerr error
+	fired := false
+	cl.Coordinator.Restart(job, seq, func(r *RestartResult, err error) {
+		res, rerr, fired = r, err, true
+	})
+	if !cl.RunUntil(func() bool { return fired }, 10*60*Second) {
+		return nil, errors.New("cruz: restart timed out")
+	}
+	return res, rerr
+}
+
+// DefineFlushJob builds the flushing-baseline version of a job (requires
+// Config.FlushBaseline).
+func (cl *Cluster) DefineFlushJob(name string, podNames ...string) (*flush.Job, error) {
+	if cl.FlushCoordinator == nil {
+		return nil, errors.New("cruz: cluster built without FlushBaseline")
+	}
+	job := &flush.Job{Name: name}
+	for _, pn := range podNames {
+		ref, ok := cl.pods[pn]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownPod, pn)
+		}
+		job.Members = append(job.Members, flush.Member{
+			Pod:   pn,
+			PodIP: ref.pod.IP(),
+			Agent: ref.node.FlushAgent.Addr(),
+		})
+	}
+	connected := false
+	cl.FlushCoordinator.Connect(job, func(err error) { connected = err == nil })
+	if !cl.RunUntil(func() bool { return connected }, 10*Second) {
+		return nil, errors.New("cruz: flush coordinator connect timed out")
+	}
+	return job, nil
+}
+
+// FlushCheckpoint runs one flushing-baseline checkpoint synchronously.
+func (cl *Cluster) FlushCheckpoint(job *flush.Job) (*flush.Result, error) {
+	var res *flush.Result
+	var cerr error
+	fired := false
+	cl.FlushCoordinator.Checkpoint(job, func(r *flush.Result, err error) {
+		res, cerr, fired = r, err, true
+	})
+	if !cl.RunUntil(func() bool { return fired }, 10*60*Second) {
+		return nil, errors.New("cruz: flush checkpoint timed out")
+	}
+	return res, cerr
+}
+
+// FailNode simulates a machine failure: its link goes down and every
+// process on it is killed. Pods it hosted can be restarted elsewhere from
+// their last committed checkpoint... once their images are reachable; see
+// CopyImages.
+func (cl *Cluster) FailNode(i int) {
+	n := cl.Nodes[i]
+	cl.Switch.SetLinkDown(n.NIC, true)
+	for _, p := range n.Kernel.Processes() {
+		n.Kernel.Signal(p.PID(), kernel.SIGKILL)
+	}
+}
+
+// CopyImages copies every stored checkpoint of a pod from one node's
+// store to another's, modeling retrieval over the network file system
+// (read on the source disk, write on the destination disk).
+func (cl *Cluster) CopyImages(pod string, from, to *Node) error {
+	seq, ok := from.Store.LatestSeq(pod)
+	if !ok {
+		return fmt.Errorf("cruz: no images for pod %s", pod)
+	}
+	var copyErr error
+	done := false
+	from.Store.LoadMerged(pod, seq, func(img *ckpt.Image, err error) {
+		if err != nil {
+			copyErr, done = err, true
+			return
+		}
+		to.Store.Save(img, func(_ int64, serr error) {
+			copyErr, done = serr, true
+		})
+	})
+	if !cl.RunUntil(func() bool { return done }, 10*60*Second) {
+		return errors.New("cruz: image copy timed out")
+	}
+	return copyErr
+}
+
+// MovePod reassigns responsibility for a pod to another node's agent
+// (used with CopyImages to restart a failed node's pod elsewhere). The
+// job must be re-defined afterwards so members point at the new agent.
+func (cl *Cluster) MovePod(pod string, to int) error {
+	ref, ok := cl.pods[pod]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPod, pod)
+	}
+	ref.node = cl.Nodes[to]
+	cl.pods[pod] = ref
+	return nil
+}

@@ -1,0 +1,230 @@
+package cruz_test
+
+import (
+	"errors"
+	"testing"
+
+	"cruz"
+	"cruz/internal/apps/slm"
+	"cruz/internal/sim"
+)
+
+func init() {
+	cruz.RegisterProgram(&slm.Worker{})
+}
+
+func smallSlm(workers int) slm.Config {
+	return slm.Config{
+		Workers:             workers,
+		Steps:               0,
+		TotalComputePerStep: 4 * sim.Millisecond,
+		StepOverhead:        500 * sim.Microsecond,
+		HaloBytes:           4 << 10,
+		GridBytes:           1 << 20,
+		DirtyPagesPerStep:   16,
+		Port:                9200,
+	}
+}
+
+// deployRing places one slm worker pod per node.
+func deployRing(t *testing.T, cl *cruz.Cluster, n int) ([]string, *cruz.Job) {
+	t.Helper()
+	cfg := smallSlm(n)
+	var names []string
+	var ips []cruz.Addr
+	for i := 0; i < n; i++ {
+		name := "w" + string(rune('a'+i))
+		pod, err := cl.NewPod(i, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		ips = append(ips, pod.IP())
+	}
+	for i, name := range names {
+		if _, err := cl.Pod(name).Spawn("slm", slm.NewWorker(cfg, i, ips[(i+1)%n])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	job, err := cl.DefineJob("ring", names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names, job
+}
+
+func TestClusterBasics(t *testing.T) {
+	cl, err := cruz.New(cruz.Config{Nodes: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Nodes) != 3 || cl.Service == nil {
+		t.Fatalf("nodes=%d service=%v", len(cl.Nodes), cl.Service)
+	}
+	if cl.Nodes[1].Addr() != (cruz.Addr{10, 0, 0, 2}) {
+		t.Fatalf("node addr = %v", cl.Nodes[1].Addr())
+	}
+	pod, err := cl.NewPod(0, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.NewPod(1, "a"); err == nil {
+		t.Fatal("duplicate pod name accepted")
+	}
+	if _, err := cl.NewPod(99, "b"); err == nil {
+		t.Fatal("bad node accepted")
+	}
+	ip, err := cl.PodIP("a")
+	if err != nil || ip != pod.IP() {
+		t.Fatalf("PodIP = %v/%v", ip, err)
+	}
+	if _, err := cl.PodIP("ghost"); !errors.Is(err, cruz.ErrUnknownPod) {
+		t.Fatalf("PodIP ghost = %v", err)
+	}
+	if _, err := cl.DefineJob("j", "ghost"); !errors.Is(err, cruz.ErrUnknownPod) {
+		t.Fatalf("DefineJob ghost = %v", err)
+	}
+}
+
+func TestCheckpointRestartViaFacade(t *testing.T) {
+	cl, err := cruz.New(cruz.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, job := deployRing(t, cl, 2)
+	cl.Run(200 * cruz.Millisecond)
+	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 1 || res.Latency <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	for _, n := range names {
+		cl.Pod(n).Destroy()
+	}
+	rres, err := cl.Restart(job, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Seq != 1 {
+		t.Fatalf("restart seq = %d", rres.Seq)
+	}
+	cl.Run(200 * cruz.Millisecond)
+	for _, n := range names {
+		w := cl.Pod(n).Process(1).Program().(*slm.Worker)
+		if w.Fault != "" || w.StepsDone == 0 {
+			t.Fatalf("pod %s after restart: steps=%d fault=%q", n, w.StepsDone, w.Fault)
+		}
+	}
+}
+
+func TestNodeFailureRecoveryOnSpareNode(t *testing.T) {
+	// The fault-tolerance story end to end: checkpoint, lose a machine,
+	// restart its pod on a spare node from the (network-FS) image.
+	cl, err := cruz.New(cruz.Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring on nodes 0 and 1; node 2 is the spare.
+	names, job := deployRing(t, cl, 2)
+	cl.Run(200 * cruz.Millisecond)
+	if _, err := cl.Checkpoint(job, cruz.CheckpointOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stepsAt := cl.Pod(names[1]).Process(1).Program().(*slm.Worker).StepsDone
+
+	cl.FailNode(1)
+	cl.Run(50 * cruz.Millisecond)
+
+	// Surviving pod is destroyed too (a restart is a rollback of the
+	// whole job), its peer's image is fetched to the spare node, and the
+	// job is re-defined with the new placement.
+	cl.Pod(names[0]).Destroy()
+	if err := cl.CopyImages(names[1], cl.Nodes[1], cl.Nodes[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.MovePod(names[1], 2); err != nil {
+		t.Fatal(err)
+	}
+	job2, err := cl.DefineJob("ring2", names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the new job's committed state by restarting from the explicit
+	// sequence number of the original checkpoint.
+	if _, err := cl.Restart(job2, 1); err != nil {
+		t.Fatal(err)
+	}
+	w0 := cl.Pod(names[0]).Process(1).Program().(*slm.Worker)
+	w1 := cl.Pod(names[1]).Process(1).Program().(*slm.Worker)
+	if w1.StepsDone > stepsAt+1 || w1.StepsDone+1 < stepsAt {
+		t.Fatalf("restarted steps %d, checkpointed %d", w1.StepsDone, stepsAt)
+	}
+	cl.Run(300 * cruz.Millisecond)
+	if w0.Fault != "" || w1.Fault != "" {
+		t.Fatalf("faults after spare-node recovery: %q %q", w0.Fault, w1.Fault)
+	}
+	if w1.StepsDone <= stepsAt {
+		t.Fatal("ring stuck after spare-node recovery")
+	}
+	// The migrated pod really lives on node 2 now.
+	if got := cl.PodNode(names[1]); got != cl.Nodes[2] {
+		t.Fatalf("pod node = %d", got.Index)
+	}
+}
+
+func TestFlushBaselineViaFacade(t *testing.T) {
+	cl, err := cruz.New(cruz.Config{Nodes: 2, FlushBaseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := deployRing(t, cl, 2)
+	cl.Run(200 * cruz.Millisecond)
+	fjob, err := cl.DefineFlushJob("fring", names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.FlushCheckpoint(fjob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MarkerMessages != 2 {
+		t.Fatalf("markers = %d, want 2", res.MarkerMessages)
+	}
+	cl.Run(200 * cruz.Millisecond)
+	for _, n := range names {
+		w := cl.Pod(n).Process(1).Program().(*slm.Worker)
+		if w.Fault != "" {
+			t.Fatalf("fault after flush checkpoint: %q", w.Fault)
+		}
+	}
+}
+
+func TestFlushRequiresConfig(t *testing.T) {
+	cl, _ := cruz.New(cruz.Config{Nodes: 2})
+	if _, err := cl.DefineFlushJob("x"); err == nil {
+		t.Fatal("flush job without FlushBaseline accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (cruz.Duration, int) {
+		cl, err := cruz.New(cruz.Config{Nodes: 2, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, job := deployRing(t, cl, 2)
+		cl.Run(200 * cruz.Millisecond)
+		res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency, res.Messages
+	}
+	l1, m1 := run()
+	l2, m2 := run()
+	if l1 != l2 || m1 != m2 {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d", l1, m1, l2, m2)
+	}
+}

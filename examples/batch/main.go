@@ -1,0 +1,93 @@
+// Batch: an LSF-style scheduler driving periodic checkpoints, suspension,
+// and crash recovery.
+//
+// The paper integrated Cruz with the LSF job scheduler (§6) and motivates
+// checkpoint-restart for resource management: suspend a job to free its
+// nodes, resume it later, and recover from failures without losing work.
+// This example submits an slm job with periodic checkpoints every 2
+// virtual seconds, suspends and resumes it, then kills every task and
+// recovers from the last periodic checkpoint.
+//
+// Run with: go run ./examples/batch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cruz"
+	"cruz/internal/apps/slm"
+	"cruz/internal/batch"
+	"cruz/internal/sim"
+)
+
+func init() { cruz.RegisterProgram(&slm.Worker{}) }
+
+func main() {
+	cl, err := cruz.New(cruz.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := batch.New(cl)
+
+	cfg := slm.Config{
+		Workers:             4,
+		Steps:               400,
+		TotalComputePerStep: 60 * sim.Millisecond,
+		StepOverhead:        5 * sim.Millisecond,
+		HaloBytes:           16 << 10,
+		GridBytes:           4 << 20,
+		DirtyPagesPerStep:   32,
+		Port:                9200,
+	}
+	job, err := sched.Submit(batch.JobSpec{
+		Name:            "weather",
+		Tasks:           4,
+		CheckpointEvery: 2 * cruz.Second,
+		Optimized:       true, // Fig. 4 early-continue protocol
+		Make: func(rank, n int, ips []cruz.Addr) cruz.Program {
+			return slm.NewWorker(cfg, rank, ips[(rank+1)%n])
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	step := func() int {
+		if p := cl.Pod("weather-0").Process(1); p != nil {
+			return p.Program().(*slm.Worker).StepsDone
+		}
+		return -1
+	}
+
+	cl.Run(5 * cruz.Second)
+	fmt.Printf("t=%-6v job at step %d; %d periodic checkpoints taken\n",
+		cl.Engine.Now(), step(), job.Checkpoints)
+
+	if err := job.Suspend(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%-6v suspended (final checkpoint written); nodes are free\n", cl.Engine.Now())
+	cl.Run(3 * cruz.Second)
+
+	if err := job.Resume(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%-6v resumed at step %d\n", cl.Engine.Now(), step())
+
+	cl.Run(3 * cruz.Second)
+	fmt.Printf("t=%-6v job at step %d; simulating a crash of every task...\n", cl.Engine.Now(), step())
+	for i := 0; i < 4; i++ {
+		cl.Pod(fmt.Sprintf("weather-%d", i)).Destroy()
+	}
+	if err := job.RecoverFromCrash(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%-6v recovered from checkpoint %d at step %d\n",
+		cl.Engine.Now(), job.Checkpoints, step())
+
+	if !cl.RunUntil(func() bool { return job.State() == batch.StateCompleted }, 120*cruz.Second) {
+		log.Fatalf("job never completed (step %d)", step())
+	}
+	fmt.Printf("t=%-6v job completed all %d steps; %d checkpoints total, 0 lost steps beyond the last checkpoint\n",
+		cl.Engine.Now(), cfg.Steps, job.Checkpoints)
+}

@@ -1,0 +1,97 @@
+// Migration: move a live database server between machines while a client
+// keeps using it.
+//
+// A kvstore server runs in a pod on node 0; a client on node 1 issues
+// SET/GET operations with verification, continuously. Mid-session the
+// server pod is checkpointed, destroyed, and restored on node 2 — taking
+// its IP and MAC with it (the paper's §4.2 network-address migration).
+// The client is NOT under checkpoint control and never reconnects: its
+// TCP connection survives because the server's full socket state
+// (sequence numbers, buffer contents) moves inside the checkpoint image
+// and the gratuitous ARP re-points the switch.
+//
+// Run with: go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cruz"
+	"cruz/internal/apps/kvstore"
+	"cruz/internal/ckpt"
+)
+
+func init() {
+	cruz.RegisterProgram(&kvstore.Server{})
+	cruz.RegisterProgram(&kvstore.Client{})
+}
+
+func main() {
+	cl, err := cruz.New(cruz.Config{Nodes: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Database server inside a pod on node 0.
+	dbPod, err := cl.NewPod(0, "db")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := kvstore.NewServer(0)
+	if _, err := dbPod.Spawn("kvd", server); err != nil {
+		log.Fatal(err)
+	}
+
+	// Client as a plain process on node 1 — no pod, no checkpointing,
+	// no awareness that the server will move.
+	client := kvstore.NewClient(cruz.AddrPort{Addr: dbPod.IP(), Port: kvstore.DefaultPort})
+	cl.Nodes[1].Kernel.Spawn("kvc", client, 0)
+
+	cl.Run(300 * cruz.Millisecond)
+	fmt.Printf("t=%-8v client completed %d verified ops against node 0\n",
+		cl.Engine.Now(), client.Done)
+
+	// --- migrate the server pod: node 0 -> node 2 ------------------
+	fmt.Printf("t=%-8v migrating pod %q (IP %v) to node 2...\n",
+		cl.Engine.Now(), dbPod.Name(), dbPod.IP())
+
+	// 1. Disable the pod's communication (in-flight packets will be
+	//    recovered by TCP retransmission).
+	filter := dbPod.Kernel().Stack().Filter()
+	rule := filter.AddDropAddr(dbPod.IP())
+	// 2. Stop and capture.
+	stopped := false
+	dbPod.Stop(func() { stopped = true })
+	if !cl.RunUntil(func() bool { return stopped }, cruz.Second) {
+		log.Fatal("pod did not quiesce")
+	}
+	img, err := ckpt.Capture(dbPod, 1, ckpt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 3. Destroy the source instance; its VIF (IP+MAC) disappears from
+	//    node 0.
+	dbPod.Destroy()
+	filter.RemoveRule(rule)
+	// 4. Restore on node 2: same IP, same MAC, same TCP connections;
+	//    the restore announces the new location via gratuitous ARP.
+	newPod, err := ckpt.Restore(cl.Nodes[2].Kernel, img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newPod.Resume()
+	fmt.Printf("t=%-8v pod restored on node 2, resuming\n", cl.Engine.Now())
+
+	opsBefore := client.Done
+	cl.Run(500 * cruz.Millisecond)
+	server2 := newPod.Process(1).Program().(*kvstore.Server)
+	fmt.Printf("t=%-8v client completed %d more verified ops against node 2\n",
+		cl.Engine.Now(), client.Done-opsBefore)
+	fmt.Printf("           client fault: %q   server fault: %q\n", client.Fault, server2.Fault)
+	fmt.Printf("           database still holds %d keys; client connection was never reset\n",
+		len(server2.Table))
+	if client.Fault != "" || client.Done == opsBefore {
+		log.Fatal("migration disturbed the client")
+	}
+}

@@ -1,0 +1,3 @@
+module cruz
+
+go 1.22

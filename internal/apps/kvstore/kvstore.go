@@ -1,0 +1,306 @@
+// Package kvstore is a small networked key-value database — the kind of
+// stateful, connection-oriented service the paper's introduction
+// motivates checkpointing ("complex applications such as databases").
+// The migration example checkpoints a live server mid-session and revives
+// it on another machine without its clients noticing more than a pause.
+//
+// Wire protocol (binary, length-delimited):
+//
+//	request:  op(1: 'S'|'G') keyLen(2 BE) key valLen(4 BE) val
+//	response: status(1: 'K'|'N') valLen(4 BE) val
+//
+// 'N' answers a GET for a missing key.
+package kvstore
+
+import (
+	"encoding/binary"
+
+	"cruz/internal/kernel"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+)
+
+// DefaultPort is the server port.
+const DefaultPort uint16 = 9400
+
+// OpSet and OpGet are the request opcodes.
+const (
+	OpSet byte = 'S'
+	OpGet byte = 'G'
+)
+
+// Server is the database process. All state — the table and per-client
+// parse buffers — is exported, so a checkpoint captures sessions
+// mid-request.
+type Server struct {
+	Port uint16
+
+	Phase   int
+	LFD     int
+	Table   map[string][]byte
+	Clients map[int]*Session
+	// Ops counts executed requests.
+	Ops   uint64
+	Fault string
+}
+
+// Session is one client connection's parse state.
+type Session struct {
+	FD  int
+	Buf []byte
+}
+
+// NewServer creates a server on port (0 = DefaultPort).
+func NewServer(port uint16) *Server {
+	if port == 0 {
+		port = DefaultPort
+	}
+	return &Server{Port: port, Table: make(map[string][]byte), Clients: make(map[int]*Session)}
+}
+
+func (s *Server) fail(m string) kernel.StepResult {
+	s.Fault = m
+	return kernel.Exit(0, 2)
+}
+
+// Step implements kernel.Program. The server polls its sessions; with a
+// single client it blocks on that session's descriptor, otherwise it
+// naps briefly between sweeps.
+func (s *Server) Step(ctx *kernel.ProcContext) kernel.StepResult {
+	if s.Phase == 0 {
+		fd, err := ctx.Listen(tcpip.AddrPort{Port: s.Port}, 16)
+		if err != nil {
+			return s.fail("listen: " + err.Error())
+		}
+		s.LFD = fd
+		s.Phase = 1
+		return kernel.Continue(0)
+	}
+	progress := false
+	// Accept any waiting clients.
+	for {
+		fd, err := ctx.Accept(s.LFD)
+		if err != nil {
+			break
+		}
+		s.Clients[fd] = &Session{FD: fd}
+		progress = true
+	}
+	// Serve each session.
+	for fd, sess := range s.Clients {
+		buf := make([]byte, 4096)
+		n, err := ctx.Recv(fd, buf, false)
+		if err == kernel.ErrWouldBlock {
+			continue
+		}
+		if err != nil {
+			ctx.CloseFD(fd)
+			delete(s.Clients, fd)
+			progress = true
+			continue
+		}
+		sess.Buf = append(sess.Buf, buf[:n]...)
+		progress = true
+		for {
+			resp, consumed := s.serveOne(sess.Buf)
+			if consumed == 0 {
+				break
+			}
+			sess.Buf = sess.Buf[consumed:]
+			if _, err := ctx.Send(fd, resp); err != nil {
+				ctx.CloseFD(fd)
+				delete(s.Clients, fd)
+				break
+			}
+		}
+	}
+	if progress {
+		return kernel.Continue(5 * sim.Microsecond)
+	}
+	if len(s.Clients) == 1 {
+		for fd := range s.Clients {
+			return kernel.BlockOnRead(0, fd)
+		}
+	}
+	if len(s.Clients) == 0 {
+		return kernel.BlockOnRead(0, s.LFD)
+	}
+	return kernel.Sleep(0, 500*sim.Microsecond)
+}
+
+// serveOne parses and executes one complete request from b, returning
+// the response and bytes consumed (0 if incomplete).
+func (s *Server) serveOne(b []byte) (resp []byte, consumed int) {
+	if len(b) < 3 {
+		return nil, 0
+	}
+	op := b[0]
+	keyLen := int(binary.BigEndian.Uint16(b[1:3]))
+	if len(b) < 3+keyLen+4 {
+		return nil, 0
+	}
+	key := string(b[3 : 3+keyLen])
+	valLen := int(binary.BigEndian.Uint32(b[3+keyLen:]))
+	end := 3 + keyLen + 4 + valLen
+	if len(b) < end {
+		return nil, 0
+	}
+	val := b[3+keyLen+4 : end]
+	s.Ops++
+	switch op {
+	case OpSet:
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		s.Table[key] = cp
+		return encodeResp('K', nil), end
+	case OpGet:
+		if v, ok := s.Table[key]; ok {
+			return encodeResp('K', v), end
+		}
+		return encodeResp('N', nil), end
+	default:
+		return encodeResp('N', nil), end
+	}
+}
+
+func encodeResp(status byte, val []byte) []byte {
+	out := make([]byte, 1+4+len(val))
+	out[0] = status
+	binary.BigEndian.PutUint32(out[1:], uint32(len(val)))
+	copy(out[5:], val)
+	return out
+}
+
+// EncodeRequest builds a wire request (exported for clients and tests).
+func EncodeRequest(op byte, key string, val []byte) []byte {
+	out := make([]byte, 1+2+len(key)+4+len(val))
+	out[0] = op
+	binary.BigEndian.PutUint16(out[1:], uint16(len(key)))
+	copy(out[3:], key)
+	binary.BigEndian.PutUint32(out[3+len(key):], uint32(len(val)))
+	copy(out[3+len(key)+4:], val)
+	return out
+}
+
+// Client runs a verify-as-you-go workload: it SETs key i to a derived
+// value, GETs it back, and checks the result, forever (or until Ops).
+type Client struct {
+	Server tcpip.AddrPort
+	// MaxOps stops the client after this many operations (0 = forever).
+	MaxOps uint64
+	// Think is idle time between operations.
+	Think sim.Duration
+
+	Phase       int
+	FD          int
+	Pending     []byte // unparsed response bytes
+	AwaitingGet bool
+	Seq         uint64
+	Done        uint64
+	Fault       string
+}
+
+// NewClient targets the given server endpoint.
+func NewClient(server tcpip.AddrPort) *Client {
+	return &Client{Server: server, Think: 200 * sim.Microsecond}
+}
+
+func (c *Client) fail(m string) kernel.StepResult {
+	c.Fault = m
+	return kernel.Exit(0, 2)
+}
+
+func (c *Client) key() string {
+	return "key-" + itoa(c.Seq%512)
+}
+
+func (c *Client) val() []byte {
+	v := make([]byte, 64)
+	for i := range v {
+		v[i] = byte(c.Seq + uint64(i))
+	}
+	return v
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var d []byte
+	for v > 0 {
+		d = append([]byte{byte('0' + v%10)}, d...)
+		v /= 10
+	}
+	return string(d)
+}
+
+// Step implements kernel.Program.
+func (c *Client) Step(ctx *kernel.ProcContext) kernel.StepResult {
+	switch c.Phase {
+	case 0:
+		fd, err := ctx.Connect(c.Server)
+		if err != nil {
+			return c.fail("connect: " + err.Error())
+		}
+		c.FD = fd
+		c.Phase = 1
+		return kernel.Continue(0)
+	case 1:
+		ok, err := ctx.ConnEstablished(c.FD)
+		if err != nil {
+			return c.fail("establish: " + err.Error())
+		}
+		if !ok {
+			return kernel.Sleep(0, sim.Millisecond)
+		}
+		c.Phase = 2
+		return kernel.Continue(0)
+	case 2: // issue SET then GET back-to-back
+		if c.MaxOps > 0 && c.Done >= c.MaxOps {
+			ctx.CloseFD(c.FD)
+			return kernel.Exit(0, 0)
+		}
+		req := append(EncodeRequest(OpSet, c.key(), c.val()), EncodeRequest(OpGet, c.key(), nil)...)
+		if _, err := ctx.Send(c.FD, req); err != nil {
+			if err == kernel.ErrWouldBlock {
+				return kernel.BlockOnWrite(0, c.FD)
+			}
+			return c.fail("send: " + err.Error())
+		}
+		c.Phase = 3
+		return kernel.Continue(0)
+	case 3: // read both responses
+		buf := make([]byte, 4096)
+		n, err := ctx.Recv(c.FD, buf, false)
+		if err == kernel.ErrWouldBlock {
+			return kernel.BlockOnRead(0, c.FD)
+		}
+		if err != nil {
+			return c.fail("recv: " + err.Error())
+		}
+		c.Pending = append(c.Pending, buf[:n]...)
+		// Need: SET ack (5 bytes) + GET response (5+64 bytes).
+		if len(c.Pending) < 5+5+64 {
+			return kernel.Continue(0)
+		}
+		if c.Pending[0] != 'K' {
+			return c.fail("set not acked")
+		}
+		get := c.Pending[5:]
+		if get[0] != 'K' {
+			return c.fail("get missed fresh key")
+		}
+		want := c.val()
+		for i := range want {
+			if get[5+i] != want[i] {
+				return c.fail("get returned wrong value")
+			}
+		}
+		c.Pending = c.Pending[5+5+64:]
+		c.Seq++
+		c.Done++
+		c.Phase = 2
+		return kernel.Sleep(3*sim.Microsecond, c.Think)
+	}
+	return c.fail("bad phase")
+}

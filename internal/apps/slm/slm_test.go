@@ -1,0 +1,158 @@
+package slm
+
+import (
+	"testing"
+
+	"cruz"
+	"cruz/internal/sim"
+)
+
+func init() {
+	cruz.RegisterProgram(&Worker{})
+}
+
+// smallConfig is a scaled-down slm for fast tests: the structure (ring
+// halo exchange, lockstep steps, grid memory) matches the benchmark
+// configuration, only the magnitudes shrink.
+func smallConfig(workers int) Config {
+	return Config{
+		Workers:             workers,
+		Steps:               40,
+		TotalComputePerStep: 4 * sim.Millisecond,
+		StepOverhead:        500 * sim.Microsecond,
+		HaloBytes:           4 << 10,
+		GridBytes:           1 << 20,
+		DirtyPagesPerStep:   16,
+		Port:                9200,
+	}
+}
+
+// deploy builds a cluster with one slm worker pod per node.
+func deploy(t *testing.T, cfg Config) (*cruz.Cluster, *cruz.Job, []*Worker) {
+	t.Helper()
+	cl, err := cruz.New(cruz.Config{Nodes: cfg.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workers []*Worker
+	var names []string
+	// Create pods first so worker i can learn the IP of worker i+1.
+	var ips []cruz.Addr
+	for i := 0; i < cfg.Workers; i++ {
+		name := "slm-" + string(rune('a'+i))
+		pod, perr := cl.NewPod(i, name)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		ips = append(ips, pod.IP())
+		names = append(names, name)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := NewWorker(cfg, i, ips[(i+1)%cfg.Workers])
+		if _, err := cl.Pod(names[i]).Spawn("slm", w); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	job, err := cl.DefineJob("slm", names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, job, workers
+}
+
+func checkWorkers(t *testing.T, ws []*Worker) {
+	t.Helper()
+	for i, w := range ws {
+		if w.Fault != "" {
+			t.Fatalf("worker %d fault: %s", i, w.Fault)
+		}
+	}
+}
+
+func TestRunsToCompletion(t *testing.T) {
+	cfg := smallConfig(3)
+	cl, _, workers := deploy(t, cfg)
+	expected := cfg.ExpectedRuntime()
+	done := func() bool {
+		for _, w := range workers {
+			if !w.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if !cl.RunUntil(done, 4*expected) {
+		t.Fatalf("slm did not finish within 4x expected runtime (steps: %d/%d)",
+			workers[0].StepsDone, cfg.Steps)
+	}
+	checkWorkers(t, workers)
+	// Runtime matches the analytic model within tolerance (the model
+	// ignores communication time, which is small at this scale).
+	actual := sim.Duration(workers[0].FinishedAt - workers[0].StartedAt)
+	if actual < expected || actual > expected+expected/4 {
+		t.Fatalf("runtime %v vs expected %v", actual, expected)
+	}
+}
+
+func TestScalingMatchesPaperShape(t *testing.T) {
+	// With the paper-calibrated constants the analytic runtime must
+	// land on the published numbers: ~545s at 2 workers, ~205s at 8.
+	two := DefaultConfig(2).ExpectedRuntime().Seconds()
+	eight := DefaultConfig(8).ExpectedRuntime().Seconds()
+	if two < 530 || two > 560 {
+		t.Fatalf("2-worker runtime = %.0fs, want ~545s", two)
+	}
+	if eight < 195 || eight > 215 {
+		t.Fatalf("8-worker runtime = %.0fs, want ~205s", eight)
+	}
+}
+
+func TestSurvivesCoordinatedCheckpoint(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.Steps = 0 // run forever
+	cl, job, workers := deploy(t, cfg)
+	cl.Run(200 * cruz.Millisecond)
+	checkWorkers(t, workers)
+	before := workers[0].StepsDone
+	if before == 0 {
+		t.Fatal("no progress before checkpoint")
+	}
+	if _, err := cl.Checkpoint(job, cruz.CheckpointOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(200 * cruz.Millisecond)
+	checkWorkers(t, workers)
+	if workers[0].StepsDone <= before {
+		t.Fatal("no progress after checkpoint")
+	}
+}
+
+func TestCrashRestartRollsBack(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Steps = 0
+	cl, job, workers := deploy(t, cfg)
+	cl.Run(200 * cruz.Millisecond)
+	if _, err := cl.Checkpoint(job, cruz.CheckpointOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	atCkpt := workers[0].StepsDone
+	cl.Run(200 * cruz.Millisecond)
+	// Crash both pods.
+	cl.Pod("slm-a").Destroy()
+	cl.Pod("slm-b").Destroy()
+	if _, err := cl.Restart(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Resolve the new incarnations.
+	w0 := cl.Pod("slm-a").Process(1).Program().(*Worker)
+	w1 := cl.Pod("slm-b").Process(1).Program().(*Worker)
+	if w0.StepsDone < atCkpt-1 || w0.StepsDone > atCkpt+1 {
+		t.Fatalf("restarted at step %d, checkpointed at %d", w0.StepsDone, atCkpt)
+	}
+	cl.Run(300 * cruz.Millisecond)
+	checkWorkers(t, []*Worker{w0, w1})
+	if w0.StepsDone <= atCkpt || w1.StepsDone <= atCkpt {
+		t.Fatal("ring stuck after restart")
+	}
+}

@@ -1,0 +1,181 @@
+// Package stream implements the paper's TCP streaming benchmark (§6,
+// Fig. 6): "a transmitting node sending data through a TCP socket
+// connection to a receiving node at maximum rate". The receiver exposes
+// byte counters that the benchmark harness samples into the sliding-
+// window rate trace of Fig. 6.
+package stream
+
+import (
+	"cruz/internal/kernel"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+)
+
+// DefaultPort is the streaming port.
+const DefaultPort uint16 = 9300
+
+// Sender pushes an unbounded byte stream at maximum rate.
+type Sender struct {
+	Target tcpip.AddrPort
+	// ChunkBytes is the write size per send call.
+	ChunkBytes int
+	// TotalBytes stops after this many bytes (0 = forever).
+	TotalBytes uint64
+	// Ballast allocates working-set memory so checkpoints of the
+	// benchmark carry a realistic image size.
+	Ballast uint64
+
+	Phase int
+	FD    int
+	Sent  uint64
+	Fault string
+}
+
+// NewSender streams to target.
+func NewSender(target tcpip.AddrPort) *Sender {
+	return &Sender{Target: target, ChunkBytes: 32 << 10}
+}
+
+func (s *Sender) fail(m string) kernel.StepResult {
+	s.Fault = m
+	return kernel.Exit(0, 2)
+}
+
+// Step implements kernel.Program.
+func (s *Sender) Step(ctx *kernel.ProcContext) kernel.StepResult {
+	switch s.Phase {
+	case 0:
+		if err := allocBallast(ctx, s.Ballast); err != nil {
+			return s.fail("ballast: " + err.Error())
+		}
+		fd, err := ctx.Connect(s.Target)
+		if err != nil {
+			return s.fail("connect: " + err.Error())
+		}
+		s.FD = fd
+		s.Phase = 1
+		return kernel.Continue(0)
+	case 1:
+		ok, err := ctx.ConnEstablished(s.FD)
+		if err != nil {
+			return s.fail("establish: " + err.Error())
+		}
+		if !ok {
+			return kernel.Sleep(0, sim.Millisecond)
+		}
+		s.Phase = 2
+		return kernel.Continue(0)
+	default:
+		if s.TotalBytes > 0 && s.Sent >= s.TotalBytes {
+			ctx.CloseFD(s.FD)
+			return kernel.Exit(0, 0)
+		}
+		chunk := make([]byte, s.ChunkBytes)
+		// Stream content: position-stamped bytes so the receiver can
+		// verify integrity across checkpoints.
+		for i := range chunk {
+			chunk[i] = byte(s.Sent + uint64(i))
+		}
+		n, err := ctx.Send(s.FD, chunk)
+		if err == kernel.ErrWouldBlock {
+			return kernel.BlockOnWrite(0, s.FD)
+		}
+		if err != nil {
+			return s.fail("send: " + err.Error())
+		}
+		s.Sent += uint64(n)
+		return kernel.Continue(0)
+	}
+}
+
+// allocBallast materializes n bytes of working set.
+func allocBallast(ctx *kernel.ProcContext, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	base, err := ctx.Mem().Alloc(n, "ballast")
+	if err != nil {
+		return err
+	}
+	for off := uint64(0); off < n; off += 4096 {
+		if err := ctx.Mem().WriteUint64(base+off, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Receiver drains the stream, validating content and counting bytes.
+type Receiver struct {
+	Port uint16
+	// Ballast allocates working-set memory (see Sender.Ballast).
+	Ballast uint64
+
+	Phase int
+	LFD   int
+	FD    int
+	// Received is the total byte count; the harness samples it to build
+	// the Fig. 6 rate trace.
+	Received uint64
+	Fault    string
+}
+
+// NewReceiver listens on port (0 = DefaultPort).
+func NewReceiver(port uint16) *Receiver {
+	if port == 0 {
+		port = DefaultPort
+	}
+	return &Receiver{Port: port}
+}
+
+func (r *Receiver) fail(m string) kernel.StepResult {
+	r.Fault = m
+	return kernel.Exit(0, 2)
+}
+
+// Step implements kernel.Program.
+func (r *Receiver) Step(ctx *kernel.ProcContext) kernel.StepResult {
+	switch r.Phase {
+	case 0:
+		if err := allocBallast(ctx, r.Ballast); err != nil {
+			return r.fail("ballast: " + err.Error())
+		}
+		fd, err := ctx.Listen(tcpip.AddrPort{Port: r.Port}, 4)
+		if err != nil {
+			return r.fail("listen: " + err.Error())
+		}
+		r.LFD = fd
+		r.Phase = 1
+		return kernel.Continue(0)
+	case 1:
+		fd, err := ctx.Accept(r.LFD)
+		if err == kernel.ErrWouldBlock {
+			return kernel.BlockOnRead(0, r.LFD)
+		}
+		if err != nil {
+			return r.fail("accept: " + err.Error())
+		}
+		r.FD = fd
+		r.Phase = 2
+		return kernel.Continue(0)
+	default:
+		buf := make([]byte, 64<<10)
+		n, err := ctx.Recv(r.FD, buf, false)
+		if err == kernel.ErrWouldBlock {
+			return kernel.BlockOnRead(0, r.FD)
+		}
+		if err != nil {
+			// EOF ends the benchmark cleanly.
+			return kernel.Exit(0, 0)
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != byte(r.Received+uint64(i)) {
+				return r.fail("stream corruption")
+			}
+		}
+		r.Received += uint64(n)
+		// Consuming the stream costs a little CPU per chunk, like a real
+		// receiver touching its data.
+		return kernel.Continue(2 * sim.Microsecond)
+	}
+}

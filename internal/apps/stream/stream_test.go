@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"testing"
+
+	"cruz"
+	"cruz/internal/metrics"
+)
+
+func init() {
+	cruz.RegisterProgram(&Sender{})
+	cruz.RegisterProgram(&Receiver{})
+}
+
+// deploy places the receiver pod on node 0 and the sender pod on node 1.
+func deploy(t *testing.T) (*cruz.Cluster, *cruz.Job, *Sender, *Receiver) {
+	t.Helper()
+	cl, err := cruz.New(cruz.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpod, err := cl.NewPod(0, "recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spod, err := cl.NewPod(1, "send")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := NewReceiver(0)
+	if _, err := rpod.Spawn("receiver", recv); err != nil {
+		t.Fatal(err)
+	}
+	send := NewSender(cruz.AddrPort{Addr: rpod.IP(), Port: DefaultPort})
+	if _, err := spod.Spawn("sender", send); err != nil {
+		t.Fatal(err)
+	}
+	job, err := cl.DefineJob("stream", "recv", "send")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, job, send, recv
+}
+
+func TestStreamsNearLineRate(t *testing.T) {
+	cl, _, send, recv := deploy(t)
+	cl.Run(500 * cruz.Millisecond)
+	if send.Fault != "" || recv.Fault != "" {
+		t.Fatalf("faults: %q %q", send.Fault, recv.Fault)
+	}
+	// 500 ms at gigabit ≈ 59 MB payload ceiling; demand > 80% of it.
+	gotMbps := float64(recv.Received) * 8 / 1e6 / 0.5
+	if gotMbps < 750 || gotMbps > 1000 {
+		t.Fatalf("throughput = %.0f Mb/s, want near line rate", gotMbps)
+	}
+}
+
+func TestStreamSurvivesCheckpointWithFig6Shape(t *testing.T) {
+	cl, job, _, recv := deploy(t)
+	cl.Run(300 * cruz.Millisecond)
+
+	// Sample the receive rate every millisecond over a 10 ms sliding
+	// window, exactly like Fig. 6.
+	meter := metrics.NewRateMeter(10 * cruz.Millisecond)
+	var series metrics.Series
+	series.Name = "receive rate (Mb/s)"
+	var lastSeen uint64 = recv.Received
+	resolve := func() *Receiver {
+		return cl.Pod("recv").Process(1).Program().(*Receiver)
+	}
+	ticker := cl.Engine.NewTicker(cruz.Millisecond, func() {
+		r := resolve()
+		if r.Received >= lastSeen {
+			meter.Record(cl.Engine.Now(), int(r.Received-lastSeen))
+		}
+		lastSeen = r.Received
+		series.Add(cl.Engine.Now(), meter.RateMbps(cl.Engine.Now()))
+	})
+	defer ticker.Stop()
+
+	ckptStart := cl.Engine.Now()
+	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(600 * cruz.Millisecond)
+	r := resolve()
+	s := cl.Pod("send").Process(1).Program().(*Sender)
+	if r.Fault != "" || s.Fault != "" {
+		t.Fatalf("faults after checkpoint: %q %q", r.Fault, s.Fault)
+	}
+
+	// Fig. 6 shape: the rate hits zero during the checkpoint, then
+	// recovers to full rate after TCP retransmission.
+	shifted := series.Shifted(ckptStart)
+	var sawZero, recovered bool
+	for _, p := range shifted.Points {
+		if p.T < 0 {
+			continue
+		}
+		if p.V == 0 {
+			sawZero = true
+		}
+		if sawZero && p.T > cruz.Time(res.CycleLatency) && p.V > 700 {
+			recovered = true
+		}
+	}
+	if !sawZero {
+		t.Fatal("rate never dropped to zero during checkpoint")
+	}
+	if !recovered {
+		min, max := shifted.MinMax()
+		t.Fatalf("rate never recovered after checkpoint (range %.0f..%.0f)", min, max)
+	}
+}
+
+func TestBoundedStreamCompletes(t *testing.T) {
+	cl, err := cruz.New(cruz.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpod, _ := cl.NewPod(0, "recv")
+	spod, _ := cl.NewPod(1, "send")
+	recv := NewReceiver(0)
+	rpod.Spawn("receiver", recv)
+	send := NewSender(cruz.AddrPort{Addr: rpod.IP(), Port: DefaultPort})
+	send.TotalBytes = 1 << 20
+	spod.Spawn("sender", send)
+	if !cl.RunUntil(func() bool { return recv.Received >= 1<<20 }, 5*cruz.Second) {
+		t.Fatalf("received %d of %d", recv.Received, 1<<20)
+	}
+	if send.Fault != "" || recv.Fault != "" {
+		t.Fatalf("faults: %q %q", send.Fault, recv.Fault)
+	}
+}

@@ -1,0 +1,159 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"cruz/internal/kernel"
+	"cruz/internal/mem"
+	"cruz/internal/zap"
+)
+
+// Errors returned by capture.
+var (
+	ErrPodNotStopped = errors.New("ckpt: pod must be stopped before capture")
+)
+
+// Options controls a capture.
+type Options struct {
+	// Incremental saves only memory pages dirtied since the previous
+	// capture (kernel state is always saved in full — it is tiny).
+	Incremental bool
+}
+
+// Capture copies a stopped pod's complete state into an Image. The copy
+// is atomic in virtual time (the simulation's equivalent of holding the
+// network-stack locks for the duration of the socket-state save) and
+// non-destructive: the pod can be resumed immediately afterwards.
+//
+// Every capture clears the pod's dirty-page tracking, so a later
+// Incremental capture saves exactly the pages written since this one.
+func Capture(pod *zap.Pod, seq int, opts Options) (*Image, error) {
+	if !pod.Stopped() {
+		return nil, ErrPodNotStopped
+	}
+	kern := pod.Kernel()
+	img := &Image{
+		PodName:     pod.Name(),
+		Seq:         seq,
+		Incremental: opts.Incremental,
+		TakenAt:     kern.Engine().Now(),
+		NextVPID:    pod.NextVPID(),
+		Net: NetImage{
+			IP:        pod.IP(),
+			MAC:       pod.Config().MAC,
+			FakeMAC:   pod.Config().FakeMAC,
+			SharedMAC: pod.SharedMAC(),
+		},
+	}
+	if opts.Incremental {
+		img.BaseSeq = seq - 1
+	}
+
+	// Pipes are shared objects; assign stable ids as we encounter them.
+	pipeIDs := make(map[*kernel.Pipe]int)
+
+	for _, vpid := range pod.VPIDs() {
+		proc := pod.Process(vpid)
+		pi, err := captureProcess(vpid, proc, opts, pipeIDs, img)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: pod %s vpid %d: %w", pod.Name(), vpid, err)
+		}
+		img.Processes = append(img.Processes, pi)
+		proc.Mem().ClearDirty()
+	}
+
+	for _, id := range pod.ShmIDs() {
+		s := kern.Shm(id)
+		if s == nil {
+			continue
+		}
+		img.Shms = append(img.Shms, ShmImage{ID: s.ID, Key: s.Key, Size: s.Size, Contents: s.Contents()})
+	}
+	for _, id := range pod.SemIDs() {
+		s := kern.Sem(id)
+		if s == nil {
+			continue
+		}
+		img.Sems = append(img.Sems, SemImage{ID: s.ID, Key: s.Key, Value: s.Value()})
+	}
+	return img, nil
+}
+
+// captureProcess saves one process: program state, memory, descriptors,
+// and pending signals.
+func captureProcess(vpid int, proc *kernel.Process, opts Options, pipeIDs map[*kernel.Pipe]int, img *Image) (ProcImage, error) {
+	pi := ProcImage{
+		VPID:    vpid,
+		Name:    proc.Name(),
+		Signals: proc.PendingSignals(),
+		CPUTime: proc.CPUTime(),
+	}
+
+	// "CPU state": the program value, gob-encoded.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&progHolder{P: proc.Program()}); err != nil {
+		return pi, fmt.Errorf("encode program (did you ckpt.RegisterProgram it?): %w", err)
+	}
+	pi.ProgData = buf.Bytes()
+
+	// Virtual memory: regions always, pages full or dirty-only.
+	as := proc.Mem()
+	pi.Memory.Regions = as.Regions()
+	pns := as.PageNumbers(opts.Incremental)
+	pi.Memory.PageNums = pns
+	pi.Memory.PageData = make([]byte, 0, len(pns)*mem.PageSize)
+	for _, pn := range pns {
+		pi.Memory.PageData = append(pi.Memory.PageData, as.PageData(pn)...)
+	}
+
+	// Descriptors, in fd order for determinism.
+	fds := proc.FDs()
+	nums := make([]int, 0, len(fds))
+	for n := range fds {
+		nums = append(nums, n)
+	}
+	sortInts(nums)
+	for _, n := range nums {
+		fd := fds[n]
+		fi := FDImage{Num: n, Kind: fd.Kind()}
+		switch fd.Kind() {
+		case kernel.FDConn:
+			st, err := fd.Conn().CaptureState()
+			if err != nil {
+				return pi, fmt.Errorf("fd %d: %w", n, err)
+			}
+			fi.Conn = st
+		case kernel.FDListener:
+			fi.Listener = fd.Listener().CaptureState()
+		case kernel.FDUDP:
+			u := fd.UDP()
+			fi.UDP = &UDPImage{
+				Local:     u.LocalAddr(),
+				Broadcast: u.Broadcast,
+				Queue:     u.PendingMessages(),
+			}
+		case kernel.FDPipeRead, kernel.FDPipeWrite:
+			p := fd.PipeObj()
+			id, ok := pipeIDs[p]
+			if !ok {
+				id = len(pipeIDs) + 1
+				pipeIDs[p] = id
+				img.Pipes = append(img.Pipes, PipeImage{ID: id, Buffer: p.Buffered()})
+			}
+			fi.PipeID = id
+		}
+		pi.FDs = append(pi.FDs, fi)
+	}
+	return pi, nil
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package ckpt implements single-pod checkpoint and restart: capturing a
+// stopped pod's complete state — program state ("CPU registers"), virtual
+// memory, file descriptors including live TCP connections with their
+// buffer contents, pipes, System-V IPC, pending signals, and the pod's
+// network identity — into a serializable image, and reconstructing a
+// running pod from such an image on any node (§3, §4 of the paper).
+//
+// The checkpoint is non-destructive: after Capture the pod can simply be
+// resumed. Restore creates brand-new kernel objects (new physical pids,
+// new socket structures); the Zap virtualization layer masks every
+// identifier change from the application.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"cruz/internal/ether"
+	"cruz/internal/kernel"
+	"cruz/internal/mem"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+)
+
+// RegisterProgram must be called (once, at init time) for every concrete
+// Program type that will be checkpointed, so its state can travel through
+// gob. This mirrors the real-world requirement that checkpointable code
+// be compiled into the restoring binary.
+func RegisterProgram(p kernel.Program) { gob.Register(p) }
+
+// progHolder lets gob encode the Program interface value.
+type progHolder struct {
+	P kernel.Program
+}
+
+// MemImage is a saved address space. Page contents are stored as one
+// contiguous blob (PageData[i*PageSize:(i+1)*PageSize] belongs to page
+// PageNums[i]) so serialization costs a bulk copy instead of per-page
+// reflection — checkpoint images are ~100 MB in the paper's workloads.
+type MemImage struct {
+	Regions  []mem.Region
+	PageNums []uint64
+	PageData []byte
+}
+
+// AddPage appends one page to the image.
+func (m *MemImage) AddPage(pn uint64, data []byte) {
+	m.PageNums = append(m.PageNums, pn)
+	m.PageData = append(m.PageData, data...)
+}
+
+// Page returns the contents of the i-th stored page.
+func (m *MemImage) Page(i int) []byte {
+	return m.PageData[i*mem.PageSize : (i+1)*mem.PageSize]
+}
+
+// NumPages returns the stored page count.
+func (m *MemImage) NumPages() int { return len(m.PageNums) }
+
+// UDPImage is a saved UDP socket.
+type UDPImage struct {
+	Local     tcpip.AddrPort
+	Broadcast bool
+	Queue     []tcpip.UDPMessage
+}
+
+// FDImage is one saved descriptor-table slot. Exactly one of the payload
+// fields is set, per Kind.
+type FDImage struct {
+	Num  int
+	Kind kernel.FDKind
+
+	Conn     *tcpip.TCPSavedState
+	Listener *tcpip.TCPListenerState
+	UDP      *UDPImage
+	PipeID   int // for FDPipeRead / FDPipeWrite
+}
+
+// PipeImage is one saved pipe (topology entries in FDImage refer to ID).
+type PipeImage struct {
+	ID     int
+	Buffer []byte
+}
+
+// ProcImage is one saved process.
+type ProcImage struct {
+	VPID     int
+	Name     string
+	ProgData []byte // gob-encoded progHolder
+	Memory   MemImage
+	FDs      []FDImage
+	Signals  []kernel.Signal
+	CPUTime  sim.Duration
+}
+
+// ShmImage is one saved shared-memory segment.
+type ShmImage struct {
+	ID, Key, Size int
+	Contents      []byte
+}
+
+// SemImage is one saved semaphore.
+type SemImage struct {
+	ID, Key, Value int
+}
+
+// NetImage is the pod's saved network identity.
+type NetImage struct {
+	IP      tcpip.Addr
+	MAC     ether.MAC
+	FakeMAC ether.MAC
+	// SharedMAC records the no-multi-MAC mode; on restore at a new node
+	// the VIF then adopts that node's physical MAC and relies on
+	// gratuitous ARP (§4.2's alternate solution).
+	SharedMAC bool
+}
+
+// Image is a complete pod checkpoint.
+type Image struct {
+	PodName string
+	Seq     int // checkpoint sequence number, monotonically increasing
+	BaseSeq int // for incremental images: the Seq this delta applies to
+	// Incremental marks an image holding only pages dirtied since
+	// BaseSeq (plus full kernel state, which is small).
+	Incremental bool
+	TakenAt     sim.Time
+
+	Net       NetImage
+	NextVPID  int
+	Processes []ProcImage
+	Shms      []ShmImage
+	Sems      []SemImage
+	Pipes     []PipeImage
+}
+
+// Encode serializes the image, returning the byte stream a store writes
+// to disk.
+func (img *Image) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("ckpt: encode image: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeImage parses an encoded image.
+func DecodeImage(b []byte) (*Image, error) {
+	var img Image
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("ckpt: decode image: %w", err)
+	}
+	return &img, nil
+}
+
+// MemoryBytes returns the total page payload in the image — the dominant
+// component of checkpoint size and hence of checkpoint latency (§6).
+func (img *Image) MemoryBytes() int64 {
+	var n int64
+	for _, p := range img.Processes {
+		n += int64(len(p.Memory.PageData))
+	}
+	for _, s := range img.Shms {
+		n += int64(len(s.Contents))
+	}
+	return n
+}
+
+// Merge applies an incremental image on top of a (merged) base, producing
+// a self-contained image equivalent to a full checkpoint at the
+// increment's time. Kernel state (sockets, fds, signals, IPC values)
+// comes wholly from the increment; only memory pages merge.
+func Merge(base, inc *Image) (*Image, error) {
+	if !inc.Incremental {
+		return inc, nil
+	}
+	if base == nil || base.PodName != inc.PodName || inc.BaseSeq != base.Seq {
+		return nil, fmt.Errorf("ckpt: increment %s/%d does not apply to base %v",
+			inc.PodName, inc.Seq, base)
+	}
+	out := *inc
+	out.Incremental = false
+	out.BaseSeq = 0
+	out.Processes = make([]ProcImage, len(inc.Processes))
+	baseByVPID := make(map[int]*ProcImage)
+	for i := range base.Processes {
+		baseByVPID[base.Processes[i].VPID] = &base.Processes[i]
+	}
+	for i, p := range inc.Processes {
+		merged := p
+		if bp, ok := baseByVPID[p.VPID]; ok {
+			pages := make(map[uint64][]byte, bp.Memory.NumPages()+p.Memory.NumPages())
+			for j, pn := range bp.Memory.PageNums {
+				pages[pn] = bp.Memory.Page(j)
+			}
+			for j, pn := range p.Memory.PageNums {
+				pages[pn] = p.Memory.Page(j)
+			}
+			// Deterministic page order.
+			pns := make([]uint64, 0, len(pages))
+			for pn := range pages {
+				pns = append(pns, pn)
+			}
+			sortUint64(pns)
+			merged.Memory.PageNums = nil
+			merged.Memory.PageData = make([]byte, 0, len(pns)*mem.PageSize)
+			for _, pn := range pns {
+				merged.Memory.AddPage(pn, pages[pn])
+			}
+		}
+		out.Processes[i] = merged
+	}
+	return &out, nil
+}
+
+func sortUint64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

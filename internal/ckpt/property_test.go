@@ -1,0 +1,216 @@
+package ckpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"cruz/internal/kernel"
+	"cruz/internal/mem"
+	"cruz/internal/sim"
+	"cruz/internal/zap"
+)
+
+func init() {
+	RegisterProgram(&chaosProg{})
+}
+
+// chaosProg performs a seeded random walk over the checkpointable state
+// surface: memory writes, pipe traffic, shm/sem updates, and a rolling
+// FNV-style digest of everything it has done. Because the walk is
+// deterministic in (Seed, Iters), two instances that executed the same
+// number of iterations must have identical digests — which is exactly
+// what a checkpoint-restore cycle has to preserve.
+type chaosProg struct {
+	Seed     int64
+	MaxIters uint64
+	Iters    uint64
+
+	Heap   uint64
+	RFD    int
+	WFD    int
+	Shm    int
+	Sem    int
+	Init   bool
+	Digest uint64
+	Fault  string
+}
+
+const chaosHeapPages = 32
+
+func (p *chaosProg) mix(v uint64) {
+	if p.Digest == 0 {
+		p.Digest = 1469598103934665603
+	}
+	p.Digest ^= v
+	p.Digest *= 1099511628211
+}
+
+// rng rebuilds the deterministic stream positioned at the current
+// iteration. (Programs cannot hold *rand.Rand across checkpoints — it is
+// not serializable — so the stream is derived per step.)
+func (p *chaosProg) rng() *rand.Rand {
+	return rand.New(rand.NewSource(p.Seed ^ int64(p.Iters*2654435761)))
+}
+
+func (p *chaosProg) fail(m string) kernel.StepResult {
+	p.Fault = m
+	return kernel.Exit(0, 2)
+}
+
+func (p *chaosProg) Step(ctx *kernel.ProcContext) kernel.StepResult {
+	if !p.Init {
+		base, err := ctx.Mem().Alloc(chaosHeapPages*mem.PageSize, "chaos")
+		if err != nil {
+			return p.fail("alloc")
+		}
+		p.Heap = base
+		r, w, err := ctx.Pipe()
+		if err != nil {
+			return p.fail("pipe")
+		}
+		p.RFD, p.WFD = r, w
+		if p.Shm, err = ctx.ShmGet(7, 4096); err != nil {
+			return p.fail("shm")
+		}
+		if p.Sem, err = ctx.SemGet(8, 1); err != nil {
+			return p.fail("sem")
+		}
+		p.Init = true
+		return kernel.Continue(0)
+	}
+	if p.Iters >= p.MaxIters {
+		// Pinned: hold the final state for inspection.
+		return kernel.Sleep(0, sim.Second)
+	}
+	rng := p.rng()
+	switch rng.Intn(5) {
+	case 0: // memory write + read-back into digest
+		off := uint64(rng.Intn(chaosHeapPages * mem.PageSize / 8 * 8))
+		off -= off % 8
+		val := rng.Uint64()
+		if err := ctx.Mem().WriteUint64(p.Heap+off, val); err != nil {
+			return p.fail("mem write")
+		}
+		got, err := ctx.Mem().ReadUint64(p.Heap + off)
+		if err != nil || got != val {
+			return p.fail("mem readback")
+		}
+		p.mix(got)
+	case 1: // pipe write (bounded so it never blocks forever)
+		b := make([]byte, rng.Intn(200)+1)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		if n, err := ctx.Send(p.WFD, b); err == nil {
+			p.mix(uint64(n))
+		}
+	case 2: // pipe read
+		b := make([]byte, 256)
+		if n, err := ctx.Recv(p.RFD, b, false); err == nil {
+			for _, by := range b[:n] {
+				p.mix(uint64(by))
+			}
+		}
+	case 3: // shm update under the semaphore
+		if err := ctx.SemOp(p.Sem, -1); err == nil {
+			var cell [8]byte
+			ctx.ShmRead(p.Shm, 16, cell[:])
+			cell[0]++
+			ctx.ShmWrite(p.Shm, 16, cell[:])
+			ctx.SemOp(p.Sem, 1)
+			p.mix(uint64(cell[0]))
+		}
+	case 4: // pure digest churn
+		p.mix(rng.Uint64())
+	}
+	p.Iters++
+	return kernel.Sleep(sim.Duration(rng.Intn(int(50*sim.Microsecond))), sim.Duration(rng.Intn(int(200*sim.Microsecond))))
+}
+
+// TestPropertyCheckpointTransparency is the core transparency property:
+// a program that is checkpointed, destroyed, and restored at random
+// points must end in exactly the state of an uninterrupted run with the
+// same seed, compared at equal iteration counts via the rolling digest.
+func TestPropertyCheckpointTransparency(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			const targetIters = 400
+
+			// Reference: uninterrupted run to targetIters.
+			refDigest := runChaos(t, seed, nil, targetIters)
+
+			// Interrupted: 3 checkpoint-restore cycles at random points.
+			rng := rand.New(rand.NewSource(seed * 977))
+			var cuts []uint64
+			for i := 0; i < 3; i++ {
+				cuts = append(cuts, uint64(rng.Intn(targetIters*3/4))+1)
+			}
+			gotDigest := runChaos(t, seed, cuts, targetIters)
+
+			if refDigest != gotDigest {
+				t.Fatalf("seed %d: digest diverged after checkpoint-restore cycles: %x vs %x",
+					seed, refDigest, gotDigest)
+			}
+		})
+	}
+}
+
+// runChaos executes a chaosProg to exactly iters iterations, performing a
+// checkpoint-destroy-restore cycle whenever the iteration count passes one
+// of cuts (ascending order not required). Returns the final digest.
+func runChaos(t *testing.T, seed int64, cuts []uint64, iters uint64) uint64 {
+	t.Helper()
+	r := newRig(t, 2)
+	pod, err := zap.New(r.kernels[0], "chaos", zap.NetConfig{IP: podIP(0), MAC: podMAC(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &chaosProg{Seed: seed, MaxIters: iters}
+	if _, err := pod.Spawn("chaos", prog); err != nil {
+		t.Fatal(err)
+	}
+	r.run(2 * sim.Millisecond)
+	pod.TrackShm(prog.Shm)
+	pod.TrackSem(prog.Sem)
+
+	seq := 0
+	cur := prog
+	pending := append([]uint64(nil), cuts...)
+	kernIdx := 0
+	for i := 0; i < 100000; i++ {
+		if cur.Fault != "" {
+			t.Fatalf("chaos fault: %s", cur.Fault)
+		}
+		if cur.Iters >= iters {
+			return cur.Digest
+		}
+		// Time to cut?
+		cut := false
+		for j, c := range pending {
+			if cur.Iters >= c {
+				pending = append(pending[:j], pending[j+1:]...)
+				cut = true
+				break
+			}
+		}
+		if cut {
+			seq++
+			img := r.stopAndCapture(pod, seq, Options{})
+			pod.Destroy()
+			// Alternate target node to exercise cross-node restore.
+			kernIdx = 1 - kernIdx
+			pod2, rerr := Restore(r.kernels[kernIdx], img)
+			if rerr != nil {
+				t.Fatalf("restore: %v", rerr)
+			}
+			pod2.Resume()
+			pod = pod2
+			cur = pod.Process(1).Program().(*chaosProg)
+			continue
+		}
+		r.run(sim.Millisecond)
+	}
+	t.Fatalf("chaos run never reached %d iterations (at %d)", iters, cur.Iters)
+	return 0
+}

@@ -1,0 +1,146 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+
+	"cruz/internal/kernel"
+)
+
+// ErrNoImage is returned when a requested checkpoint does not exist.
+var ErrNoImage = errors.New("ckpt: no such image")
+
+// Store is checkpoint stable storage: a network-accessible file system
+// holding encoded images (the paper relies on such a file system being
+// reachable from any machine the application may restart on, and notes
+// checkpoint latency "is dominated by the time to write this state to
+// disk"). All Save/Load timing flows through the store's disk; the
+// network path to it is assumed faster than the disk and not modeled
+// separately.
+type Store struct {
+	disk   *kernel.Disk
+	blobs  map[string]map[int][]byte
+	images map[string]map[int]*Image // decoded metadata (Seq/BaseSeq chain)
+	latest map[string]int
+}
+
+// NewStore creates a store backed by the given disk.
+func NewStore(disk *kernel.Disk) *Store {
+	return &Store{
+		disk:   disk,
+		blobs:  make(map[string]map[int][]byte),
+		images: make(map[string]map[int]*Image),
+		latest: make(map[string]int),
+	}
+}
+
+// Save encodes the image and writes it through the disk, invoking done
+// with the encoded size when the write completes. Encoding errors are
+// reported synchronously through done as well.
+func (s *Store) Save(img *Image, done func(size int64, err error)) {
+	blob, err := img.Encode()
+	if err != nil {
+		done(0, err)
+		return
+	}
+	if s.blobs[img.PodName] == nil {
+		s.blobs[img.PodName] = make(map[int][]byte)
+		s.images[img.PodName] = make(map[int]*Image)
+	}
+	s.blobs[img.PodName][img.Seq] = blob
+	s.images[img.PodName][img.Seq] = img
+	if img.Seq > s.latest[img.PodName] {
+		s.latest[img.PodName] = img.Seq
+	}
+	size := int64(len(blob))
+	s.disk.Write(size, func() { done(size, nil) })
+}
+
+// LatestSeq returns the highest stored sequence number for a pod.
+func (s *Store) LatestSeq(pod string) (int, bool) {
+	seq, ok := s.latest[pod]
+	return seq, ok
+}
+
+// Size returns the encoded size of one stored image.
+func (s *Store) Size(pod string, seq int) (int64, error) {
+	blob, ok := s.blobs[pod][seq]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq)
+	}
+	return int64(len(blob)), nil
+}
+
+// Load reads and decodes one image through the disk, invoking done when
+// the read completes. Incremental images are returned as-is; use
+// LoadMerged to resolve a chain.
+func (s *Store) Load(pod string, seq int, done func(*Image, error)) {
+	blob, ok := s.blobs[pod][seq]
+	if !ok {
+		done(nil, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq))
+		return
+	}
+	s.disk.Read(int64(len(blob)), func() {
+		img, err := DecodeImage(blob)
+		done(img, err)
+	})
+}
+
+// LoadMerged reads the image at seq and, if it is incremental, every
+// image back to its full base, merging them into one self-contained
+// image. The disk read time covers the whole chain.
+func (s *Store) LoadMerged(pod string, seq int, done func(*Image, error)) {
+	metas := s.images[pod]
+	if metas == nil {
+		done(nil, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq))
+		return
+	}
+	// Walk the chain from seq down to the full base.
+	var chain []int
+	var total int64
+	cur := seq
+	for {
+		meta, ok := metas[cur]
+		if !ok {
+			done(nil, fmt.Errorf("%w: %s/%d (chain from %d)", ErrNoImage, pod, cur, seq))
+			return
+		}
+		chain = append(chain, cur)
+		total += int64(len(s.blobs[pod][cur]))
+		if !meta.Incremental {
+			break
+		}
+		cur = meta.BaseSeq
+	}
+	s.disk.Read(total, func() {
+		// Decode base-first, merging upward.
+		merged, err := DecodeImage(s.blobs[pod][chain[len(chain)-1]])
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		for i := len(chain) - 2; i >= 0; i-- {
+			inc, derr := DecodeImage(s.blobs[pod][chain[i]])
+			if derr != nil {
+				done(nil, derr)
+				return
+			}
+			merged, derr = Merge(merged, inc)
+			if derr != nil {
+				done(nil, derr)
+				return
+			}
+		}
+		done(merged, nil)
+	})
+}
+
+// LoadLatest resolves the newest image (merging any incremental chain).
+func (s *Store) LoadLatest(pod string, done func(*Image, error)) {
+	seq, ok := s.LatestSeq(pod)
+	if !ok {
+		done(nil, fmt.Errorf("%w: %s", ErrNoImage, pod))
+		return
+	}
+	s.LoadMerged(pod, seq, done)
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cruz/internal/ckpt"
+	"cruz/internal/ctl"
+	"cruz/internal/kernel"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+	"cruz/internal/zap"
+)
+
+// DefaultControlPort is the agents' control port.
+const DefaultControlPort = 7077
+
+// AgentParams models the agent daemon's local costs.
+type AgentParams struct {
+	// Port is the TCP control port the agent listens on.
+	Port uint16
+	// MsgCost is the CPU cost of handling one control message
+	// (decode, dispatch, encode of the reply).
+	MsgCost sim.Duration
+	// FilterCost is the cost of installing or removing the packet-filter
+	// rule that disables the pod's communication.
+	FilterCost sim.Duration
+	// CaptureCost is the in-kernel cost of walking process and socket
+	// structures during the state copy (the short window the paper
+	// holds the network-stack locks for).
+	CaptureCost sim.Duration
+}
+
+// DefaultAgentParams returns costs calibrated for the paper's testbed.
+func DefaultAgentParams() AgentParams {
+	return AgentParams{
+		Port:        DefaultControlPort,
+		MsgCost:     60 * sim.Microsecond,
+		FilterCost:  5 * sim.Microsecond,
+		CaptureCost: 150 * sim.Microsecond,
+	}
+}
+
+// Errors surfaced by agents.
+var (
+	ErrUnknownPod = errors.New("core: agent does not manage that pod")
+	ErrBusy       = errors.New("core: operation already in progress for pod")
+)
+
+// Agent is the per-node checkpoint daemon. It runs outside any pod (so
+// disabling a pod's communication never cuts the coordinator channel; see
+// the paper's footnote 4) and executes the local steps of Fig. 2.
+type Agent struct {
+	kern   *kernel.Kernel
+	store  *ckpt.Store
+	params AgentParams
+	cpu    ctl.Serializer
+
+	pods     map[string]*zap.Pod
+	ops      map[string]*agentOp
+	listener *tcpip.TCPListener
+
+	// Stats counts agent activity.
+	Stats AgentStats
+}
+
+// AgentStats counts agent activity.
+type AgentStats struct {
+	Checkpoints uint64
+	Restores    uint64
+	Aborts      uint64
+}
+
+// agentOp tracks one in-progress checkpoint or restart for a pod.
+type agentOp struct {
+	seq       int
+	optimized bool
+	cow       bool
+	t0        sim.Time
+	stoppedAt sim.Time
+	conn      *ctlConn
+	aborted   bool
+	captured  bool
+	saveDone  bool
+	contRecvd bool
+	resumed   bool
+	filterID  int
+}
+
+// NewAgent starts an agent on the node, listening on its control port.
+// Images are written to and read from store (the node's local disk in the
+// cluster-file-system arrangement the paper assumes).
+func NewAgent(kern *kernel.Kernel, store *ckpt.Store, params AgentParams) (*Agent, error) {
+	a := &Agent{
+		kern:   kern,
+		store:  store,
+		params: params,
+		cpu:    ctl.Serializer{Engine: kern.Engine()},
+		pods:   make(map[string]*zap.Pod),
+		ops:    make(map[string]*agentOp),
+	}
+	addr, ok := kern.Stack().FirstAddr()
+	if !ok {
+		return nil, tcpip.ErrNoRoute
+	}
+	l, err := kern.Stack().ListenTCP(tcpip.AddrPort{Addr: addr, Port: params.Port}, 16)
+	if err != nil {
+		return nil, fmt.Errorf("core: agent listen: %w", err)
+	}
+	a.listener = l
+	l.SetNotify(a.acceptLoop)
+	return a, nil
+}
+
+// Addr returns the agent's control endpoint.
+func (a *Agent) Addr() tcpip.AddrPort { return a.listener.LocalAddr() }
+
+// Store returns the agent's checkpoint store.
+func (a *Agent) Store() *ckpt.Store { return a.store }
+
+// Kernel returns the node the agent runs on.
+func (a *Agent) Kernel() *kernel.Kernel { return a.kern }
+
+// Manage registers a pod with the agent so coordinated operations can
+// address it by name.
+func (a *Agent) Manage(pod *zap.Pod) { a.pods[pod.Name()] = pod }
+
+// Pod returns a managed pod by name, or nil.
+func (a *Agent) Pod(name string) *zap.Pod { return a.pods[name] }
+
+// acceptLoop accepts coordinator connections.
+func (a *Agent) acceptLoop() {
+	for {
+		tc, err := a.listener.Accept()
+		if err != nil {
+			return
+		}
+		newCtlConn(tc, a.onMsg, nil)
+	}
+}
+
+// onMsg dispatches a coordinator message.
+func (a *Agent) onMsg(c *ctlConn, m *wireMsg) {
+	a.cpu.Do(a.params.MsgCost, func() {
+		switch m.Type {
+		case msgCheckpoint:
+			a.startCheckpoint(c, m)
+		case msgContinue:
+			a.handleContinue(c, m)
+		case msgRestart:
+			a.startRestart(c, m)
+		case msgAbort:
+			a.handleAbort(m)
+		}
+	})
+}
+
+// fail reports an operation failure for a pod.
+func (a *Agent) fail(c *ctlConn, t msgType, m *wireMsg, err error) {
+	c.send(&wireMsg{Type: t, Seq: m.Seq, Pod: m.Pod, Err: err.Error()})
+}
+
+// startCheckpoint runs the Agent steps of Fig. 2 (or Fig. 4 when
+// optimized): disable communication, stop the pod, save its state, report
+// done.
+func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
+	pod, ok := a.pods[m.Pod]
+	if !ok || pod.Destroyed() {
+		a.fail(c, msgDone, m, ErrUnknownPod)
+		return
+	}
+	if _, busy := a.ops[m.Pod]; busy {
+		a.fail(c, msgDone, m, ErrBusy)
+		return
+	}
+	op := &agentOp{seq: m.Seq, optimized: m.Optimized, cow: m.COW, t0: a.kern.Engine().Now(), conn: c}
+	a.ops[m.Pod] = op
+	a.Stats.Checkpoints++
+
+	// Step 1: configure the filter to silently drop all pod traffic.
+	a.cpu.Do(a.params.FilterCost, func() {
+		op.filterID = a.kern.Stack().Filter().AddDropAddr(pod.IP())
+		if op.optimized && !op.cow {
+			// Fig. 4: notify as soon as communication is disabled,
+			// without waiting for the local save.
+			c.send(&wireMsg{Type: msgCommDisabled, Seq: m.Seq, Pod: m.Pod})
+		}
+		// Step 2: stop the pod's processes and take the local checkpoint.
+		pod.Stop(func() {
+			if op.aborted {
+				return
+			}
+			op.stoppedAt = a.kern.Engine().Now()
+			a.cpu.Do(a.params.CaptureCost, func() {
+				if op.aborted {
+					return
+				}
+				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: m.Incremental})
+				if err != nil {
+					a.abortLocal(m.Pod, pod, op)
+					a.fail(c, msgDone, m, err)
+					return
+				}
+				op.captured = true
+				if op.cow {
+					// §5.2 copy-on-write optimization: the captured copy
+					// is consistent the moment it exists; the pod may
+					// resume (once the coordinator confirms every node
+					// has captured) while the image write proceeds from
+					// the snapshot.
+					c.send(&wireMsg{Type: msgCommDisabled, Seq: m.Seq, Pod: m.Pod})
+					a.maybeFinishContinue(m.Pod, pod, op)
+				}
+				a.store.Save(img, func(size int64, err error) {
+					if op.aborted {
+						return
+					}
+					if err != nil {
+						a.abortLocal(m.Pod, pod, op)
+						a.fail(c, msgDone, m, err)
+						return
+					}
+					op.saveDone = true
+					// Step 3: send <done>.
+					c.send(&wireMsg{
+						Type:          msgDone,
+						Seq:           m.Seq,
+						Pod:           m.Pod,
+						LocalDuration: a.kern.Engine().Now().Sub(op.t0),
+						ImageBytes:    size,
+					})
+					if op.resumed {
+						// COW: the pod resumed before the write finished;
+						// the operation completes here.
+						delete(a.ops, m.Pod)
+						return
+					}
+					a.maybeFinishContinue(m.Pod, pod, op)
+				})
+			})
+		})
+	})
+}
+
+// handleContinue implements Steps 5-7: resume the pod, re-enable its
+// communication, acknowledge. Under the Fig. 4 optimization the continue
+// may arrive before the local save completes; the pod then resumes the
+// moment its own save is done.
+func (a *Agent) handleContinue(c *ctlConn, m *wireMsg) {
+	pod, ok := a.pods[m.Pod]
+	op := a.ops[m.Pod]
+	if !ok || op == nil || op.seq != m.Seq {
+		a.fail(c, msgContinueDone, m, ErrUnknownPod)
+		return
+	}
+	op.contRecvd = true
+	a.maybeFinishContinue(m.Pod, pod, op)
+}
+
+// maybeFinishContinue resumes once the coordinator's permission is in
+// and the local state is safe: fully saved, or — under copy-on-write —
+// merely captured (the write continues from the snapshot).
+func (a *Agent) maybeFinishContinue(name string, pod *zap.Pod, op *agentOp) {
+	localSafe := op.saveDone || (op.cow && op.captured)
+	if !localSafe || !op.contRecvd || op.resumed || op.aborted {
+		return
+	}
+	op.resumed = true
+	t0 := a.kern.Engine().Now()
+	a.cpu.Do(a.params.FilterCost, func() {
+		pod.Resume()
+		a.kern.Stack().Filter().RemoveRule(op.filterID)
+		if op.saveDone {
+			delete(a.ops, name)
+		}
+		op.conn.send(&wireMsg{
+			Type:            msgContinueDone,
+			Seq:             op.seq,
+			Pod:             name,
+			LocalDuration:   a.kern.Engine().Now().Sub(t0) + a.params.MsgCost,
+			BlockedDuration: a.kern.Engine().Now().Sub(op.stoppedAt),
+		})
+	})
+}
+
+// startRestart performs the local restart: disable communication for the
+// pod's address before restoring (so restored TCP state cannot transmit
+// prematurely, §5), load and restore the image, report done. The pod
+// resumes on <continue>.
+func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
+	if _, busy := a.ops[m.Pod]; busy {
+		a.fail(c, msgRestartDone, m, ErrBusy)
+		return
+	}
+	op := &agentOp{seq: m.Seq, t0: a.kern.Engine().Now(), conn: c, saveDone: true}
+	a.ops[m.Pod] = op
+	a.Stats.Restores++
+
+	load := func(done func(*ckpt.Image, error)) {
+		if m.Seq > 0 {
+			a.store.LoadMerged(m.Pod, m.Seq, done)
+		} else {
+			a.store.LoadLatest(m.Pod, done)
+		}
+	}
+	load(func(img *ckpt.Image, err error) {
+		if op.aborted {
+			return
+		}
+		if err != nil {
+			delete(a.ops, m.Pod)
+			a.fail(c, msgRestartDone, m, err)
+			return
+		}
+		// Disable communication for the pod's address first.
+		a.cpu.Do(a.params.FilterCost+a.params.CaptureCost, func() {
+			if op.aborted {
+				return
+			}
+			op.filterID = a.kern.Stack().Filter().AddDropAddr(img.Net.IP)
+			pod, rerr := ckpt.Restore(a.kern, img)
+			if rerr != nil {
+				a.kern.Stack().Filter().RemoveRule(op.filterID)
+				delete(a.ops, m.Pod)
+				a.fail(c, msgRestartDone, m, rerr)
+				return
+			}
+			a.pods[m.Pod] = pod
+			op.seq = m.Seq
+			c.send(&wireMsg{
+				Type:          msgRestartDone,
+				Seq:           m.Seq,
+				Pod:           m.Pod,
+				LocalDuration: a.kern.Engine().Now().Sub(op.t0),
+				ImageBytes:    img.MemoryBytes(),
+			})
+		})
+	})
+}
+
+// handleAbort rolls back an in-progress operation: remove the filter,
+// resume the pod, forget the op. Any image already written stays in the
+// store but is never committed by the coordinator.
+func (a *Agent) handleAbort(m *wireMsg) {
+	op := a.ops[m.Pod]
+	if op == nil {
+		return
+	}
+	pod := a.pods[m.Pod]
+	a.abortLocal(m.Pod, pod, op)
+}
+
+func (a *Agent) abortLocal(name string, pod *zap.Pod, op *agentOp) {
+	op.aborted = true
+	a.Stats.Aborts++
+	if op.filterID != 0 {
+		a.kern.Stack().Filter().RemoveRule(op.filterID)
+	}
+	if pod != nil && pod.Stopped() {
+		pod.Resume()
+	}
+	delete(a.ops, name)
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cruz/internal/ctl"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+)
+
+// Errors surfaced by the coordinator.
+var (
+	ErrOpInProgress = errors.New("core: an operation is already in progress for this job")
+	ErrAborted      = errors.New("core: operation aborted")
+	ErrAgentFailed  = errors.New("core: agent reported failure")
+	ErrNotConnected = errors.New("core: agent connection not established")
+)
+
+// Member is one piece of a distributed job: the pod and the agent that
+// manages it. The paper uses "node" and "pod" interchangeably (§5).
+type Member struct {
+	Pod   string
+	Agent tcpip.AddrPort
+}
+
+// Job names a distributed application: a set of pods across nodes that
+// must checkpoint and restart consistently.
+type Job struct {
+	Name    string
+	Members []Member
+}
+
+// CoordinatorParams models the coordinator daemon's costs.
+type CoordinatorParams struct {
+	// MsgCost is the CPU cost to build/send or receive/process one
+	// control message. The coordinator is single-threaded, so fan-out to
+	// N agents serializes — the origin of the per-node coordination
+	// overhead slope in Fig. 5(b).
+	MsgCost sim.Duration
+	// Timeout aborts an operation if agents stay silent this long
+	// (0 disables; the failure-handling extension of §5).
+	Timeout sim.Duration
+}
+
+// DefaultCoordinatorParams returns testbed-calibrated costs.
+func DefaultCoordinatorParams() CoordinatorParams {
+	return CoordinatorParams{MsgCost: 20 * sim.Microsecond}
+}
+
+// CheckpointOptions selects the protocol variant.
+type CheckpointOptions struct {
+	// Optimized selects the Fig. 4 early-continue protocol.
+	Optimized bool
+	// Incremental saves only pages dirtied since the previous capture.
+	Incremental bool
+	// COW selects the §5.2 copy-on-write optimization: pods resume as
+	// soon as every node has *captured* its state, overlapping the image
+	// writes with application execution.
+	COW bool
+}
+
+// PodReport is one agent's reported local timings.
+type PodReport struct {
+	Pod           string
+	LocalDuration sim.Duration
+	ImageBytes    int64
+}
+
+// CheckpointResult carries the measurements the paper's evaluation
+// reports.
+type CheckpointResult struct {
+	Seq int
+	// Latency is Fig. 5(a)'s metric: first <checkpoint> sent to last
+	// <done> received at the coordinator.
+	Latency sim.Duration
+	// CycleLatency extends to the last <continue-done>.
+	CycleLatency sim.Duration
+	// MaxLocalCheckpoint and MaxLocalContinue are the slowest agents'
+	// local phases.
+	MaxLocalCheckpoint sim.Duration
+	MaxLocalContinue   sim.Duration
+	// MaxBlocked and MinBlocked bound how long pods were actually
+	// frozen — the application-visible disruption. The Fig. 4
+	// optimization shrinks MinBlocked (a fast node no longer waits for
+	// the slowest save); COW shrinks both.
+	MaxBlocked sim.Duration
+	MinBlocked sim.Duration
+	// Overhead is Fig. 5(b)'s metric: CycleLatency minus the global cost
+	// of the local operations (their max across nodes, since they run in
+	// parallel).
+	Overhead sim.Duration
+	// Messages counts control messages sent and received by the
+	// coordinator for this operation — 4N for the blocking protocol,
+	// 5N optimized: O(N), versus O(N²) for flushing baselines.
+	Messages int
+	// TotalImageBytes sums the agents' image sizes.
+	TotalImageBytes int64
+	// PerPod holds each agent's report.
+	PerPod []PodReport
+}
+
+// RestartResult mirrors CheckpointResult for coordinated restart.
+type RestartResult struct {
+	Seq              int
+	Latency          sim.Duration
+	CycleLatency     sim.Duration
+	MaxLocalRestore  sim.Duration
+	MaxLocalContinue sim.Duration
+	Overhead         sim.Duration
+	Messages         int
+	PerPod           []PodReport
+}
+
+// Coordinator drives the global protocol of Fig. 2 / Fig. 4. It runs as
+// a daemon on its own node (distinct from the application nodes, as in
+// the paper's experiments).
+type Coordinator struct {
+	stack  *tcpip.Stack
+	params CoordinatorParams
+	cpu    ctl.Serializer
+
+	conns map[tcpip.AddrPort]*ctlConn
+	op    map[string]*coordOp // job name -> active op
+
+	// committed tracks the last globally committed checkpoint per job —
+	// the atomicity record of the two-phase commit.
+	committed map[string]int
+	nextSeq   map[string]int
+}
+
+type coordOp struct {
+	job        *Job
+	seq        int
+	restart    bool
+	opts       CheckpointOptions
+	t0         sim.Time
+	doneAt     sim.Time
+	pending    map[string]bool // pods with outstanding done
+	disabled   map[string]bool // (optimized) pods with outstanding comm-disabled
+	contPend   map[string]bool
+	maxLocal   sim.Duration
+	maxCont    sim.Duration
+	maxBlocked sim.Duration
+	minBlocked sim.Duration
+	reports    []PodReport
+	msgBase    int
+	timeout    *sim.Event
+	finish     func(*coordOp, error)
+	failed     error
+}
+
+// NewCoordinator creates a coordinator on the given node's stack.
+func NewCoordinator(stack *tcpip.Stack, params CoordinatorParams) *Coordinator {
+	return &Coordinator{
+		stack:     stack,
+		params:    params,
+		cpu:       ctl.Serializer{Engine: stack.Engine()},
+		conns:     make(map[tcpip.AddrPort]*ctlConn),
+		op:        make(map[string]*coordOp),
+		committed: make(map[string]int),
+		nextSeq:   make(map[string]int),
+	}
+}
+
+// CommittedSeq returns the last committed checkpoint sequence for a job.
+func (c *Coordinator) CommittedSeq(job string) (int, bool) {
+	seq, ok := c.committed[job]
+	return seq, ok
+}
+
+// Connect establishes control connections to every agent of the job,
+// invoking done when all are up (or with the first dial error).
+func (c *Coordinator) Connect(job *Job, done func(error)) {
+	remaining := 0
+	var failed error
+	check := func() {
+		if remaining == 0 && done != nil {
+			done(failed)
+			done = nil
+		}
+	}
+	for _, m := range job.Members {
+		addr := m.Agent
+		if _, ok := c.conns[addr]; ok {
+			continue
+		}
+		tc, err := c.stack.DialTCP(tcpip.AddrPort{}, addr)
+		if err != nil {
+			done(err)
+			return
+		}
+		remaining++
+		cc := newCtlConn(tc, c.onMsg, func(_ *ctlConn, err error) { c.onConnError(addr, err) })
+		c.conns[addr] = cc
+		established := false
+		tc.SetNotify(func() {
+			cc.Pump()
+			if !established && tc.Established() {
+				established = true
+				remaining--
+				check()
+			}
+			if err := tc.Err(); err != nil && failed == nil {
+				failed = err
+				remaining = 0
+				check()
+			}
+		})
+	}
+	check()
+}
+
+// onConnError tears down a broken agent connection.
+func (c *Coordinator) onConnError(addr tcpip.AddrPort, _ error) {
+	delete(c.conns, addr)
+}
+
+// connFor finds the member's control connection.
+func (c *Coordinator) connFor(m Member) (*ctlConn, error) {
+	cc, ok := c.conns[m.Agent]
+	if !ok || !cc.TCP().Established() {
+		return nil, fmt.Errorf("%w: %s", ErrNotConnected, m.Agent)
+	}
+	return cc, nil
+}
+
+// msgCount sums message counters across the job's connections.
+func (c *Coordinator) msgCount(job *Job) int {
+	n := 0
+	seen := map[tcpip.AddrPort]bool{}
+	for _, m := range job.Members {
+		if seen[m.Agent] {
+			continue
+		}
+		seen[m.Agent] = true
+		if cc, ok := c.conns[m.Agent]; ok {
+			n += cc.Sent + cc.Received
+		}
+	}
+	return n
+}
+
+// Checkpoint runs one coordinated checkpoint of the job, invoking done
+// with the result.
+func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*CheckpointResult, error)) {
+	if _, busy := c.op[job.Name]; busy {
+		done(nil, ErrOpInProgress)
+		return
+	}
+	c.nextSeq[job.Name]++
+	seq := c.nextSeq[job.Name]
+	op := &coordOp{
+		job:      job,
+		seq:      seq,
+		opts:     opts,
+		t0:       c.stack.Engine().Now(),
+		pending:  make(map[string]bool),
+		disabled: make(map[string]bool),
+		contPend: make(map[string]bool),
+		msgBase:  c.msgCount(job),
+	}
+	op.finish = func(op *coordOp, err error) {
+		delete(c.op, job.Name)
+		if op.timeout != nil {
+			c.stack.Engine().Cancel(op.timeout)
+		}
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		c.committed[job.Name] = op.seq
+		now := c.stack.Engine().Now()
+		res := &CheckpointResult{
+			Seq:                op.seq,
+			Latency:            op.doneAt.Sub(op.t0),
+			CycleLatency:       now.Sub(op.t0),
+			MaxLocalCheckpoint: op.maxLocal,
+			MaxLocalContinue:   op.maxCont,
+			MaxBlocked:         op.maxBlocked,
+			MinBlocked:         op.minBlocked,
+			Messages:           c.msgCount(job) - op.msgBase,
+			PerPod:             op.reports,
+		}
+		res.Overhead = res.CycleLatency - res.MaxLocalCheckpoint - res.MaxLocalContinue
+		for _, r := range op.reports {
+			res.TotalImageBytes += r.ImageBytes
+		}
+		done(res, nil)
+	}
+	c.op[job.Name] = op
+
+	// Step 1: send <checkpoint> to all agents (serialized daemon CPU).
+	for _, m := range job.Members {
+		op.pending[m.Pod] = true
+		op.disabled[m.Pod] = true
+		op.contPend[m.Pod] = true
+		m := m
+		c.cpu.Do(c.params.MsgCost, func() {
+			cc, err := c.connFor(m)
+			if err != nil {
+				c.abortOp(op, err)
+				return
+			}
+			cc.send(&wireMsg{
+				Type:        msgCheckpoint,
+				Seq:         seq,
+				Pod:         m.Pod,
+				Incremental: opts.Incremental,
+				Optimized:   opts.Optimized,
+				COW:         opts.COW,
+			})
+		})
+	}
+	c.armTimeout(op)
+}
+
+// Restart runs a coordinated restart of the job from checkpoint seq
+// (0 = latest committed).
+func (c *Coordinator) Restart(job *Job, seq int, done func(*RestartResult, error)) {
+	if _, busy := c.op[job.Name]; busy {
+		done(nil, ErrOpInProgress)
+		return
+	}
+	if seq == 0 {
+		seq = c.committed[job.Name]
+	}
+	op := &coordOp{
+		job:      job,
+		seq:      seq,
+		restart:  true,
+		t0:       c.stack.Engine().Now(),
+		pending:  make(map[string]bool),
+		contPend: make(map[string]bool),
+		msgBase:  c.msgCount(job),
+	}
+	op.finish = func(op *coordOp, err error) {
+		delete(c.op, job.Name)
+		if op.timeout != nil {
+			c.stack.Engine().Cancel(op.timeout)
+		}
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		now := c.stack.Engine().Now()
+		res := &RestartResult{
+			Seq:              op.seq,
+			Latency:          op.doneAt.Sub(op.t0),
+			CycleLatency:     now.Sub(op.t0),
+			MaxLocalRestore:  op.maxLocal,
+			MaxLocalContinue: op.maxCont,
+			Messages:         c.msgCount(job) - op.msgBase,
+			PerPod:           op.reports,
+		}
+		res.Overhead = res.CycleLatency - res.MaxLocalRestore - res.MaxLocalContinue
+		done(res, nil)
+	}
+	c.op[job.Name] = op
+	for _, m := range job.Members {
+		op.pending[m.Pod] = true
+		op.contPend[m.Pod] = true
+		m := m
+		c.cpu.Do(c.params.MsgCost, func() {
+			cc, err := c.connFor(m)
+			if err != nil {
+				c.abortOp(op, err)
+				return
+			}
+			cc.send(&wireMsg{Type: msgRestart, Seq: seq, Pod: m.Pod})
+		})
+	}
+	c.armTimeout(op)
+}
+
+// armTimeout schedules the failure-handling abort.
+func (c *Coordinator) armTimeout(op *coordOp) {
+	if c.params.Timeout <= 0 {
+		return
+	}
+	op.timeout = c.stack.Engine().Schedule(c.params.Timeout, func() {
+		if c.op[op.job.Name] == op {
+			c.abortOp(op, fmt.Errorf("%w: timeout after %v", ErrAborted, c.params.Timeout))
+		}
+	})
+}
+
+// abortOp sends <abort> to every agent and fails the operation.
+func (c *Coordinator) abortOp(op *coordOp, err error) {
+	if op.failed != nil {
+		return
+	}
+	op.failed = err
+	for _, m := range op.job.Members {
+		m := m
+		c.cpu.Do(c.params.MsgCost, func() {
+			if cc, cerr := c.connFor(m); cerr == nil {
+				cc.send(&wireMsg{Type: msgAbort, Seq: op.seq, Pod: m.Pod})
+			}
+		})
+	}
+	op.finish(op, err)
+}
+
+// opForPod locates the active operation covering a pod report.
+func (c *Coordinator) opForPod(pod string, seq int) *coordOp {
+	for _, op := range c.op {
+		if op.seq != seq || op.failed != nil {
+			continue
+		}
+		for _, m := range op.job.Members {
+			if m.Pod == pod {
+				return op
+			}
+		}
+	}
+	return nil
+}
+
+// onMsg handles agent replies.
+func (c *Coordinator) onMsg(_ *ctlConn, m *wireMsg) {
+	c.cpu.Do(c.params.MsgCost, func() {
+		op := c.opForPod(m.Pod, m.Seq)
+		if op == nil {
+			return
+		}
+		if m.Err != "" {
+			c.abortOp(op, fmt.Errorf("%w: pod %s: %s", ErrAgentFailed, m.Pod, m.Err))
+			return
+		}
+		switch m.Type {
+		case msgCommDisabled:
+			// Fig. 4: all communication disabled -> early continue.
+			if op.disabled[m.Pod] {
+				delete(op.disabled, m.Pod)
+				if (op.opts.Optimized || op.opts.COW) && len(op.disabled) == 0 {
+					c.sendContinue(op)
+				}
+			}
+		case msgDone, msgRestartDone:
+			if !op.pending[m.Pod] {
+				return
+			}
+			delete(op.pending, m.Pod)
+			if m.LocalDuration > op.maxLocal {
+				op.maxLocal = m.LocalDuration
+			}
+			op.reports = append(op.reports, PodReport{
+				Pod:           m.Pod,
+				LocalDuration: m.LocalDuration,
+				ImageBytes:    m.ImageBytes,
+			})
+			if len(op.pending) == 0 {
+				op.doneAt = c.stack.Engine().Now()
+				if (!op.opts.Optimized && !op.opts.COW) || op.restart {
+					c.sendContinue(op)
+				} else if len(op.contPend) == 0 {
+					// COW/optimized: continues may have completed before
+					// the last image write finished.
+					op.finish(op, nil)
+				}
+			}
+		case msgContinueDone:
+			if !op.contPend[m.Pod] {
+				return
+			}
+			delete(op.contPend, m.Pod)
+			if m.LocalDuration > op.maxCont {
+				op.maxCont = m.LocalDuration
+			}
+			if m.BlockedDuration > op.maxBlocked {
+				op.maxBlocked = m.BlockedDuration
+			}
+			if op.minBlocked == 0 || m.BlockedDuration < op.minBlocked {
+				op.minBlocked = m.BlockedDuration
+			}
+			if len(op.contPend) == 0 && len(op.pending) == 0 {
+				op.finish(op, nil)
+			}
+		}
+	})
+}
+
+// sendContinue issues Step 3 of Fig. 2.
+func (c *Coordinator) sendContinue(op *coordOp) {
+	for _, m := range op.job.Members {
+		m := m
+		c.cpu.Do(c.params.MsgCost, func() {
+			if cc, err := c.connFor(m); err == nil {
+				cc.send(&wireMsg{Type: msgContinue, Seq: op.seq, Pod: m.Pod})
+			}
+		})
+	}
+}

@@ -1,0 +1,588 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cruz/internal/ckpt"
+	"cruz/internal/ether"
+	"cruz/internal/kernel"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+	"cruz/internal/zap"
+)
+
+func init() {
+	ckpt.RegisterProgram(&ringWorker{})
+}
+
+// ringWorker is a miniature of the paper's parallel workloads: worker i
+// sends a monotonically increasing round counter to its right neighbour
+// and verifies the counter it receives from its left neighbour increments
+// by exactly one each round. Any message lost, duplicated, or reordered
+// across a checkpoint breaks the sequence and the worker records a fault.
+type ringWorker struct {
+	ID, N   int
+	Port    uint16
+	PeerIP  tcpip.Addr
+	Compute sim.Duration
+
+	// HeapPages, when nonzero, allocates a heap and stamps one page per
+	// round, giving checkpoints a realistic memory payload.
+	HeapPages uint64
+	Heap      uint64
+
+	Phase   int
+	LFD     int
+	InFD    int
+	OutFD   int
+	Rounds  uint64
+	LastIn  uint64
+	SendPtr int
+	RecvBuf []byte
+	Fault   string
+}
+
+func (w *ringWorker) fail(msg string) kernel.StepResult {
+	w.Fault = msg
+	return kernel.Exit(0, 2)
+}
+
+func (w *ringWorker) Step(ctx *kernel.ProcContext) kernel.StepResult {
+	switch w.Phase {
+	case 0: // listen
+		fd, err := ctx.Listen(tcpip.AddrPort{Port: w.Port}, 4)
+		if err != nil {
+			return w.fail("listen: " + err.Error())
+		}
+		w.LFD = fd
+		w.Phase = 1
+		// Give every worker time to reach the listen state.
+		return kernel.Sleep(0, 10*sim.Millisecond)
+	case 1: // connect to the right neighbour
+		fd, err := ctx.Connect(tcpip.AddrPort{Addr: w.PeerIP, Port: w.Port})
+		if err != nil {
+			return w.fail("connect: " + err.Error())
+		}
+		w.OutFD = fd
+		w.Phase = 2
+		return kernel.Continue(0)
+	case 2: // wait for the outgoing connection
+		ok, err := ctx.ConnEstablished(w.OutFD)
+		if err != nil {
+			return w.fail("establish: " + err.Error())
+		}
+		if !ok {
+			return kernel.Sleep(0, sim.Millisecond)
+		}
+		w.Phase = 3
+		return kernel.Continue(0)
+	case 3: // accept from the left neighbour
+		fd, err := ctx.Accept(w.LFD)
+		if err == kernel.ErrWouldBlock {
+			return kernel.BlockOnRead(0, w.LFD)
+		}
+		if err != nil {
+			return w.fail("accept: " + err.Error())
+		}
+		w.InFD = fd
+		w.Phase = 4
+		return kernel.Continue(0)
+	case 4: // compute, then send this round's counter
+		if w.HeapPages > 0 {
+			if w.Heap == 0 {
+				base, err := ctx.Mem().Alloc(w.HeapPages*4096, "heap")
+				if err != nil {
+					return w.fail("alloc: " + err.Error())
+				}
+				w.Heap = base
+			}
+			off := (w.Rounds % w.HeapPages) * 4096
+			if err := ctx.Mem().WriteUint64(w.Heap+off, w.Rounds); err != nil {
+				return w.fail("stamp: " + err.Error())
+			}
+		}
+		v := w.Rounds + 1
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		n, err := ctx.Send(w.OutFD, b[w.SendPtr:])
+		if err == kernel.ErrWouldBlock {
+			return kernel.BlockOnWrite(0, w.OutFD)
+		}
+		if err != nil {
+			return w.fail("send: " + err.Error())
+		}
+		w.SendPtr += n
+		if w.SendPtr < 8 {
+			return kernel.Continue(0)
+		}
+		w.SendPtr = 0
+		w.Phase = 5
+		return kernel.Continue(w.Compute)
+	case 5: // receive the left neighbour's counter
+		buf := make([]byte, 8-len(w.RecvBuf))
+		n, err := ctx.Recv(w.InFD, buf, false)
+		if err == kernel.ErrWouldBlock {
+			return kernel.BlockOnRead(0, w.InFD)
+		}
+		if err != nil {
+			return w.fail("recv: " + err.Error())
+		}
+		w.RecvBuf = append(w.RecvBuf, buf[:n]...)
+		if len(w.RecvBuf) < 8 {
+			return kernel.Continue(0)
+		}
+		var v uint64
+		for i, by := range w.RecvBuf {
+			v |= uint64(by) << (8 * i)
+		}
+		w.RecvBuf = nil
+		if v != w.LastIn+1 {
+			return w.fail("sequence break")
+		}
+		w.LastIn = v
+		w.Rounds++
+		w.Phase = 4
+		return kernel.Continue(0)
+	}
+	return w.fail("bad phase")
+}
+
+// cluster is the full test fixture: N application nodes with agents and
+// pods running the ring, plus a coordinator node.
+type cluster struct {
+	t       *testing.T
+	engine  *sim.Engine
+	sw      *ether.Switch
+	kernels []*kernel.Kernel
+	agents  []*Agent
+	pods    []*zap.Pod
+	workers []*ringWorker
+	coord   *Coordinator
+	job     *Job
+}
+
+func podIP(i int) tcpip.Addr { return tcpip.Addr{10, 0, 1, byte(i + 1)} }
+
+func newCluster(t *testing.T, n int, compute sim.Duration) *cluster {
+	t.Helper()
+	cl := &cluster{t: t, engine: sim.NewEngine(31)}
+	cl.sw = ether.NewSwitch(cl.engine)
+	mkNode := func(i int) *kernel.Kernel {
+		mac := ether.MAC{2, 0, 0, 0, 0, byte(i + 1)}
+		nic := ether.NewNIC(cl.engine, "eth0", mac)
+		cl.sw.Attach(nic, ether.GigabitLink)
+		st := tcpip.NewStack(cl.engine, "node")
+		if _, err := st.AddInterface("eth0", tcpip.Addr{10, 0, 0, byte(i + 1)}, mac, nic, false); err != nil {
+			t.Fatal(err)
+		}
+		return kernel.New(cl.engine, "node", kernel.DefaultParams(), st)
+	}
+	job := &Job{Name: "ring"}
+	for i := 0; i < n; i++ {
+		k := mkNode(i)
+		cl.kernels = append(cl.kernels, k)
+		store := ckpt.NewStore(k.Disk())
+		ag, err := NewAgent(k, store, DefaultAgentParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.agents = append(cl.agents, ag)
+		pod, err := zap.New(k, podName(i), zap.NetConfig{
+			IP:  podIP(i),
+			MAC: ether.MAC{2, 0, 0, 1, 0, byte(i + 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &ringWorker{ID: i, N: n, Port: 9000, PeerIP: podIP((i + 1) % n), Compute: compute, HeapPages: 1024}
+		if _, err := pod.Spawn("worker", w); err != nil {
+			t.Fatal(err)
+		}
+		ag.Manage(pod)
+		cl.pods = append(cl.pods, pod)
+		cl.workers = append(cl.workers, w)
+		job.Members = append(job.Members, Member{Pod: podName(i), Agent: ag.Addr()})
+	}
+	// Coordinator on its own node.
+	ck := mkNode(n)
+	cl.kernels = append(cl.kernels, ck)
+	cl.coord = NewCoordinator(ck.Stack(), DefaultCoordinatorParams())
+	cl.job = job
+
+	connected := false
+	cl.coord.Connect(job, func(err error) {
+		if err != nil {
+			t.Fatalf("Connect: %v", err)
+		}
+		connected = true
+	})
+	cl.run(100 * sim.Millisecond)
+	if !connected {
+		t.Fatal("coordinator never connected to agents")
+	}
+	return cl
+}
+
+func podName(i int) string { return "ring-" + string(rune('a'+i)) }
+
+func (cl *cluster) run(d sim.Duration) {
+	cl.t.Helper()
+	if err := cl.engine.RunFor(d); err != nil {
+		cl.t.Fatal(err)
+	}
+}
+
+// checkHealthy asserts no worker has recorded a fault or died.
+func (cl *cluster) checkHealthy(workers []*ringWorker) {
+	cl.t.Helper()
+	for i, w := range workers {
+		if w.Fault != "" {
+			cl.t.Fatalf("worker %d fault: %s", i, w.Fault)
+		}
+	}
+}
+
+// currentWorkers re-resolves worker programs after a restart.
+func (cl *cluster) currentWorkers() []*ringWorker {
+	cl.t.Helper()
+	out := make([]*ringWorker, len(cl.agents))
+	for i, ag := range cl.agents {
+		pod := ag.Pod(podName(i))
+		if pod == nil {
+			cl.t.Fatalf("agent %d lost its pod", i)
+		}
+		proc := pod.Process(1)
+		if proc == nil {
+			cl.t.Fatalf("pod %d has no process", i)
+		}
+		out[i] = proc.Program().(*ringWorker)
+	}
+	return out
+}
+
+// runUntil advances in slices until cond or the cap is reached.
+func (cl *cluster) runUntil(cond func() bool, cap sim.Duration) bool {
+	cl.t.Helper()
+	for waited := sim.Duration(0); waited < cap; waited += 20 * sim.Millisecond {
+		if cond() {
+			return true
+		}
+		cl.run(20 * sim.Millisecond)
+	}
+	return cond()
+}
+
+func (cl *cluster) checkpoint(opts CheckpointOptions) *CheckpointResult {
+	cl.t.Helper()
+	var res *CheckpointResult
+	var cerr error
+	doneFired := false
+	cl.coord.Checkpoint(cl.job, opts, func(r *CheckpointResult, err error) {
+		res, cerr, doneFired = r, err, true
+	})
+	if !cl.runUntil(func() bool { return doneFired }, 30*sim.Second) {
+		cl.t.Fatal("checkpoint never completed")
+	}
+	if cerr != nil {
+		cl.t.Fatalf("checkpoint: %v", cerr)
+	}
+	return res
+}
+
+func (cl *cluster) restart(seq int) *RestartResult {
+	cl.t.Helper()
+	var res *RestartResult
+	var rerr error
+	fired := false
+	cl.coord.Restart(cl.job, seq, func(r *RestartResult, err error) {
+		res, rerr, fired = r, err, true
+	})
+	if !cl.runUntil(func() bool { return fired }, 30*sim.Second) {
+		cl.t.Fatal("restart never completed")
+	}
+	if rerr != nil {
+		cl.t.Fatalf("restart: %v", rerr)
+	}
+	return res
+}
+
+func TestCoordinatedCheckpointBlocking(t *testing.T) {
+	cl := newCluster(t, 4, 200*sim.Microsecond)
+	cl.run(2 * sim.Second)
+	cl.checkHealthy(cl.workers)
+	before := cl.workers[0].Rounds
+	if before == 0 {
+		t.Fatal("ring never started")
+	}
+
+	res := cl.checkpoint(CheckpointOptions{})
+	if res.Seq != 1 {
+		t.Fatalf("seq = %d", res.Seq)
+	}
+	if res.Latency <= 0 || res.MaxLocalCheckpoint <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Overhead <= 0 || res.Overhead > 5*sim.Millisecond {
+		t.Fatalf("coordination overhead = %v, expected sub-millisecond", res.Overhead)
+	}
+	if res.Overhead >= res.Latency/10 {
+		t.Fatalf("overhead %v not negligible vs latency %v", res.Overhead, res.Latency)
+	}
+	if got, want := res.Messages, 4*4; got != want {
+		t.Fatalf("messages = %d, want %d (O(N))", got, want)
+	}
+	if seq, ok := cl.coord.CommittedSeq("ring"); !ok || seq != 1 {
+		t.Fatalf("committed = %d/%v", seq, ok)
+	}
+
+	// The application continues unharmed.
+	cl.run(2 * sim.Second)
+	cl.checkHealthy(cl.workers)
+	if cl.workers[0].Rounds <= before {
+		t.Fatal("ring did not progress after checkpoint")
+	}
+}
+
+func TestCoordinatedRestartAfterCrash(t *testing.T) {
+	cl := newCluster(t, 4, 200*sim.Microsecond)
+	cl.run(2 * sim.Second)
+	cl.checkpoint(CheckpointOptions{})
+	roundsAtCkpt := make([]uint64, 4)
+	for i, w := range cl.workers {
+		roundsAtCkpt[i] = w.Rounds
+	}
+
+	// Let it run past the checkpoint, then crash every pod.
+	cl.run(2 * sim.Second)
+	for _, p := range cl.pods {
+		p.Destroy()
+	}
+	cl.run(100 * sim.Millisecond)
+
+	res := cl.restart(0)
+	if res.Latency <= 0 {
+		t.Fatalf("restart result: %+v", res)
+	}
+	if got, want := res.Messages, 4*4; got != want {
+		t.Fatalf("restart messages = %d, want %d", got, want)
+	}
+
+	workers := cl.currentWorkers()
+	// Rolled back to the checkpoint, not to zero and not to the crash
+	// point.
+	for i, w := range workers {
+		if w.Rounds < roundsAtCkpt[i] || w.Rounds > roundsAtCkpt[i]+2 {
+			t.Fatalf("worker %d restarted at %d rounds, checkpointed at %d", i, w.Rounds, roundsAtCkpt[i])
+		}
+	}
+	cl.run(2 * sim.Second)
+	cl.checkHealthy(workers)
+	for i, w := range workers {
+		if w.Rounds <= roundsAtCkpt[i] {
+			t.Fatalf("worker %d stuck after restart", i)
+		}
+	}
+}
+
+func TestOptimizedProtocolCorrectAndFaster(t *testing.T) {
+	cl := newCluster(t, 4, 200*sim.Microsecond)
+	cl.run(sim.Second)
+
+	blocking := cl.checkpoint(CheckpointOptions{})
+	cl.run(sim.Second)
+	optimized := cl.checkpoint(CheckpointOptions{Optimized: true})
+	cl.run(sim.Second)
+	cl.checkHealthy(cl.workers)
+
+	// Fig. 5(a) latency (to last done) is similar, but the full cycle —
+	// which includes how long pods stay frozen — must shrink: with the
+	// optimization each node resumes as soon as its own save completes.
+	if optimized.CycleLatency >= blocking.CycleLatency {
+		t.Fatalf("optimized cycle %v not faster than blocking %v",
+			optimized.CycleLatency, blocking.CycleLatency)
+	}
+	if got, want := optimized.Messages, 5*4; got != want {
+		t.Fatalf("optimized messages = %d, want %d", got, want)
+	}
+}
+
+func TestSequentialCheckpointsAdvanceSeq(t *testing.T) {
+	cl := newCluster(t, 2, 200*sim.Microsecond)
+	cl.run(sim.Second)
+	for want := 1; want <= 3; want++ {
+		res := cl.checkpoint(CheckpointOptions{})
+		if res.Seq != want {
+			t.Fatalf("seq = %d, want %d", res.Seq, want)
+		}
+		cl.run(500 * sim.Millisecond)
+	}
+	cl.checkHealthy(cl.workers)
+}
+
+func TestIncrementalCoordinatedCheckpoint(t *testing.T) {
+	cl := newCluster(t, 2, 200*sim.Microsecond)
+	cl.run(sim.Second)
+	full := cl.checkpoint(CheckpointOptions{})
+	cl.run(50 * sim.Millisecond)
+	inc := cl.checkpoint(CheckpointOptions{Incremental: true})
+	if inc.TotalImageBytes >= full.TotalImageBytes {
+		t.Fatalf("incremental image %d B not smaller than full %d B",
+			inc.TotalImageBytes, full.TotalImageBytes)
+	}
+	// Crash and restart from the incremental chain.
+	roundsAt := cl.workers[0].Rounds
+	cl.run(sim.Second)
+	for _, p := range cl.pods {
+		p.Destroy()
+	}
+	cl.restart(0)
+	workers := cl.currentWorkers()
+	if workers[0].Rounds > roundsAt+2 || workers[0].Rounds == 0 {
+		t.Fatalf("restored rounds = %d, ckpt at ~%d", workers[0].Rounds, roundsAt)
+	}
+	cl.run(sim.Second)
+	cl.checkHealthy(workers)
+}
+
+func TestAbortOnAgentFailure(t *testing.T) {
+	cl := newCluster(t, 3, 200*sim.Microsecond)
+	cl.run(sim.Second)
+
+	// An unknown pod in the job makes one agent report an error; the
+	// coordinator must abort and the healthy pods must keep running.
+	badJob := &Job{Name: "bad", Members: append([]Member{}, cl.job.Members...)}
+	badJob.Members[2].Pod = "ghost"
+	fired := false
+	cl.coord.Connect(badJob, func(error) {})
+	cl.run(50 * sim.Millisecond)
+	cl.coord.Checkpoint(badJob, CheckpointOptions{}, func(r *CheckpointResult, err error) {
+		fired = true
+		if !errors.Is(err, ErrAgentFailed) {
+			t.Errorf("err = %v, want ErrAgentFailed", err)
+		}
+	})
+	cl.run(10 * sim.Second)
+	if !fired {
+		t.Fatal("checkpoint callback never fired")
+	}
+	// All pods must be running again (aborted agents rolled back).
+	cl.run(sim.Second)
+	cl.checkHealthy(cl.workers)
+	for i, p := range cl.pods {
+		if p.Stopped() {
+			t.Fatalf("pod %d left stopped after abort", i)
+		}
+	}
+	if _, ok := cl.coord.CommittedSeq("bad"); ok {
+		t.Fatal("aborted checkpoint was committed")
+	}
+}
+
+func TestAbortOnAgentTimeout(t *testing.T) {
+	cl := newCluster(t, 3, 200*sim.Microsecond)
+	cl.run(sim.Second)
+	// Cut one agent's node off the network entirely after connect; its
+	// done can never arrive. (Its own pod will stay frozen — that node
+	// is "failed" — but the others must roll back.)
+	params := DefaultCoordinatorParams()
+	params.Timeout = 3 * sim.Second
+	coord2 := NewCoordinator(cl.kernels[len(cl.kernels)-1].Stack(), params)
+	connected := false
+	coord2.Connect(cl.job, func(err error) { connected = err == nil })
+	cl.run(100 * sim.Millisecond)
+	if !connected {
+		t.Fatal("second coordinator failed to connect")
+	}
+	deadNIC := cl.agents[2].Kernel().Stack().Interfaces()[0].NIC()
+	cl.sw.SetLinkDown(deadNIC, true)
+
+	fired := false
+	coord2.Checkpoint(cl.job, CheckpointOptions{}, func(r *CheckpointResult, err error) {
+		fired = true
+		if !errors.Is(err, ErrAborted) {
+			t.Errorf("err = %v, want ErrAborted", err)
+		}
+	})
+	cl.run(20 * sim.Second)
+	if !fired {
+		t.Fatal("timeout abort never fired")
+	}
+	// The reachable pods must have been rolled back to running.
+	for i := 0; i < 2; i++ {
+		if cl.pods[i].Stopped() {
+			t.Fatalf("pod %d left stopped after timeout abort", i)
+		}
+	}
+}
+
+func TestCheckpointUnknownJobPod(t *testing.T) {
+	cl := newCluster(t, 2, 200*sim.Microsecond)
+	// Double checkpoint: second call while first in flight must be
+	// rejected.
+	cl.coord.Checkpoint(cl.job, CheckpointOptions{}, func(*CheckpointResult, error) {})
+	rejected := false
+	cl.coord.Checkpoint(cl.job, CheckpointOptions{}, func(_ *CheckpointResult, err error) {
+		rejected = errors.Is(err, ErrOpInProgress)
+	})
+	if !rejected {
+		t.Fatal("concurrent checkpoint not rejected")
+	}
+	cl.run(10 * sim.Second)
+}
+
+func TestRingSurvivesManyCheckpointCycles(t *testing.T) {
+	cl := newCluster(t, 3, 100*sim.Microsecond)
+	cl.run(sim.Second)
+	for i := 0; i < 5; i++ {
+		cl.checkpoint(CheckpointOptions{Optimized: i%2 == 0})
+		cl.run(300 * sim.Millisecond)
+	}
+	// Crash, restart, crash, restart.
+	for cycle := 0; cycle < 2; cycle++ {
+		cl.checkpoint(CheckpointOptions{})
+		cl.run(200 * sim.Millisecond)
+		for i, ag := range cl.agents {
+			ag.Pod(podName(i)).Destroy()
+		}
+		cl.restart(0)
+		cl.run(500 * sim.Millisecond)
+		cl.checkHealthy(cl.currentWorkers())
+	}
+	workers := cl.currentWorkers()
+	for i, w := range workers {
+		if w.Rounds == 0 {
+			t.Fatalf("worker %d made no progress", i)
+		}
+	}
+}
+
+func TestCOWResumesBeforeWriteCompletes(t *testing.T) {
+	cl := newCluster(t, 3, 200*sim.Microsecond)
+	cl.run(sim.Second)
+
+	plain := cl.checkpoint(CheckpointOptions{})
+	cl.run(300 * sim.Millisecond)
+	cow := cl.checkpoint(CheckpointOptions{COW: true})
+	cl.run(300 * sim.Millisecond)
+	cl.checkHealthy(cl.workers)
+
+	// Under COW the pods are frozen only for quiesce+capture, not the
+	// disk write: blocked time must collapse by an order of magnitude.
+	if cow.MaxBlocked*5 >= plain.MaxBlocked {
+		t.Fatalf("COW blocked %v vs plain %v — no real overlap", cow.MaxBlocked, plain.MaxBlocked)
+	}
+	// But the commit (Fig. 5a latency) still waits for the writes.
+	if cow.Latency < plain.Latency/2 {
+		t.Fatalf("COW latency %v suspiciously small vs %v", cow.Latency, plain.Latency)
+	}
+	// And a crash right after commit restarts cleanly from the COW image.
+	for i, ag := range cl.agents {
+		ag.Pod(podName(i)).Destroy()
+	}
+	cl.restart(0)
+	cl.run(500 * sim.Millisecond)
+	cl.checkHealthy(cl.currentWorkers())
+}

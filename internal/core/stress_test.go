@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"cruz/internal/sim"
+)
+
+// TestProtocolUnderPacketLoss runs checkpoint/restart cycles while every
+// link drops packets at random. Control messages ride the same simulated
+// TCP as application data, so the protocol must make progress purely via
+// retransmission — and the application's sequence invariant must survive
+// every cycle.
+func TestProtocolUnderPacketLoss(t *testing.T) {
+	for _, loss := range []float64{0.01, 0.05} {
+		loss := loss
+		t.Run("", func(t *testing.T) {
+			cl := newCluster(t, 3, 500*sim.Microsecond)
+			for i := range cl.kernels {
+				cl.sw.SetDropRate(cl.kernels[i].Stack().Interfaces()[0].NIC(), loss)
+			}
+			cl.run(2 * sim.Second)
+			cl.checkHealthy(cl.workers)
+			if cl.workers[0].Rounds == 0 {
+				t.Fatal("ring made no progress under loss")
+			}
+
+			for cycle := 0; cycle < 2; cycle++ {
+				res := cl.checkpoint(CheckpointOptions{})
+				if res.Seq != cycle*1+cycle+1 && res.Seq == 0 {
+					t.Fatalf("bad seq %d", res.Seq)
+				}
+				cl.run(sim.Second)
+				cl.checkHealthy(cl.workers)
+
+				// Crash and restart under the same loss.
+				for i, ag := range cl.agents {
+					ag.Pod(podName(i)).Destroy()
+				}
+				cl.restart(0)
+				cl.run(sim.Second)
+				cl.checkHealthy(cl.currentWorkers())
+			}
+			workers := cl.currentWorkers()
+			for i, w := range workers {
+				if w.Rounds == 0 {
+					t.Fatalf("worker %d stalled", i)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizedProtocolUnderLoss exercises the Fig. 4 variant's extra
+// message (comm-disabled) under loss.
+func TestOptimizedProtocolUnderLoss(t *testing.T) {
+	cl := newCluster(t, 3, 500*sim.Microsecond)
+	for i := range cl.kernels {
+		cl.sw.SetDropRate(cl.kernels[i].Stack().Interfaces()[0].NIC(), 0.02)
+	}
+	cl.run(sim.Second)
+	for i := 0; i < 3; i++ {
+		cl.checkpoint(CheckpointOptions{Optimized: true})
+		cl.run(500 * sim.Millisecond)
+	}
+	cl.checkHealthy(cl.workers)
+}
+
+// TestRestartMissingImageFailsCleanly asks for a restart of a job that was
+// never checkpointed: every agent reports failure and the coordinator
+// surfaces it without committing anything.
+func TestRestartMissingImageFailsCleanly(t *testing.T) {
+	cl := newCluster(t, 2, 500*sim.Microsecond)
+	cl.run(200 * sim.Millisecond)
+	fired := false
+	cl.coord.Restart(cl.job, 0, func(r *RestartResult, err error) {
+		fired = true
+		if err == nil {
+			t.Error("restart without images succeeded")
+		}
+	})
+	cl.runUntil(func() bool { return fired }, 10*sim.Second)
+	if !fired {
+		t.Fatal("restart callback never fired")
+	}
+	// The running application is untouched.
+	cl.run(500 * sim.Millisecond)
+	cl.checkHealthy(cl.workers)
+}
+
+// TestAbortDuringOptimizedCheckpoint aborts (via a failing member) while
+// the optimized protocol is mid-flight; all healthy pods must resume.
+func TestAbortDuringOptimizedCheckpoint(t *testing.T) {
+	cl := newCluster(t, 3, 500*sim.Microsecond)
+	cl.run(sim.Second)
+	bad := &Job{Name: "bad", Members: append([]Member{}, cl.job.Members...)}
+	bad.Members[1].Pod = "phantom"
+	connected := false
+	cl.coord.Connect(bad, func(error) { connected = true })
+	cl.runUntil(func() bool { return connected }, 5*sim.Second)
+	fired := false
+	cl.coord.Checkpoint(bad, CheckpointOptions{Optimized: true}, func(_ *CheckpointResult, err error) {
+		fired = true
+		if err == nil {
+			t.Error("checkpoint with phantom pod succeeded")
+		}
+	})
+	cl.runUntil(func() bool { return fired }, 20*sim.Second)
+	if !fired {
+		t.Fatal("abort never surfaced")
+	}
+	cl.run(2 * sim.Second)
+	for i, p := range cl.pods {
+		if p.Stopped() {
+			t.Fatalf("pod %d left stopped after optimized abort", i)
+		}
+	}
+	cl.checkHealthy(cl.workers)
+}
+
+// TestSequentialJobsShareAgents runs two distinct jobs through the same
+// agents and coordinator.
+func TestSequentialJobsShareAgents(t *testing.T) {
+	cl := newCluster(t, 2, 500*sim.Microsecond)
+	cl.run(500 * sim.Millisecond)
+	// Job A checkpoint.
+	resA := cl.checkpoint(CheckpointOptions{})
+	if resA.Seq != 1 {
+		t.Fatalf("job A seq = %d", resA.Seq)
+	}
+	// A second job over the same pods but a different name gets its own
+	// sequence space.
+	jobB := &Job{Name: "ring-b", Members: cl.job.Members}
+	connected := false
+	cl.coord.Connect(jobB, func(error) { connected = true })
+	cl.runUntil(func() bool { return connected }, 5*sim.Second)
+	fired := false
+	var resB *CheckpointResult
+	cl.coord.Checkpoint(jobB, CheckpointOptions{}, func(r *CheckpointResult, err error) {
+		fired = true
+		if err != nil {
+			t.Errorf("job B checkpoint: %v", err)
+			return
+		}
+		resB = r
+	})
+	cl.runUntil(func() bool { return fired }, 30*sim.Second)
+	if resB == nil || resB.Seq != 1 {
+		t.Fatalf("job B result: %+v", resB)
+	}
+	if seq, _ := cl.coord.CommittedSeq("ring"); seq != 1 {
+		t.Fatalf("job A committed = %d", seq)
+	}
+	if seq, _ := cl.coord.CommittedSeq("ring-b"); seq != 1 {
+		t.Fatalf("job B committed = %d", seq)
+	}
+}

@@ -1,0 +1,128 @@
+// Package ctl provides the control-plane plumbing shared by the Cruz
+// coordinator/agents and the flushing baseline: length-prefixed message
+// framing over simulated TCP connections, and a serializer modeling a
+// single-threaded daemon's CPU.
+package ctl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+)
+
+// Conn frames byte payloads over a TCP connection: 4-byte big-endian
+// length followed by the payload. Incoming frames are delivered to the
+// OnFrame callback; writes are expected to fit in the send buffer
+// (control messages are tiny), and a full buffer is treated as a protocol
+// failure.
+type Conn struct {
+	tc      *tcpip.TCPConn
+	rbuf    []byte
+	wqueue  [][]byte // frames waiting for the handshake to finish
+	onFrame func(*Conn, []byte)
+	onErr   func(*Conn, error)
+
+	// Sent and Received count frames, for message-complexity accounting.
+	Sent, Received int
+}
+
+// NewConn wraps tc. It takes over the connection's notify callback.
+func NewConn(tc *tcpip.TCPConn, onFrame func(*Conn, []byte), onErr func(*Conn, error)) *Conn {
+	c := &Conn{tc: tc, onFrame: onFrame, onErr: onErr}
+	tc.SetNotify(c.Pump)
+	return c
+}
+
+// TCP returns the underlying connection.
+func (c *Conn) TCP() *tcpip.TCPConn { return c.tc }
+
+// Send transmits one frame. Frames sent before the connection finishes
+// its handshake are queued and flushed on establishment.
+func (c *Conn) Send(payload []byte) error {
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	c.Sent++
+	if !c.tc.Established() || len(c.wqueue) > 0 {
+		if err := c.tc.Err(); err != nil {
+			return fmt.Errorf("ctl: send on dead conn: %w", err)
+		}
+		c.wqueue = append(c.wqueue, frame)
+		return nil
+	}
+	return c.write(frame)
+}
+
+func (c *Conn) write(frame []byte) error {
+	n, err := c.tc.Send(frame)
+	if err != nil {
+		return fmt.Errorf("ctl: send: %w", err)
+	}
+	if n != len(frame) {
+		return fmt.Errorf("ctl: short write %d/%d", n, len(frame))
+	}
+	return nil
+}
+
+// Pump drains readable bytes and dispatches complete frames. It is the
+// connection's notify handler; wrappers that need their own notification
+// chain may call it directly.
+func (c *Conn) Pump() {
+	if err := c.tc.Err(); err != nil {
+		if c.onErr != nil {
+			c.onErr(c, err)
+		}
+		return
+	}
+	if c.tc.Established() && len(c.wqueue) > 0 {
+		q := c.wqueue
+		c.wqueue = nil
+		for _, frame := range q {
+			if err := c.write(frame); err != nil {
+				break
+			}
+		}
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := c.tc.Recv(buf, false)
+		if err != nil || n == 0 {
+			break
+		}
+		c.rbuf = append(c.rbuf, buf[:n]...)
+	}
+	for {
+		if len(c.rbuf) < 4 {
+			return
+		}
+		size := int(binary.BigEndian.Uint32(c.rbuf))
+		if len(c.rbuf) < 4+size {
+			return
+		}
+		payload := c.rbuf[4 : 4+size]
+		c.rbuf = c.rbuf[4+size:]
+		c.Received++
+		c.onFrame(c, payload)
+	}
+}
+
+// Serializer models a single-threaded daemon's CPU: queued work items
+// execute in order, each occupying the daemon for its cost. Fan-out of N
+// messages therefore takes O(N) serial time — the origin of the per-node
+// coordination-overhead slope in the paper's Fig. 5(b).
+type Serializer struct {
+	Engine *sim.Engine
+	freeAt sim.Time
+}
+
+// Do schedules fn after cost of serialized daemon CPU time.
+func (s *Serializer) Do(cost sim.Duration, fn func()) {
+	start := s.Engine.Now()
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	s.freeAt = start.Add(cost)
+	s.Engine.ScheduleAt(s.freeAt, fn)
+}

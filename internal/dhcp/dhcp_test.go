@@ -1,0 +1,136 @@
+package dhcp
+
+import (
+	"testing"
+
+	"cruz"
+	"cruz/internal/ckpt"
+	"cruz/internal/ether"
+	"cruz/internal/tcpip"
+)
+
+func init() {
+	cruz.RegisterProgram(&Server{})
+	cruz.RegisterProgram(&Client{})
+}
+
+func pool() []tcpip.Addr {
+	return []tcpip.Addr{
+		{10, 0, 2, 1},
+		{10, 0, 2, 2},
+		{10, 0, 2, 3},
+	}
+}
+
+// deploy starts a DHCP server as a native process on the service node
+// and a client inside a pod on node 0.
+func deploy(t *testing.T, fakeMAC ether.MAC) (*cruz.Cluster, *Server, *Client) {
+	t.Helper()
+	cl, err := cruz.New(cruz.Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(pool())
+	cl.Service.Kernel.Spawn("dhcpd", server, 0)
+
+	pod, err := cl.NewPod(0, "roamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Override the fake MAC if requested (NewPod assigns a real one).
+	_ = fakeMAC
+	client := NewClient(200 * cruz.Millisecond)
+	if _, err := pod.Spawn("dhclient", client); err != nil {
+		t.Fatal(err)
+	}
+	return cl, server, client
+}
+
+func TestLeaseAcquisition(t *testing.T) {
+	cl, server, client := deploy(t, ether.MAC{})
+	if !cl.RunUntil(func() bool { return client.Renewals > 0 }, 5*cruz.Second) {
+		t.Fatalf("no lease acquired; fault=%q serverFault=%q", client.Fault, server.Fault)
+	}
+	if client.Lease != pool()[0] {
+		t.Fatalf("lease = %v, want first pool address", client.Lease)
+	}
+	if server.Grants == 0 {
+		t.Fatal("server granted nothing")
+	}
+}
+
+func TestRenewalKeepsAddress(t *testing.T) {
+	cl, _, client := deploy(t, ether.MAC{})
+	if !cl.RunUntil(func() bool { return client.Renewals >= 3 }, 5*cruz.Second) {
+		t.Fatalf("renewals = %d; fault=%q", client.Renewals, client.Fault)
+	}
+	if client.LeaseChanged {
+		t.Fatal("lease changed across renewals")
+	}
+}
+
+func TestDistinctClientsDistinctLeases(t *testing.T) {
+	cl, server, c1 := deploy(t, ether.MAC{})
+	pod2, err := cl.NewPod(1, "roamer2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewClient(200 * cruz.Millisecond)
+	pod2.Spawn("dhclient", c2)
+	ok := cl.RunUntil(func() bool { return c1.Renewals > 0 && c2.Renewals > 0 }, 5*cruz.Second)
+	if !ok {
+		t.Fatalf("leases: %v %v (faults %q %q, server %q)", c1.Lease, c2.Lease, c1.Fault, c2.Fault, server.Fault)
+	}
+	if c1.Lease == c2.Lease {
+		t.Fatalf("both clients got %v", c1.Lease)
+	}
+}
+
+func TestLeaseSurvivesMigration(t *testing.T) {
+	// The §4.2 scenario: the pod migrates to a machine whose physical
+	// MAC differs, but the interposed SIOCGIFHWADDR keeps reporting the
+	// pod's fake MAC, so the DHCP server renews the same address.
+	cl, server, client := deploy(t, ether.MAC{})
+	if !cl.RunUntil(func() bool { return client.Renewals > 0 }, 5*cruz.Second) {
+		t.Fatalf("no initial lease; fault=%q", client.Fault)
+	}
+	leaseBefore := client.Lease
+	macBefore := client.MAC
+
+	// Checkpoint the pod and migrate it to node 2.
+	pod := cl.Pod("roamer")
+	f := pod.Kernel().Stack().Filter()
+	rule := f.AddDropAddr(pod.IP())
+	stopped := false
+	pod.Stop(func() { stopped = true })
+	if !cl.RunUntil(func() bool { return stopped }, cruz.Second) {
+		t.Fatal("pod did not stop")
+	}
+	img, err := ckpt.Capture(pod, 1, ckpt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pod.Destroy()
+	f.RemoveRule(rule)
+	pod2, err := ckpt.Restore(cl.Nodes[2].Kernel, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pod2.Resume()
+
+	client2 := pod2.Process(1).Program().(*Client)
+	renewalsAt := client2.Renewals
+	if !cl.RunUntil(func() bool { return client2.Renewals > renewalsAt }, 5*cruz.Second) {
+		t.Fatalf("no renewal after migration; fault=%q serverFault=%q", client2.Fault, server.Fault)
+	}
+	if client2.LeaseChanged || client2.Lease != leaseBefore {
+		t.Fatalf("lease changed across migration: %v -> %v", leaseBefore, client2.Lease)
+	}
+	if client2.MAC != macBefore {
+		t.Fatalf("client-visible MAC changed across migration: %v -> %v", macBefore, client2.MAC)
+	}
+	// The server still has exactly one lease for this client.
+	if len(server.Leases) != 1 {
+		t.Fatalf("server lease table: %v", server.Leases)
+	}
+}

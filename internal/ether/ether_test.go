@@ -1,0 +1,235 @@
+package ether
+
+import (
+	"testing"
+
+	"cruz/internal/sim"
+)
+
+type testPayload struct {
+	size int
+	tag  string
+}
+
+func (p testPayload) WireSize() int { return p.size }
+
+func mac(b byte) MAC { return MAC{0x02, 0, 0, 0, 0, b} }
+
+type rig struct {
+	engine *sim.Engine
+	sw     *Switch
+	nics   []*NIC
+	rx     [][]Frame
+}
+
+func newRig(t *testing.T, n int, cfg LinkConfig) *rig {
+	t.Helper()
+	r := &rig{engine: sim.NewEngine(1), rx: make([][]Frame, n)}
+	r.sw = NewSwitch(r.engine)
+	for i := 0; i < n; i++ {
+		i := i
+		nic := NewNIC(r.engine, "nic", mac(byte(i+1)))
+		nic.SetReceiver(func(f Frame) { r.rx[i] = append(r.rx[i], f) })
+		r.sw.Attach(nic, cfg)
+		r.nics = append(r.nics, nic)
+	}
+	return r
+}
+
+func TestUnknownUnicastFloods(t *testing.T) {
+	r := newRig(t, 3, GigabitLink)
+	r.nics[0].Send(Frame{Src: mac(1), Dst: mac(2), Type: TypeIPv4, Payload: testPayload{size: 100}})
+	r.engine.Run()
+	// Destination unlearned: flooded to ports 1 and 2; NIC 2 filters it.
+	if len(r.rx[1]) != 1 {
+		t.Fatalf("nic1 got %d frames, want 1", len(r.rx[1]))
+	}
+	if len(r.rx[2]) != 0 {
+		t.Fatalf("nic2 got %d frames, want 0 (MAC filter)", len(r.rx[2]))
+	}
+	if r.nics[2].Stats.RxFiltered != 1 {
+		t.Fatalf("nic2 RxFiltered = %d, want 1", r.nics[2].Stats.RxFiltered)
+	}
+	if r.sw.Stats.Flooded != 1 {
+		t.Fatalf("Flooded = %d, want 1", r.sw.Stats.Flooded)
+	}
+}
+
+func TestLearningDirectsSubsequentFrames(t *testing.T) {
+	r := newRig(t, 3, GigabitLink)
+	// nic1 speaks first so the switch learns its port.
+	r.nics[1].Send(Frame{Src: mac(2), Dst: mac(1), Type: TypeIPv4, Payload: testPayload{size: 64}})
+	r.engine.Run()
+	r.nics[0].Send(Frame{Src: mac(1), Dst: mac(2), Type: TypeIPv4, Payload: testPayload{size: 64}})
+	r.engine.Run()
+	if got := r.sw.LearnedPortOf(mac(2)); got != r.nics[1] {
+		t.Fatalf("LearnedPortOf(mac2) = %v", got)
+	}
+	if len(r.rx[1]) != 1 {
+		t.Fatalf("nic1 frames = %d, want 1", len(r.rx[1]))
+	}
+	// nic2 never saw the directed frame: no flood.
+	if r.nics[2].Stats.RxFiltered+r.nics[2].Stats.RxFrames != 1 {
+		t.Fatalf("nic2 unexpectedly saw the directed frame")
+	}
+	if r.sw.Stats.Forwarded != 1 {
+		t.Fatalf("Forwarded = %d, want 1", r.sw.Stats.Forwarded)
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	r := newRig(t, 4, GigabitLink)
+	r.nics[0].Send(Frame{Src: mac(1), Dst: Broadcast, Type: TypeARP, Payload: testPayload{size: 28}})
+	r.engine.Run()
+	for i := 1; i < 4; i++ {
+		if len(r.rx[i]) != 1 {
+			t.Fatalf("nic%d got %d broadcast frames, want 1", i, len(r.rx[i]))
+		}
+	}
+	if len(r.rx[0]) != 0 {
+		t.Fatal("sender received its own broadcast")
+	}
+}
+
+func TestPromiscuousReceivesForeignFrames(t *testing.T) {
+	r := newRig(t, 3, GigabitLink)
+	r.nics[2].SetPromiscuous(true)
+	r.nics[0].Send(Frame{Src: mac(1), Dst: mac(2), Type: TypeIPv4, Payload: testPayload{size: 64}})
+	r.engine.Run()
+	if len(r.rx[2]) != 1 {
+		t.Fatalf("promiscuous nic got %d frames, want 1", len(r.rx[2]))
+	}
+}
+
+func TestMultipleMACsPerNIC(t *testing.T) {
+	r := newRig(t, 2, GigabitLink)
+	vifMAC := mac(0x77)
+	r.nics[1].AddMAC(vifMAC)
+	r.nics[0].Send(Frame{Src: mac(1), Dst: vifMAC, Type: TypeIPv4, Payload: testPayload{size: 64}})
+	r.engine.Run()
+	if len(r.rx[1]) != 1 {
+		t.Fatalf("VIF MAC frame not delivered")
+	}
+	r.nics[1].RemoveMAC(vifMAC)
+	r.sw.ForgetMAC(vifMAC)
+	r.nics[0].Send(Frame{Src: mac(1), Dst: vifMAC, Type: TypeIPv4, Payload: testPayload{size: 64}})
+	r.engine.Run()
+	if len(r.rx[1]) != 1 {
+		t.Fatalf("frame delivered after MAC removal")
+	}
+	// Primary MAC cannot be removed.
+	r.nics[1].RemoveMAC(mac(2))
+	if !r.nics[1].HasMAC(mac(2)) {
+		t.Fatal("primary MAC was removed")
+	}
+}
+
+func TestWireSizeMinimum(t *testing.T) {
+	f := Frame{Payload: testPayload{size: 1}}
+	if f.WireSize() != minFrameBytes {
+		t.Fatalf("WireSize = %d, want %d", f.WireSize(), minFrameBytes)
+	}
+	f = Frame{Payload: testPayload{size: 1500}}
+	if f.WireSize() != 1500+headerBytes+crcBytes {
+		t.Fatalf("WireSize = %d", f.WireSize())
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	// One 1500-byte frame over a gigabit link: serialization 2x (NIC out,
+	// switch out) plus 2x 5µs latency.
+	r := newRig(t, 2, GigabitLink)
+	var arrival sim.Time
+	r.nics[1].SetReceiver(func(Frame) { arrival = r.engine.Now() })
+	r.nics[0].Send(Frame{Src: mac(1), Dst: Broadcast, Payload: testPayload{size: 1500 - headerBytes - crcBytes}})
+	r.engine.Run()
+	ser := GigabitLink.serialization(1500)
+	want := sim.Time(0).Add(ser + GigabitLink.Latency + ser + GigabitLink.Latency)
+	if arrival != want {
+		t.Fatalf("arrival = %v, want %v", arrival, want)
+	}
+	if ser != sim.Duration(12*sim.Microsecond) {
+		t.Fatalf("1500B @ 1Gb/s serialization = %v, want 12µs", ser)
+	}
+}
+
+func TestBackToBackSendsSerialize(t *testing.T) {
+	r := newRig(t, 2, GigabitLink)
+	var arrivals []sim.Time
+	r.nics[1].SetReceiver(func(Frame) { arrivals = append(arrivals, r.engine.Now()) })
+	payload := testPayload{size: 1500 - headerBytes - crcBytes}
+	for i := 0; i < 3; i++ {
+		r.nics[0].Send(Frame{Src: mac(1), Dst: Broadcast, Payload: payload})
+	}
+	r.engine.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %d, want 3", len(arrivals))
+	}
+	ser := GigabitLink.serialization(1500)
+	for i := 1; i < 3; i++ {
+		gap := arrivals[i].Sub(arrivals[i-1])
+		if gap != ser {
+			t.Fatalf("inter-frame gap %d = %v, want %v", i, gap, ser)
+		}
+	}
+}
+
+func TestSendDetached(t *testing.T) {
+	e := sim.NewEngine(1)
+	nic := NewNIC(e, "lonely", mac(9))
+	if err := nic.Send(Frame{}); err != ErrDetached {
+		t.Fatalf("err = %v, want ErrDetached", err)
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	r := newRig(t, 2, GigabitLink)
+	r.sw.Detach(r.nics[1])
+	r.nics[0].Send(Frame{Src: mac(1), Dst: Broadcast, Payload: testPayload{size: 64}})
+	r.engine.Run()
+	if len(r.rx[1]) != 0 {
+		t.Fatal("frame delivered to detached NIC")
+	}
+}
+
+func TestLinkDownDropsBothDirections(t *testing.T) {
+	r := newRig(t, 3, GigabitLink)
+	r.sw.SetLinkDown(r.nics[1], true)
+	r.nics[0].Send(Frame{Src: mac(1), Dst: Broadcast, Payload: testPayload{size: 64}})
+	r.nics[1].Send(Frame{Src: mac(2), Dst: Broadcast, Payload: testPayload{size: 64}})
+	r.engine.Run()
+	if len(r.rx[1]) != 0 {
+		t.Fatal("frame delivered over downed link")
+	}
+	if len(r.rx[2]) != 1 { // only nic0's broadcast arrives
+		t.Fatalf("nic2 got %d frames, want 1", len(r.rx[2]))
+	}
+}
+
+func TestDropRateLosesFrames(t *testing.T) {
+	r := newRig(t, 2, GigabitLink)
+	r.sw.SetDropRate(r.nics[0], 1.0)
+	for i := 0; i < 10; i++ {
+		r.nics[0].Send(Frame{Src: mac(1), Dst: Broadcast, Payload: testPayload{size: 64}})
+	}
+	r.engine.Run()
+	if len(r.rx[1]) != 0 {
+		t.Fatalf("frames delivered despite 100%% drop: %d", len(r.rx[1]))
+	}
+	if r.nics[0].Stats.Dropped != 10 {
+		t.Fatalf("Dropped = %d, want 10", r.nics[0].Stats.Dropped)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Fatalf("String = %q", m.String())
+	}
+	if !Broadcast.IsBroadcast() || m.IsBroadcast() {
+		t.Fatal("IsBroadcast misbehaves")
+	}
+	if !(MAC{}).IsZero() || m.IsZero() {
+		t.Fatal("IsZero misbehaves")
+	}
+}

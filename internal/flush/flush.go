@@ -1,0 +1,611 @@
+// Package flush implements the channel-flushing coordinated checkpoint
+// that MPVM, CoCheck, and LAM-MPI use (paper §2, §5.2) — the baseline
+// Cruz improves on.
+//
+// Instead of saving TCP state and dropping in-flight packets, flushing
+// protocols make the state of every communication channel empty before
+// checkpointing: each node stops its application, then exchanges marker
+// messages with EVERY other node carrying per-channel byte-stream
+// positions, and drains its sockets (into a library-level buffer that
+// becomes part of the checkpoint) until each channel has delivered
+// everything sent before the peer's marker. Only then does the local
+// state save begin.
+//
+// The cost Cruz eliminates is visible directly in this package: O(N²)
+// marker messages per checkpoint versus Cruz's O(N), plus the drain
+// latency on every node. The local save itself reuses internal/ckpt.
+package flush
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"cruz/internal/ckpt"
+	"cruz/internal/ctl"
+	"cruz/internal/kernel"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+	"cruz/internal/zap"
+)
+
+// DefaultControlPort is the flushing agents' control port (distinct from
+// the Cruz agents' port so both can coexist on a node for comparison
+// benchmarks).
+const DefaultControlPort = 7078
+
+// Errors surfaced by the flushing protocol.
+var (
+	ErrUnknownPod = errors.New("flush: agent does not manage that pod")
+	ErrBusy       = errors.New("flush: operation already in progress")
+	ErrAgent      = errors.New("flush: agent reported failure")
+)
+
+// fMsgType discriminates protocol messages.
+type fMsgType int
+
+const (
+	fCheckpoint fMsgType = iota + 1
+	fMarker
+	fDone
+	fContinue
+	fContinueDone
+)
+
+// memberInfo travels in the checkpoint request so agents can find each
+// other for the all-to-all marker exchange.
+type memberInfo struct {
+	Pod   string
+	PodIP tcpip.Addr
+	Agent tcpip.AddrPort
+}
+
+// connPos is one channel marker entry: the sender's byte-stream position
+// on the channel identified (from the receiver's point of view) by Tuple.
+type connPos struct {
+	Tuple tcpip.FourTuple
+	Sent  uint64
+}
+
+// fWireMsg is the single message shape.
+type fWireMsg struct {
+	Type    fMsgType
+	Seq     int
+	Pod     string // destination pod (checkpoint/continue) or sender pod (marker)
+	Err     string
+	Members []memberInfo
+
+	// Marker payload.
+	FromPod   string
+	Positions []connPos
+
+	// Reporting.
+	LocalDuration sim.Duration
+	FlushDuration sim.Duration
+	MarkerMsgs    int
+	ImageBytes    int64
+}
+
+type fConn struct {
+	*ctl.Conn
+	onMsg func(*fConn, *fWireMsg)
+}
+
+func newFConn(tc *tcpip.TCPConn, onMsg func(*fConn, *fWireMsg)) *fConn {
+	c := &fConn{onMsg: onMsg}
+	c.Conn = ctl.NewConn(tc, c.frame, nil)
+	return c
+}
+
+func (c *fConn) send(m *fWireMsg) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(m); err != nil {
+		return fmt.Errorf("flush: encode: %w", err)
+	}
+	return c.Conn.Send(body.Bytes())
+}
+
+func (c *fConn) frame(_ *ctl.Conn, payload []byte) {
+	var m fWireMsg
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return
+	}
+	c.onMsg(c, &m)
+}
+
+// AgentParams models the flushing agent's costs.
+type AgentParams struct {
+	Port        uint16
+	MsgCost     sim.Duration
+	CaptureCost sim.Duration
+	// DrainPoll is how often the agent re-checks channel drain progress.
+	DrainPoll sim.Duration
+}
+
+// DefaultAgentParams returns testbed-calibrated costs (message handling
+// matches the Cruz agents so the comparison isolates protocol structure).
+func DefaultAgentParams() AgentParams {
+	return AgentParams{
+		Port:        DefaultControlPort,
+		MsgCost:     20 * sim.Microsecond,
+		CaptureCost: 150 * sim.Microsecond,
+		DrainPoll:   200 * sim.Microsecond,
+	}
+}
+
+// Agent is the per-node daemon of the flushing baseline.
+type Agent struct {
+	kern   *kernel.Kernel
+	store  *ckpt.Store
+	params AgentParams
+	cpu    ctl.Serializer
+
+	pods     map[string]*zap.Pod
+	listener *tcpip.TCPListener
+	peers    map[tcpip.AddrPort]*fConn
+
+	op *agentOp
+	// earlyMarkers buffers markers that arrive before our own
+	// checkpoint request (a faster peer stopped first).
+	earlyMarkers map[int][]*fWireMsg
+}
+
+type agentOp struct {
+	seq        int
+	pod        *zap.Pod
+	podName    string
+	conn       *fConn
+	members    []memberInfo
+	t0         sim.Time
+	flushEnd   sim.Time
+	markers    map[string]*fWireMsg // sender pod -> marker
+	need       int
+	markerSent int
+	saved      bool
+}
+
+// NewAgent starts a flushing agent on the node.
+func NewAgent(kern *kernel.Kernel, store *ckpt.Store, params AgentParams) (*Agent, error) {
+	a := &Agent{
+		kern:         kern,
+		store:        store,
+		params:       params,
+		cpu:          ctl.Serializer{Engine: kern.Engine()},
+		pods:         make(map[string]*zap.Pod),
+		peers:        make(map[tcpip.AddrPort]*fConn),
+		earlyMarkers: make(map[int][]*fWireMsg),
+	}
+	addr, ok := kern.Stack().FirstAddr()
+	if !ok {
+		return nil, tcpip.ErrNoRoute
+	}
+	l, err := kern.Stack().ListenTCP(tcpip.AddrPort{Addr: addr, Port: params.Port}, 16)
+	if err != nil {
+		return nil, err
+	}
+	a.listener = l
+	l.SetNotify(func() {
+		for {
+			tc, aerr := l.Accept()
+			if aerr != nil {
+				return
+			}
+			newFConn(tc, a.onMsg)
+		}
+	})
+	return a, nil
+}
+
+// Addr returns the agent's control endpoint.
+func (a *Agent) Addr() tcpip.AddrPort { return a.listener.LocalAddr() }
+
+// Manage registers a pod.
+func (a *Agent) Manage(pod *zap.Pod) { a.pods[pod.Name()] = pod }
+
+// Pod returns a managed pod by name.
+func (a *Agent) Pod(name string) *zap.Pod { return a.pods[name] }
+
+// peerConn returns (dialing if needed) a connection to a peer agent.
+func (a *Agent) peerConn(addr tcpip.AddrPort) (*fConn, error) {
+	if c, ok := a.peers[addr]; ok {
+		return c, nil
+	}
+	tc, err := a.kern.Stack().DialTCP(tcpip.AddrPort{}, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := newFConn(tc, a.onMsg)
+	a.peers[addr] = c
+	return c, nil
+}
+
+// onMsg dispatches any protocol message (from the coordinator or a peer
+// agent).
+func (a *Agent) onMsg(c *fConn, m *fWireMsg) {
+	a.cpu.Do(a.params.MsgCost, func() {
+		switch m.Type {
+		case fCheckpoint:
+			a.startCheckpoint(c, m)
+		case fMarker:
+			a.handleMarker(m)
+		case fContinue:
+			a.handleContinue(m)
+		}
+	})
+}
+
+// startCheckpoint is the flushing agent's local sequence: stop the
+// application, exchange markers all-to-all, drain channels, then save.
+func (a *Agent) startCheckpoint(c *fConn, m *fWireMsg) {
+	pod, ok := a.pods[m.Pod]
+	if !ok || pod.Destroyed() {
+		c.send(&fWireMsg{Type: fDone, Seq: m.Seq, Pod: m.Pod, Err: ErrUnknownPod.Error()})
+		return
+	}
+	if a.op != nil {
+		c.send(&fWireMsg{Type: fDone, Seq: m.Seq, Pod: m.Pod, Err: ErrBusy.Error()})
+		return
+	}
+	op := &agentOp{
+		seq:     m.Seq,
+		pod:     pod,
+		podName: m.Pod,
+		conn:    c,
+		members: m.Members,
+		t0:      a.kern.Engine().Now(),
+		markers: make(map[string]*fWireMsg),
+		need:    len(m.Members) - 1,
+	}
+	a.op = op
+	// Adopt any markers that raced ahead of the request.
+	for _, em := range a.earlyMarkers[m.Seq] {
+		op.markers[em.FromPod] = em
+	}
+	delete(a.earlyMarkers, m.Seq)
+
+	pod.Stop(func() {
+		// Application stopped: emit this node's markers to every other
+		// node (the all-to-all exchange; O(N²) cluster-wide).
+		for _, mem := range op.members {
+			if mem.Pod == op.podName {
+				continue
+			}
+			positions := a.positionsToward(pod, mem.PodIP)
+			pc, err := a.peerConn(mem.Agent)
+			if err != nil {
+				continue
+			}
+			op.markerSent++
+			pc.send(&fWireMsg{
+				Type:      fMarker,
+				Seq:       op.seq,
+				Pod:       mem.Pod,
+				FromPod:   op.podName,
+				Positions: positions,
+			})
+		}
+		a.pollDrain(op)
+	})
+}
+
+// positionsToward collects the pod's send positions on channels whose
+// peer is the given pod address.
+func (a *Agent) positionsToward(pod *zap.Pod, peerIP tcpip.Addr) []connPos {
+	var out []connPos
+	for _, conn := range a.kern.Stack().Conns() {
+		t := conn.Tuple()
+		if t.Local.Addr != pod.IP() || t.Remote.Addr != peerIP {
+			continue
+		}
+		sent, _ := conn.StreamProgress()
+		// The receiver identifies the channel by its own tuple.
+		out = append(out, connPos{
+			Tuple: tcpip.FourTuple{Local: t.Remote, Remote: t.Local},
+			Sent:  sent,
+		})
+	}
+	return out
+}
+
+// handleMarker records a peer's marker (possibly before our own request).
+func (a *Agent) handleMarker(m *fWireMsg) {
+	if a.op != nil && a.op.seq == m.Seq {
+		a.op.markers[m.FromPod] = m
+		return
+	}
+	a.earlyMarkers[m.Seq] = append(a.earlyMarkers[m.Seq], m)
+}
+
+// pollDrain re-checks flush progress until every channel has delivered
+// everything its sender emitted before stopping, then saves local state.
+func (a *Agent) pollDrain(op *agentOp) {
+	if a.op != op {
+		return
+	}
+	if len(op.markers) >= op.need && a.drained(op) {
+		op.flushEnd = a.kern.Engine().Now()
+		a.saveLocal(op)
+		return
+	}
+	// Drain live socket data into library buffers so windows reopen and
+	// remaining in-flight bytes can arrive.
+	for _, conn := range a.kern.Stack().Conns() {
+		if conn.Tuple().Local.Addr == op.pod.IP() {
+			conn.DrainToAlt()
+		}
+	}
+	a.kern.Engine().Schedule(a.params.DrainPoll, func() { a.pollDrain(op) })
+}
+
+// drained reports whether all marker positions have been received.
+func (a *Agent) drained(op *agentOp) bool {
+	conns := a.kern.Stack().Conns()
+	for _, m := range op.markers {
+		for _, pos := range m.Positions {
+			satisfied := false
+			for _, conn := range conns {
+				if conn.Tuple() == pos.Tuple {
+					_, rcvd := conn.StreamProgress()
+					if rcvd >= pos.Sent {
+						satisfied = true
+					}
+					break
+				}
+			}
+			if !satisfied {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// saveLocal captures and writes the pod image, then reports done.
+func (a *Agent) saveLocal(op *agentOp) {
+	a.cpu.Do(a.params.CaptureCost, func() {
+		img, err := ckpt.Capture(op.pod, op.seq, ckpt.Options{})
+		if err != nil {
+			op.conn.send(&fWireMsg{Type: fDone, Seq: op.seq, Pod: op.podName, Err: err.Error()})
+			a.op = nil
+			return
+		}
+		a.store.Save(img, func(size int64, serr error) {
+			msg := &fWireMsg{
+				Type:          fDone,
+				Seq:           op.seq,
+				Pod:           op.podName,
+				LocalDuration: a.kern.Engine().Now().Sub(op.t0),
+				FlushDuration: op.flushEnd.Sub(op.t0),
+				MarkerMsgs:    op.markerSent,
+				ImageBytes:    size,
+			}
+			if serr != nil {
+				msg.Err = serr.Error()
+			}
+			op.saved = true
+			op.conn.send(msg)
+		})
+	})
+}
+
+// handleContinue resumes the application.
+func (a *Agent) handleContinue(m *fWireMsg) {
+	op := a.op
+	if op == nil || op.seq != m.Seq {
+		return
+	}
+	a.op = nil
+	op.pod.Resume()
+	op.conn.send(&fWireMsg{
+		Type:          fContinueDone,
+		Seq:           m.Seq,
+		Pod:           op.podName,
+		LocalDuration: a.params.MsgCost,
+	})
+}
+
+// Member describes one job member for the flushing coordinator.
+type Member struct {
+	Pod   string
+	PodIP tcpip.Addr
+	Agent tcpip.AddrPort
+}
+
+// Job is a distributed application under the flushing protocol.
+type Job struct {
+	Name    string
+	Members []Member
+}
+
+// Result reports a flushing checkpoint's costs.
+type Result struct {
+	Seq int
+	// Latency is first request to last done (comparable to Cruz's
+	// Fig. 5(a) metric).
+	Latency      sim.Duration
+	CycleLatency sim.Duration
+	// MaxFlush is the slowest node's marker-exchange-plus-drain phase —
+	// the cost Cruz eliminates entirely.
+	MaxFlush sim.Duration
+	MaxLocal sim.Duration
+	// CoordinatorMessages counts coordinator<->agent messages; MarkerMessages
+	// counts agent<->agent marker traffic (the O(N²) term).
+	CoordinatorMessages int
+	MarkerMessages      int
+}
+
+// Coordinator drives flushing checkpoints.
+type Coordinator struct {
+	stack  *tcpip.Stack
+	params AgentParams // MsgCost reused
+	cpu    ctl.Serializer
+	conns  map[tcpip.AddrPort]*fConn
+	ops    map[string]*coordOp
+	seq    map[string]int
+}
+
+type coordOp struct {
+	job      *Job
+	seq      int
+	t0       sim.Time
+	doneAt   sim.Time
+	pending  map[string]bool
+	contPend map[string]bool
+	res      *Result
+	done     func(*Result, error)
+	failed   bool
+}
+
+// NewCoordinator creates a flushing coordinator on the given stack.
+func NewCoordinator(stack *tcpip.Stack) *Coordinator {
+	return &Coordinator{
+		stack:  stack,
+		params: DefaultAgentParams(),
+		cpu:    ctl.Serializer{Engine: stack.Engine()},
+		conns:  make(map[tcpip.AddrPort]*fConn),
+		ops:    make(map[string]*coordOp),
+		seq:    make(map[string]int),
+	}
+}
+
+// Connect dials all agents of the job.
+func (c *Coordinator) Connect(job *Job, done func(error)) {
+	remaining := 0
+	check := func() {
+		if remaining == 0 && done != nil {
+			done(nil)
+			done = nil
+		}
+	}
+	for _, m := range job.Members {
+		addr := m.Agent
+		if _, ok := c.conns[addr]; ok {
+			continue
+		}
+		tc, err := c.stack.DialTCP(tcpip.AddrPort{}, addr)
+		if err != nil {
+			done(err)
+			return
+		}
+		remaining++
+		fc := newFConn(tc, c.onMsg)
+		c.conns[addr] = fc
+		established := false
+		tc.SetNotify(func() {
+			fc.Pump()
+			if !established && tc.Established() {
+				established = true
+				remaining--
+				check()
+			}
+		})
+	}
+	check()
+}
+
+// Checkpoint runs one flushing coordinated checkpoint.
+func (c *Coordinator) Checkpoint(job *Job, done func(*Result, error)) {
+	if _, busy := c.ops[job.Name]; busy {
+		done(nil, ErrBusy)
+		return
+	}
+	c.seq[job.Name]++
+	seq := c.seq[job.Name]
+	members := make([]memberInfo, len(job.Members))
+	for i, m := range job.Members {
+		members[i] = memberInfo{Pod: m.Pod, PodIP: m.PodIP, Agent: m.Agent}
+	}
+	op := &coordOp{
+		job:      job,
+		seq:      seq,
+		t0:       c.stack.Engine().Now(),
+		pending:  make(map[string]bool),
+		contPend: make(map[string]bool),
+		res:      &Result{Seq: seq},
+		done:     done,
+	}
+	c.ops[job.Name] = op
+	for _, m := range job.Members {
+		op.pending[m.Pod] = true
+		op.contPend[m.Pod] = true
+		m := m
+		c.cpu.Do(c.params.MsgCost, func() {
+			fc, ok := c.conns[m.Agent]
+			if !ok {
+				c.fail(op, fmt.Errorf("%w: no connection to %s", ErrAgent, m.Agent))
+				return
+			}
+			op.res.CoordinatorMessages += 1
+			fc.send(&fWireMsg{Type: fCheckpoint, Seq: seq, Pod: m.Pod, Members: members})
+		})
+	}
+}
+
+func (c *Coordinator) fail(op *coordOp, err error) {
+	if op.failed {
+		return
+	}
+	op.failed = true
+	delete(c.ops, op.job.Name)
+	op.done(nil, err)
+}
+
+// onMsg handles agent replies.
+func (c *Coordinator) onMsg(_ *fConn, m *fWireMsg) {
+	c.cpu.Do(c.params.MsgCost, func() {
+		var op *coordOp
+		for _, o := range c.ops {
+			if o.seq == m.Seq {
+				op = o
+				break
+			}
+		}
+		if op == nil || op.failed {
+			return
+		}
+		if m.Err != "" {
+			c.fail(op, fmt.Errorf("%w: %s: %s", ErrAgent, m.Pod, m.Err))
+			return
+		}
+		switch m.Type {
+		case fDone:
+			if !op.pending[m.Pod] {
+				return
+			}
+			delete(op.pending, m.Pod)
+			op.res.CoordinatorMessages++
+			op.res.MarkerMessages += m.MarkerMsgs
+			if m.FlushDuration > op.res.MaxFlush {
+				op.res.MaxFlush = m.FlushDuration
+			}
+			if m.LocalDuration > op.res.MaxLocal {
+				op.res.MaxLocal = m.LocalDuration
+			}
+			if len(op.pending) == 0 {
+				op.doneAt = c.stack.Engine().Now()
+				op.res.Latency = op.doneAt.Sub(op.t0)
+				for _, mem := range op.job.Members {
+					mem := mem
+					c.cpu.Do(c.params.MsgCost, func() {
+						if fc, ok := c.conns[mem.Agent]; ok {
+							op.res.CoordinatorMessages++
+							fc.send(&fWireMsg{Type: fContinue, Seq: op.seq, Pod: mem.Pod})
+						}
+					})
+				}
+			}
+		case fContinueDone:
+			if !op.contPend[m.Pod] {
+				return
+			}
+			delete(op.contPend, m.Pod)
+			op.res.CoordinatorMessages++
+			if len(op.contPend) == 0 && len(op.pending) == 0 {
+				op.res.CycleLatency = c.stack.Engine().Now().Sub(op.t0)
+				delete(c.ops, op.job.Name)
+				op.done(op.res, nil)
+			}
+		}
+	})
+}

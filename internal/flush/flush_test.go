@@ -1,0 +1,262 @@
+package flush
+
+import (
+	"testing"
+
+	"cruz/internal/ckpt"
+	"cruz/internal/ether"
+	"cruz/internal/kernel"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+	"cruz/internal/zap"
+)
+
+func init() {
+	ckpt.RegisterProgram(&chatterProg{})
+}
+
+// chatterProg sends a numbered byte stream to its right neighbour and
+// verifies its left neighbour's stream, like the core tests' ring worker
+// but with bulkier messages so channels actually hold in-flight data.
+type chatterProg struct {
+	ID, N  int
+	PeerIP tcpip.Addr
+	Phase  int
+	LFD    int
+	InFD   int
+	OutFD  int
+	SentB  uint64
+	RecvB  uint64
+	Fault  string
+}
+
+func (w *chatterProg) fail(msg string) kernel.StepResult {
+	w.Fault = msg
+	return kernel.Exit(0, 2)
+}
+
+func (w *chatterProg) Step(ctx *kernel.ProcContext) kernel.StepResult {
+	const chunk = 1000
+	switch w.Phase {
+	case 0:
+		fd, err := ctx.Listen(tcpip.AddrPort{Port: 9100}, 4)
+		if err != nil {
+			return w.fail("listen")
+		}
+		w.LFD = fd
+		w.Phase = 1
+		return kernel.Sleep(0, 10*sim.Millisecond)
+	case 1:
+		fd, err := ctx.Connect(tcpip.AddrPort{Addr: w.PeerIP, Port: 9100})
+		if err != nil {
+			return w.fail("connect")
+		}
+		w.OutFD = fd
+		w.Phase = 2
+		return kernel.Continue(0)
+	case 2:
+		ok, err := ctx.ConnEstablished(w.OutFD)
+		if err != nil {
+			return w.fail("establish")
+		}
+		if !ok {
+			return kernel.Sleep(0, sim.Millisecond)
+		}
+		w.Phase = 3
+		return kernel.Continue(0)
+	case 3:
+		fd, err := ctx.Accept(w.LFD)
+		if err == kernel.ErrWouldBlock {
+			return kernel.BlockOnRead(0, w.LFD)
+		}
+		if err != nil {
+			return w.fail("accept")
+		}
+		w.InFD = fd
+		w.Phase = 4
+		return kernel.Continue(0)
+	default:
+		// Alternate sending a chunk and draining whatever arrived,
+		// verifying the numbered stream.
+		b := make([]byte, chunk)
+		for i := range b {
+			b[i] = byte(w.SentB + uint64(i))
+		}
+		if n, err := ctx.Send(w.OutFD, b); err == nil {
+			w.SentB += uint64(n)
+		}
+		rb := make([]byte, 4096)
+		n, err := ctx.Recv(w.InFD, rb, false)
+		if err == nil {
+			for i := 0; i < n; i++ {
+				if rb[i] != byte(w.RecvB+uint64(i)) {
+					return w.fail("stream corruption")
+				}
+			}
+			w.RecvB += uint64(n)
+		}
+		return kernel.Continue(200 * sim.Microsecond)
+	}
+}
+
+type rig struct {
+	t      *testing.T
+	engine *sim.Engine
+	coord  *Coordinator
+	job    *Job
+	progs  []*chatterProg
+	pods   []*zap.Pod
+}
+
+func podIP(i int) tcpip.Addr { return tcpip.Addr{10, 0, 1, byte(i + 1)} }
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	r := &rig{t: t, engine: sim.NewEngine(41)}
+	sw := ether.NewSwitch(r.engine)
+	mkNode := func(i int) *kernel.Kernel {
+		mac := ether.MAC{2, 0, 0, 0, 0, byte(i + 1)}
+		nic := ether.NewNIC(r.engine, "eth0", mac)
+		sw.Attach(nic, ether.GigabitLink)
+		st := tcpip.NewStack(r.engine, "node")
+		if _, err := st.AddInterface("eth0", tcpip.Addr{10, 0, 0, byte(i + 1)}, mac, nic, false); err != nil {
+			t.Fatal(err)
+		}
+		return kernel.New(r.engine, "node", kernel.DefaultParams(), st)
+	}
+	job := &Job{Name: "chat"}
+	for i := 0; i < n; i++ {
+		k := mkNode(i)
+		ag, err := NewAgent(k, ckpt.NewStore(k.Disk()), DefaultAgentParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pod, err := zap.New(k, "chat-"+string(rune('a'+i)), zap.NetConfig{
+			IP:  podIP(i),
+			MAC: ether.MAC{2, 0, 0, 1, 0, byte(i + 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &chatterProg{ID: i, N: n, PeerIP: podIP((i + 1) % n)}
+		if _, err := pod.Spawn("chatter", p); err != nil {
+			t.Fatal(err)
+		}
+		ag.Manage(pod)
+		r.progs = append(r.progs, p)
+		r.pods = append(r.pods, pod)
+		job.Members = append(job.Members, Member{Pod: pod.Name(), PodIP: podIP(i), Agent: ag.Addr()})
+	}
+	ck := mkNode(n)
+	r.coord = NewCoordinator(ck.Stack())
+	r.job = job
+	connected := false
+	r.coord.Connect(job, func(err error) {
+		if err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		connected = true
+	})
+	r.run(100 * sim.Millisecond)
+	if !connected {
+		t.Fatal("never connected")
+	}
+	return r
+}
+
+func (r *rig) run(d sim.Duration) {
+	r.t.Helper()
+	if err := r.engine.RunFor(d); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rig) checkpoint() *Result {
+	r.t.Helper()
+	var res *Result
+	var cerr error
+	fired := false
+	r.coord.Checkpoint(r.job, func(got *Result, err error) {
+		res, cerr, fired = got, err, true
+	})
+	for i := 0; i < 500 && !fired; i++ {
+		r.run(20 * sim.Millisecond)
+	}
+	if !fired {
+		r.t.Fatal("flush checkpoint never completed")
+	}
+	if cerr != nil {
+		r.t.Fatalf("flush checkpoint: %v", cerr)
+	}
+	return res
+}
+
+func TestFlushCheckpointCorrectness(t *testing.T) {
+	r := newRig(t, 4)
+	r.run(sim.Second)
+	for i, p := range r.progs {
+		if p.Fault != "" {
+			t.Fatalf("prog %d fault before checkpoint: %s", i, p.Fault)
+		}
+		if p.SentB == 0 {
+			t.Fatalf("prog %d never sent", i)
+		}
+	}
+	res := r.checkpoint()
+	if res.Latency <= 0 || res.MaxFlush <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	// The app continues, stream intact (drained bytes preserved in the
+	// library buffer).
+	sent := r.progs[0].SentB
+	r.run(sim.Second)
+	for i, p := range r.progs {
+		if p.Fault != "" {
+			t.Fatalf("prog %d fault after checkpoint: %s", i, p.Fault)
+		}
+	}
+	if r.progs[0].SentB <= sent {
+		t.Fatal("app did not progress after flush checkpoint")
+	}
+}
+
+func TestFlushMarkerComplexityIsQuadratic(t *testing.T) {
+	counts := map[int]int{}
+	for _, n := range []int{2, 4} {
+		r := newRig(t, n)
+		r.run(500 * sim.Millisecond)
+		res := r.checkpoint()
+		counts[n] = res.MarkerMessages
+		if want := n * (n - 1); res.MarkerMessages != want {
+			t.Fatalf("n=%d markers = %d, want %d", n, res.MarkerMessages, want)
+		}
+		if want := 4 * n; res.CoordinatorMessages != want {
+			t.Fatalf("n=%d coordinator msgs = %d, want %d", n, res.CoordinatorMessages, want)
+		}
+	}
+	// 2 -> 4 nodes: coordinator messages double, markers grow 6x.
+	if counts[4] != 6*counts[2] {
+		t.Fatalf("marker growth %d -> %d not quadratic", counts[2], counts[4])
+	}
+}
+
+func TestFlushDrainsInFlightData(t *testing.T) {
+	// The checkpoint must not start saving until channels are empty; we
+	// verify by checking stream integrity immediately after resuming a
+	// checkpoint taken mid-burst (a lost in-flight chunk would corrupt
+	// the numbered stream since, unlike Cruz, nothing retransmits it
+	// after the channel state is discarded by restart — here we at least
+	// assert the live continuation is clean and positions are consistent).
+	r := newRig(t, 3)
+	r.run(300 * sim.Millisecond)
+	res := r.checkpoint()
+	if res.MaxFlush > res.Latency {
+		t.Fatalf("flush %v exceeds total %v", res.MaxFlush, res.Latency)
+	}
+	r.run(500 * sim.Millisecond)
+	for i, p := range r.progs {
+		if p.Fault != "" {
+			t.Fatalf("prog %d fault: %s", i, p.Fault)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+
+	"cruz/internal/tcpip"
+)
+
+// FDKind tags what a descriptor refers to, primarily for the
+// checkpointer, which saves each kind differently.
+type FDKind int
+
+// Descriptor kinds.
+const (
+	FDConn FDKind = iota + 1
+	FDListener
+	FDUDP
+	FDPipeRead
+	FDPipeWrite
+)
+
+var fdKindNames = map[FDKind]string{
+	FDConn:      "tcp",
+	FDListener:  "listener",
+	FDUDP:       "udp",
+	FDPipeRead:  "pipe-r",
+	FDPipeWrite: "pipe-w",
+}
+
+func (k FDKind) String() string {
+	if n, ok := fdKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("FDKind(%d)", int(k))
+}
+
+// file is the kernel-internal interface descriptors point at.
+type file interface {
+	read(b []byte, peek bool) (int, error)
+	write(b []byte) (int, error)
+	close()
+	// ready reports whether the wanted direction would not block.
+	ready(write bool) bool
+}
+
+// FD is one slot in a process's descriptor table.
+type FD struct {
+	file file
+	kind FDKind
+	refs *int // shared among duplicated descriptors (pipe inheritance)
+}
+
+// Kind returns the descriptor's kind.
+func (f *FD) Kind() FDKind { return f.kind }
+
+// Conn returns the TCP connection behind an FDConn descriptor, or nil.
+func (f *FD) Conn() *tcpip.TCPConn {
+	if cf, ok := f.file.(*connFile); ok {
+		return cf.c
+	}
+	return nil
+}
+
+// Listener returns the listener behind an FDListener descriptor, or nil.
+func (f *FD) Listener() *tcpip.TCPListener {
+	if lf, ok := f.file.(*listenerFile); ok {
+		return lf.l
+	}
+	return nil
+}
+
+// UDP returns the UDP socket behind an FDUDP descriptor, or nil.
+func (f *FD) UDP() *tcpip.UDPConn {
+	if uf, ok := f.file.(*udpFile); ok {
+		return uf.u
+	}
+	return nil
+}
+
+// PipeObj returns the pipe behind a pipe descriptor, or nil.
+func (f *FD) PipeObj() *Pipe {
+	switch v := f.file.(type) {
+	case *pipeReadFile:
+		return v.p
+	case *pipeWriteFile:
+		return v.p
+	}
+	return nil
+}
+
+// installFD adds a file to the process's table, returning its number.
+func (p *Process) installFD(f file, kind FDKind) int {
+	fd := p.nextFD
+	p.nextFD++
+	one := 1
+	p.fds[fd] = &FD{file: f, kind: kind, refs: &one}
+	return fd
+}
+
+// installFDAt places a file at a specific descriptor number (restore).
+func (p *Process) installFDAt(num int, f file, kind FDKind) {
+	one := 1
+	p.fds[num] = &FD{file: f, kind: kind, refs: &one}
+	if num >= p.nextFD {
+		p.nextFD = num + 1
+	}
+}
+
+// lookupFD fetches a descriptor and checks its kind.
+func (p *Process) lookupFD(fd int, kind FDKind) (*FD, error) {
+	f, ok := p.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if f.kind != kind {
+		return nil, fmt.Errorf("%w: fd %d is %v, want %v", ErrBadFD, fd, f.kind, kind)
+	}
+	return f, nil
+}
+
+// closeFD removes and closes a descriptor.
+func (p *Process) closeFD(fd int) error {
+	f, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	delete(p.fds, fd)
+	*f.refs--
+	if *f.refs <= 0 {
+		f.file.close()
+	}
+	return nil
+}
+
+// FDs returns the descriptor table (fd number -> FD), for the
+// checkpointer. The map is the live table; callers must not mutate it.
+func (p *Process) FDs() map[int]*FD { return p.fds }
+
+// fdNotify builds the callback wiring a socket's state changes to the
+// scheduler: if this process is blocked on that fd, wake it.
+func (p *Process) fdNotify(fd int) func() {
+	return func() {
+		if p.state == StateBlocked && p.waitFD == fd {
+			p.kernel.wake(p)
+		}
+	}
+}
+
+// InstallConnFD exposes descriptor installation for the restore path: it
+// wires a restored TCP connection into the process at a fixed fd number.
+func (p *Process) InstallConnFD(num int, c *tcpip.TCPConn) {
+	p.installFDAt(num, &connFile{c: c}, FDConn)
+	c.SetNotify(p.fdNotify(num))
+}
+
+// InstallListenerFD wires a restored listener at a fixed fd number.
+func (p *Process) InstallListenerFD(num int, l *tcpip.TCPListener) {
+	p.installFDAt(num, &listenerFile{l: l}, FDListener)
+	l.SetNotify(p.fdNotify(num))
+}
+
+// InstallUDPFD wires a restored UDP socket at a fixed fd number.
+func (p *Process) InstallUDPFD(num int, u *tcpip.UDPConn) {
+	p.installFDAt(num, &udpFile{u: u}, FDUDP)
+	u.SetNotify(p.fdNotify(num))
+}
+
+// InstallPipeFD wires a restored pipe end at a fixed fd number,
+// incrementing the pipe's end refcount.
+func (p *Process) InstallPipeFD(num int, pipe *Pipe, writeEnd bool) {
+	if writeEnd {
+		p.installFDAt(num, &pipeWriteFile{p: pipe}, FDPipeWrite)
+		pipe.writers++
+		pipe.notifyWriters = append(pipe.notifyWriters, p.fdNotify(num))
+	} else {
+		p.installFDAt(num, &pipeReadFile{p: pipe}, FDPipeRead)
+		pipe.readers++
+		pipe.notifyReaders = append(pipe.notifyReaders, p.fdNotify(num))
+	}
+}
+
+// NewPipe creates a bare pipe for the restore path. Its end counts start
+// at zero; InstallPipeFD increments them as descriptors attach.
+func NewPipe(k *Kernel) *Pipe {
+	p := newPipe(k)
+	p.readers, p.writers = 0, 0
+	return p
+}
+
+// --- concrete files ----------------------------------------------------
+
+type connFile struct{ c *tcpip.TCPConn }
+
+func (f *connFile) read(b []byte, peek bool) (int, error) { return f.c.Recv(b, peek) }
+func (f *connFile) write(b []byte) (int, error)           { return f.c.Send(b) }
+func (f *connFile) close()                                { f.c.Close() }
+func (f *connFile) ready(write bool) bool {
+	if write {
+		return f.c.WritableSpace() > 0 || f.c.Err() != nil
+	}
+	return f.c.Readable() || f.c.Err() != nil
+}
+
+type listenerFile struct{ l *tcpip.TCPListener }
+
+func (f *listenerFile) read([]byte, bool) (int, error) { return 0, ErrBadFD }
+func (f *listenerFile) write([]byte) (int, error)      { return 0, ErrBadFD }
+func (f *listenerFile) close()                         { f.l.Close() }
+func (f *listenerFile) ready(write bool) bool          { return !write && f.l.Acceptable() }
+
+type udpFile struct{ u *tcpip.UDPConn }
+
+func (f *udpFile) read(b []byte, peek bool) (int, error) {
+	m, err := f.u.RecvFrom()
+	if err != nil {
+		return 0, err
+	}
+	return copy(b, m.Data), nil
+}
+func (f *udpFile) write([]byte) (int, error) { return 0, ErrBadFD } // use SendTo
+func (f *udpFile) close()                    { f.u.Close() }
+func (f *udpFile) ready(write bool) bool     { return write || f.u.Pending() > 0 }
+
+// Pipe is a byte-stream pipe with a bounded kernel buffer.
+type Pipe struct {
+	kernel  *Kernel
+	buf     []byte
+	limit   int
+	readers int
+	writers int
+	closedR bool
+	closedW bool
+
+	notifyReaders []func()
+	notifyWriters []func()
+}
+
+// pipeBufBytes matches Linux's customary 64 KiB pipe buffer.
+const pipeBufBytes = 65536
+
+func newPipe(k *Kernel) *Pipe {
+	return &Pipe{kernel: k, limit: pipeBufBytes, readers: 1, writers: 1}
+}
+
+// Buffered returns the bytes currently in the pipe (checkpointer).
+func (p *Pipe) Buffered() []byte {
+	out := make([]byte, len(p.buf))
+	copy(out, p.buf)
+	return out
+}
+
+// RestoreBuffer replaces the pipe's contents (restore path).
+func (p *Pipe) RestoreBuffer(b []byte) { p.buf = append([]byte(nil), b...) }
+
+func (p *Pipe) wakeReaders() {
+	for _, fn := range p.notifyReaders {
+		fn()
+	}
+}
+func (p *Pipe) wakeWriters() {
+	for _, fn := range p.notifyWriters {
+		fn()
+	}
+}
+
+type pipeReadFile struct{ p *Pipe }
+
+func (f *pipeReadFile) read(b []byte, peek bool) (int, error) {
+	p := f.p
+	if len(p.buf) == 0 {
+		if p.closedW {
+			return 0, io.EOF
+		}
+		return 0, ErrWouldBlock
+	}
+	n := copy(b, p.buf)
+	if !peek {
+		p.buf = p.buf[n:]
+		p.wakeWriters()
+	}
+	return n, nil
+}
+func (f *pipeReadFile) write([]byte) (int, error) { return 0, ErrBadFD }
+func (f *pipeReadFile) close() {
+	f.p.readers--
+	if f.p.readers <= 0 {
+		f.p.closedR = true
+		f.p.wakeWriters()
+	}
+}
+func (f *pipeReadFile) ready(write bool) bool {
+	return !write && (len(f.p.buf) > 0 || f.p.closedW)
+}
+
+type pipeWriteFile struct{ p *Pipe }
+
+func (f *pipeWriteFile) read([]byte, bool) (int, error) { return 0, ErrBadFD }
+func (f *pipeWriteFile) write(b []byte) (int, error) {
+	p := f.p
+	if p.closedR {
+		return 0, fmt.Errorf("kernel: broken pipe")
+	}
+	space := p.limit - len(p.buf)
+	if space == 0 {
+		return 0, ErrWouldBlock
+	}
+	n := len(b)
+	if n > space {
+		n = space
+	}
+	p.buf = append(p.buf, b[:n]...)
+	p.wakeReaders()
+	return n, nil
+}
+func (f *pipeWriteFile) close() {
+	f.p.writers--
+	if f.p.writers <= 0 {
+		f.p.closedW = true
+		f.p.wakeReaders()
+	}
+}
+func (f *pipeWriteFile) ready(write bool) bool {
+	return write && (len(f.p.buf) < f.p.limit || f.p.closedR)
+}

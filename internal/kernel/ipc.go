@@ -1,0 +1,176 @@
+package kernel
+
+import (
+	"fmt"
+
+	"cruz/internal/mem"
+)
+
+// ShmSegment is a System-V shared-memory segment. Processes access it by
+// id through ShmRead/ShmWrite syscalls (the simulation does not alias
+// page tables; the observable semantics — shared, persistent across the
+// attaching processes' lifetimes, checkpointed with the pod — match).
+type ShmSegment struct {
+	ID   int
+	Key  int
+	Size int
+	mem  *mem.AddressSpace
+	base uint64
+}
+
+func newShmSegment(id, key, size int) (*ShmSegment, error) {
+	s := &ShmSegment{ID: id, Key: key, Size: size, mem: mem.NewAddressSpace()}
+	base, err := s.mem.Alloc(uint64(size), fmt.Sprintf("shm:%d", id))
+	if err != nil {
+		return nil, err
+	}
+	s.base = base
+	return s, nil
+}
+
+// Write stores b at offset off.
+func (s *ShmSegment) Write(off int, b []byte) error {
+	if off < 0 || off+len(b) > s.Size {
+		return fmt.Errorf("%w: shm write [%d,+%d) of %d", mem.ErrOutOfRange, off, len(b), s.Size)
+	}
+	return s.mem.Write(s.base+uint64(off), b)
+}
+
+// Read loads into b from offset off.
+func (s *ShmSegment) Read(off int, b []byte) error {
+	if off < 0 || off+len(b) > s.Size {
+		return fmt.Errorf("%w: shm read [%d,+%d) of %d", mem.ErrOutOfRange, off, len(b), s.Size)
+	}
+	return s.mem.Read(s.base+uint64(off), b)
+}
+
+// Contents returns a copy of the whole segment (checkpointer).
+func (s *ShmSegment) Contents() []byte {
+	b := make([]byte, s.Size)
+	_ = s.mem.Read(s.base, b)
+	return b
+}
+
+// Restore overwrites the segment contents (restore path).
+func (s *ShmSegment) Restore(b []byte) error { return s.Write(0, b) }
+
+// shmGet implements shmget(key, size): find-by-key or create.
+func (k *Kernel) shmGet(key, size int) (int, error) {
+	if key != 0 {
+		for _, s := range k.shms {
+			if s.Key == key {
+				return s.ID, nil
+			}
+		}
+	}
+	k.nextIPC++
+	s, err := newShmSegment(k.nextIPC, key, size)
+	if err != nil {
+		return 0, err
+	}
+	k.shms[s.ID] = s
+	return s.ID, nil
+}
+
+// Shm returns a segment by id (checkpointer).
+func (k *Kernel) Shm(id int) *ShmSegment { return k.shms[id] }
+
+// InstallShm places a restored segment into the kernel's table at a
+// specific id. It fails if the id is taken.
+func (k *Kernel) InstallShm(id, key, size int, contents []byte) (*ShmSegment, error) {
+	if _, ok := k.shms[id]; ok {
+		return nil, fmt.Errorf("kernel: shm id %d already in use", id)
+	}
+	s, err := newShmSegment(id, key, size)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Restore(contents); err != nil {
+		return nil, err
+	}
+	k.shms[s.ID] = s
+	if id >= k.nextIPC {
+		k.nextIPC = id + 1
+	}
+	return s, nil
+}
+
+// RemoveShm deletes a segment.
+func (k *Kernel) RemoveShm(id int) { delete(k.shms, id) }
+
+// Semaphore is a counting semaphore with a waiter queue.
+type Semaphore struct {
+	ID      int
+	Key     int
+	value   int
+	waiters []*Process
+}
+
+// Value returns the current count (checkpointer).
+func (s *Semaphore) Value() int { return s.value }
+
+// semGet implements semget: find-by-key or create with initial value.
+func (k *Kernel) semGet(key, val int) (int, error) {
+	if key != 0 {
+		for _, s := range k.sems {
+			if s.Key == key {
+				return s.ID, nil
+			}
+		}
+	}
+	k.nextIPC++
+	s := &Semaphore{ID: k.nextIPC, Key: key, value: val}
+	k.sems[s.ID] = s
+	return s.ID, nil
+}
+
+// Sem returns a semaphore by id (checkpointer).
+func (k *Kernel) Sem(id int) *Semaphore { return k.sems[id] }
+
+// InstallSem places a restored semaphore at a specific id.
+func (k *Kernel) InstallSem(id, key, value int) (*Semaphore, error) {
+	if _, ok := k.sems[id]; ok {
+		return nil, fmt.Errorf("kernel: sem id %d already in use", id)
+	}
+	s := &Semaphore{ID: id, Key: key, value: value}
+	k.sems[id] = s
+	if id >= k.nextIPC {
+		k.nextIPC = id + 1
+	}
+	return s, nil
+}
+
+// RemoveSem deletes a semaphore; blocked waiters are woken (they will
+// retry and get ErrNoIPC).
+func (k *Kernel) RemoveSem(id int) {
+	if s, ok := k.sems[id]; ok {
+		for _, p := range s.waiters {
+			k.wake(p)
+		}
+		delete(k.sems, id)
+	}
+}
+
+// semOp implements semop with a single operation: delta>0 releases,
+// delta<0 acquires (blocking if it would go negative), delta==0 is a
+// wait-for-zero which we approximate as non-blocking read.
+func (k *Kernel) semOp(id, delta int) error {
+	s, ok := k.sems[id]
+	if !ok {
+		return fmt.Errorf("%w: sem %d", ErrNoIPC, id)
+	}
+	if delta < 0 && s.value+delta < 0 {
+		return ErrWouldBlock
+	}
+	s.value += delta
+	if delta > 0 && len(s.waiters) > 0 {
+		// Wake everyone; they retry and re-block if unlucky. Simple and
+		// starvation-free enough for simulation purposes.
+		ws := s.waiters
+		s.waiters = nil
+		for _, p := range ws {
+			k.wake(p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package kernel
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"cruz/internal/sim"
+)
+
+// pipeWriterProg writes Payload into a pipe fd, then closes it.
+type pipeWriterProg struct {
+	FD      int
+	Payload []byte
+	sent    int
+}
+
+func (p *pipeWriterProg) Step(ctx *ProcContext) StepResult {
+	if p.sent == len(p.Payload) {
+		ctx.CloseFD(p.FD)
+		return Exit(0, 0)
+	}
+	n, err := ctx.Send(p.FD, p.Payload[p.sent:])
+	if err == ErrWouldBlock {
+		return BlockOnWrite(0, p.FD)
+	}
+	if err != nil {
+		return Exit(0, 1)
+	}
+	p.sent += n
+	return Continue(0)
+}
+
+// pipeReaderProg drains a pipe fd until EOF.
+type pipeReaderProg struct {
+	FD  int
+	Got []byte
+}
+
+func (p *pipeReaderProg) Step(ctx *ProcContext) StepResult {
+	buf := make([]byte, 1000)
+	n, err := ctx.Recv(p.FD, buf, false)
+	if err == ErrWouldBlock {
+		return BlockOnRead(0, p.FD)
+	}
+	if err == io.EOF {
+		return Exit(0, 0)
+	}
+	if err != nil {
+		return Exit(0, 1)
+	}
+	p.Got = append(p.Got, buf[:n]...)
+	return Continue(0)
+}
+
+// pipeParentProg builds a pipe, spawns a writer child with the write end
+// and a reader child with the read end, closes its own copies, and reaps
+// both children.
+type pipeParentProg struct {
+	Payload []byte
+	Reader  *pipeReaderProg
+	phase   int
+	reaped  int
+}
+
+func (p *pipeParentProg) Step(ctx *ProcContext) StepResult {
+	switch p.phase {
+	case 0:
+		rfd, wfd, err := ctx.Pipe()
+		if err != nil {
+			return Exit(0, 1)
+		}
+		_, wfds, err := ctx.Spawn("writer", &pipeWriterProg{Payload: p.Payload}, wfd)
+		if err != nil {
+			return Exit(0, 1)
+		}
+		// Patch the child's program with its inherited fd number. (A real
+		// fork shares the table; our Spawn returns the mapping instead.)
+		wp := ctx.proc.kernel.Process(findChild(ctx, "writer")).Program().(*pipeWriterProg)
+		wp.FD = wfds[0]
+		_, rfds, err := ctx.Spawn("reader", p.Reader, rfd)
+		if err != nil {
+			return Exit(0, 1)
+		}
+		p.Reader.FD = rfds[0]
+		ctx.CloseFD(rfd)
+		ctx.CloseFD(wfd)
+		p.phase = 1
+		return Continue(0)
+	case 1:
+		_, err := ctx.WaitChild()
+		if err == ErrWouldBlock {
+			return WaitForChild(0)
+		}
+		p.reaped++
+		if p.reaped == 2 {
+			return Exit(0, 0)
+		}
+		return Continue(0)
+	}
+	return Exit(0, 1)
+}
+
+func findChild(ctx *ProcContext, name string) int {
+	for _, pr := range ctx.proc.kernel.Processes() {
+		if pr.Name() == name && pr.Parent() == ctx.proc.pid {
+			return pr.PID()
+		}
+	}
+	return -1
+}
+
+func TestPipeBetweenProcesses(t *testing.T) {
+	r := newTestRig(t, 1)
+	payload := make([]byte, 300000) // forces multiple fills of the 64K buffer
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	reader := &pipeReaderProg{}
+	parent := &pipeParentProg{Payload: payload, Reader: reader}
+	pp := r.kernels[0].Spawn("parent", parent, 0)
+	r.run(10 * sim.Second)
+	if pp.State() != StateExited || pp.ExitCode() != 0 {
+		t.Fatalf("parent state=%v code=%d reaped=%d", pp.State(), pp.ExitCode(), parent.reaped)
+	}
+	if len(reader.Got) != len(payload) {
+		t.Fatalf("reader got %d bytes, want %d", len(reader.Got), len(payload))
+	}
+	for i := range payload {
+		if reader.Got[i] != payload[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}
+
+// semPingPong alternates between two processes via two semaphores,
+// recording the interleaving.
+type semPingPong struct {
+	MyKey, PeerKey int
+	Rounds         int
+	Log            *[]int
+	ID             int
+	myID, peerID   int
+	phase          int
+}
+
+func (p *semPingPong) Step(ctx *ProcContext) StepResult {
+	switch p.phase {
+	case 0:
+		var err error
+		if p.myID, err = ctx.SemGet(p.MyKey, 0); err != nil {
+			return Exit(0, 1)
+		}
+		if p.peerID, err = ctx.SemGet(p.PeerKey, 0); err != nil {
+			return Exit(0, 1)
+		}
+		p.phase = 1
+		// Player 1 starts: give itself a token.
+		if p.ID == 1 {
+			ctx.SemOp(p.myID, 1)
+		}
+		return Continue(0)
+	case 1:
+		if p.Rounds == 0 {
+			return Exit(0, 0)
+		}
+		if err := ctx.SemOp(p.myID, -1); err == ErrWouldBlock {
+			return BlockOnSem(0, p.myID)
+		} else if err != nil {
+			return Exit(0, 1)
+		}
+		*p.Log = append(*p.Log, p.ID)
+		p.Rounds--
+		ctx.SemOp(p.peerID, 1)
+		return Continue(0)
+	}
+	return Exit(0, 1)
+}
+
+func TestSemaphorePingPong(t *testing.T) {
+	r := newTestRig(t, 1)
+	var log []int
+	p1 := r.kernels[0].Spawn("p1", &semPingPong{ID: 1, MyKey: 101, PeerKey: 102, Rounds: 5, Log: &log}, 0)
+	p2 := r.kernels[0].Spawn("p2", &semPingPong{ID: 2, MyKey: 102, PeerKey: 101, Rounds: 5, Log: &log}, 0)
+	r.run(sim.Second)
+	if p1.State() != StateExited || p2.State() != StateExited {
+		t.Fatalf("states: %v %v", p1.State(), p2.State())
+	}
+	want := []int{1, 2, 1, 2, 1, 2, 1, 2, 1, 2}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("interleaving broken: %v", log)
+		}
+	}
+}
+
+// shmProg writes (ID==1) or polls-then-verifies (ID==2) a shared segment.
+type shmProg struct {
+	Key  int
+	ID   int
+	OK   bool
+	shm  int
+	done bool
+}
+
+func (p *shmProg) Step(ctx *ProcContext) StepResult {
+	if p.shm == 0 {
+		id, err := ctx.ShmGet(p.Key, 8192)
+		if err != nil {
+			return Exit(0, 1)
+		}
+		p.shm = id
+	}
+	if p.ID == 1 {
+		if err := ctx.ShmWrite(p.shm, 4000, []byte("shared-hello")); err != nil {
+			return Exit(0, 1)
+		}
+		return Exit(0, 0)
+	}
+	buf := make([]byte, 12)
+	if err := ctx.ShmRead(p.shm, 4000, buf); err != nil {
+		return Exit(0, 1)
+	}
+	if string(buf) == "shared-hello" {
+		p.OK = true
+		return Exit(0, 0)
+	}
+	return Sleep(0, sim.Millisecond)
+}
+
+func TestSharedMemoryVisibleAcrossProcesses(t *testing.T) {
+	r := newTestRig(t, 1)
+	writer := &shmProg{Key: 55, ID: 1}
+	reader := &shmProg{Key: 55, ID: 2}
+	r.kernels[0].Spawn("w", writer, 0)
+	rp := r.kernels[0].Spawn("r", reader, 0)
+	r.run(sim.Second)
+	if rp.State() != StateExited || !reader.OK {
+		t.Fatalf("reader state=%v ok=%v", rp.State(), reader.OK)
+	}
+	// Same key yields the same segment id.
+	if writer.shm != reader.shm {
+		t.Fatalf("shm ids differ: %d vs %d", writer.shm, reader.shm)
+	}
+}
+
+func TestShmBounds(t *testing.T) {
+	r := newTestRig(t, 1)
+	id, err := r.kernels[0].shmGet(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.kernels[0].Shm(id)
+	if err := s.Write(4090, make([]byte, 10)); err == nil {
+		t.Fatal("out-of-bounds shm write succeeded")
+	}
+	if err := s.Read(-1, make([]byte, 1)); err == nil {
+		t.Fatal("negative-offset shm read succeeded")
+	}
+}
+
+func TestSemOpErrors(t *testing.T) {
+	r := newTestRig(t, 1)
+	if err := r.kernels[0].semOp(999, 1); !errors.Is(err, ErrNoIPC) {
+		t.Fatalf("bad sem id = %v", err)
+	}
+	id, _ := r.kernels[0].semGet(0, 1)
+	if err := r.kernels[0].semOp(id, -1); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if err := r.kernels[0].semOp(id, -1); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("empty acquire = %v", err)
+	}
+}
+
+func TestDiskTiming(t *testing.T) {
+	r := newTestRig(t, 1)
+	d := r.kernels[0].Disk()
+	var doneAt sim.Time
+	// 110 MB at 110 MB/s = 1s + 4ms latency.
+	d.Write(110<<20, func() { doneAt = r.engine.Now() })
+	r.run(5 * sim.Second)
+	want := sim.Time(sim.Second + 4*sim.Millisecond)
+	if doneAt != want {
+		t.Fatalf("write completed at %v, want %v", doneAt, want)
+	}
+	// Two writes issued together queue behind each other.
+	issue := r.engine.Now()
+	var firstAt, secondAt sim.Time
+	d.Write(110<<20, func() { firstAt = r.engine.Now() })
+	d.Write(110<<20, func() { secondAt = r.engine.Now() })
+	r.run(5 * sim.Second)
+	per := sim.Duration(sim.Second + 4*sim.Millisecond)
+	if firstAt.Sub(issue) != per || secondAt.Sub(issue) != 2*per {
+		t.Fatalf("queued writes finished at +%v and +%v, want +%v and +%v",
+			firstAt.Sub(issue), secondAt.Sub(issue), per, 2*per)
+	}
+}
+
+func TestInstallIPCCollisions(t *testing.T) {
+	r := newTestRig(t, 1)
+	if _, err := r.kernels[0].InstallShm(5, 1, 4096, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.kernels[0].InstallShm(5, 1, 4096, nil); err == nil {
+		t.Fatal("duplicate shm id accepted")
+	}
+	if _, err := r.kernels[0].InstallSem(6, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.kernels[0].InstallSem(6, 2, 3); err == nil {
+		t.Fatal("duplicate sem id accepted")
+	}
+	if got := r.kernels[0].Sem(6).Value(); got != 3 {
+		t.Fatalf("restored sem value = %d", got)
+	}
+}

@@ -1,0 +1,330 @@
+// Package mem implements the virtual-memory substrate of the simulated
+// kernel: sparse, page-based address spaces with dirty-page tracking and
+// copy-on-write snapshots.
+//
+// The contents of address spaces dominate checkpoint image size, exactly as
+// the paper observes ("most of the state consists of the non-zero contents
+// of the virtual memory of all processes running in the pod"). Dirty
+// tracking supports the incremental-checkpoint optimization and COW
+// snapshots support the concurrent-checkpoint optimization discussed in
+// §5.2 of the paper.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of a virtual-memory page in bytes, matching the
+// i386 Linux systems of the paper's testbed.
+const PageSize = 4096
+
+// Page is one page of memory. Pages are only materialized when written, so
+// untouched regions cost nothing in either RAM or checkpoint images.
+type Page struct {
+	Data [PageSize]byte
+	// refs counts address spaces sharing this page under copy-on-write.
+	refs int
+}
+
+// Errors returned by address-space operations.
+var (
+	ErrOutOfRange = errors.New("mem: address out of mapped range")
+	ErrBadAlloc   = errors.New("mem: invalid allocation size")
+)
+
+// Region is a contiguous mapped range of an address space, analogous to a
+// Linux VMA.
+type Region struct {
+	Start uint64
+	Size  uint64
+	Name  string // e.g. "heap", "stack", "shm:3"
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Start + r.Size }
+
+// AddressSpace is a sparse, paged virtual address space. The zero value is
+// an empty address space ready for use, but NewAddressSpace is preferred
+// because it sets a conventional allocation base.
+type AddressSpace struct {
+	pages   map[uint64]*Page // keyed by page number
+	dirty   map[uint64]bool  // pages written since last ClearDirty
+	regions []Region
+	next    uint64 // next allocation address (bump allocator)
+}
+
+// allocBase mimics the customary base of the heap in a Linux process;
+// the exact value is immaterial, it just keeps addresses recognizable.
+const allocBase = 0x0804_8000
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{
+		pages: make(map[uint64]*Page),
+		dirty: make(map[uint64]bool),
+		next:  allocBase,
+	}
+}
+
+func (as *AddressSpace) init() {
+	if as.pages == nil {
+		as.pages = make(map[uint64]*Page)
+		as.dirty = make(map[uint64]bool)
+		as.next = allocBase
+	}
+}
+
+// Alloc maps a new region of the given size (rounded up to whole pages)
+// and returns its base address. Alloc never reuses addresses, which keeps
+// restored images trivially relocatable.
+func (as *AddressSpace) Alloc(size uint64, name string) (uint64, error) {
+	as.init()
+	if size == 0 {
+		return 0, ErrBadAlloc
+	}
+	size = (size + PageSize - 1) / PageSize * PageSize
+	base := as.next
+	as.next += size + PageSize // leave a guard page between regions
+	as.regions = append(as.regions, Region{Start: base, Size: size, Name: name})
+	return base, nil
+}
+
+// Regions returns the mapped regions in allocation order. The returned
+// slice is a copy.
+func (as *AddressSpace) Regions() []Region {
+	out := make([]Region, len(as.regions))
+	copy(out, as.regions)
+	return out
+}
+
+func (as *AddressSpace) regionFor(addr uint64) *Region {
+	for i := range as.regions {
+		r := &as.regions[i]
+		if addr >= r.Start && addr < r.End() {
+			return r
+		}
+	}
+	return nil
+}
+
+// checkRange verifies [addr, addr+n) lies within a single mapped region.
+func (as *AddressSpace) checkRange(addr uint64, n int) error {
+	if n < 0 {
+		return ErrBadAlloc
+	}
+	if n == 0 {
+		return nil
+	}
+	r := as.regionFor(addr)
+	if r == nil || addr+uint64(n) > r.End() {
+		return fmt.Errorf("%w: [%#x,+%d)", ErrOutOfRange, addr, n)
+	}
+	return nil
+}
+
+// writablePage returns the page containing page-number pn, materializing
+// it and breaking copy-on-write sharing as needed.
+func (as *AddressSpace) writablePage(pn uint64) *Page {
+	p := as.pages[pn]
+	switch {
+	case p == nil:
+		p = &Page{refs: 1}
+		as.pages[pn] = p
+	case p.refs > 1:
+		// Copy-on-write break: give this address space a private copy.
+		p.refs--
+		np := &Page{Data: p.Data, refs: 1}
+		as.pages[pn] = np
+		p = np
+	}
+	as.dirty[pn] = true
+	return p
+}
+
+// Write copies b into the address space at addr.
+func (as *AddressSpace) Write(addr uint64, b []byte) error {
+	as.init()
+	if err := as.checkRange(addr, len(b)); err != nil {
+		return err
+	}
+	for len(b) > 0 {
+		pn := addr / PageSize
+		off := addr % PageSize
+		n := copy(as.writablePage(pn).Data[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Read copies len(b) bytes from the address space at addr into b. Reads of
+// never-written pages yield zeros, as on a real demand-zero kernel.
+func (as *AddressSpace) Read(addr uint64, b []byte) error {
+	as.init()
+	if err := as.checkRange(addr, len(b)); err != nil {
+		return err
+	}
+	for len(b) > 0 {
+		pn := addr / PageSize
+		off := addr % PageSize
+		var n int
+		if p := as.pages[pn]; p != nil {
+			n = copy(b, p.Data[off:])
+		} else {
+			n = len(b)
+			if max := PageSize - int(off); n > max {
+				n = max
+			}
+			for i := 0; i < n; i++ {
+				b[i] = 0
+			}
+		}
+		b = b[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteUint64 stores v little-endian at addr.
+func (as *AddressSpace) WriteUint64(addr uint64, v uint64) error {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return as.Write(addr, b[:])
+}
+
+// ReadUint64 loads a little-endian uint64 from addr.
+func (as *AddressSpace) ReadUint64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := range b {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// ResidentPages returns the number of materialized pages.
+func (as *AddressSpace) ResidentPages() int { return len(as.pages) }
+
+// ResidentBytes returns the materialized memory size in bytes. This is
+// what a full checkpoint must write to stable storage.
+func (as *AddressSpace) ResidentBytes() uint64 { return uint64(len(as.pages)) * PageSize }
+
+// DirtyPages returns the number of pages written since the last ClearDirty.
+func (as *AddressSpace) DirtyPages() int { return len(as.dirty) }
+
+// DirtyBytes returns DirtyPages in bytes; an incremental checkpoint writes
+// only this much.
+func (as *AddressSpace) DirtyBytes() uint64 { return uint64(len(as.dirty)) * PageSize }
+
+// ClearDirty resets dirty-page tracking, typically right after a
+// checkpoint captures the space.
+func (as *AddressSpace) ClearDirty() {
+	as.dirty = make(map[uint64]bool)
+}
+
+// PageNumbers returns the sorted page numbers of materialized pages. If
+// dirtyOnly is set, only pages dirtied since the last ClearDirty are
+// returned.
+func (as *AddressSpace) PageNumbers(dirtyOnly bool) []uint64 {
+	src := as.pages
+	var out []uint64
+	if dirtyOnly {
+		out = make([]uint64, 0, len(as.dirty))
+		for pn := range as.dirty {
+			out = append(out, pn)
+		}
+	} else {
+		out = make([]uint64, 0, len(src))
+		for pn := range src {
+			out = append(out, pn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageData returns the contents of page pn. The returned slice aliases the
+// live page and must not be modified; checkpoint code copies it into the
+// image.
+func (as *AddressSpace) PageData(pn uint64) []byte {
+	if p := as.pages[pn]; p != nil {
+		return p.Data[:]
+	}
+	return nil
+}
+
+// InstallPage writes a whole page at page-number pn, mapping a covering
+// region if necessary. It is used by restore, which replays pages from a
+// checkpoint image into a fresh address space.
+func (as *AddressSpace) InstallPage(pn uint64, data []byte) error {
+	as.init()
+	if len(data) != PageSize {
+		return fmt.Errorf("%w: page data must be %d bytes, got %d", ErrBadAlloc, PageSize, len(data))
+	}
+	addr := pn * PageSize
+	if as.regionFor(addr) == nil {
+		return fmt.Errorf("%w: page %#x not covered by a region", ErrOutOfRange, addr)
+	}
+	copy(as.writablePage(pn).Data[:], data)
+	return nil
+}
+
+// InstallRegion maps a region at an exact base address, used by restore to
+// recreate the checkpointed layout.
+func (as *AddressSpace) InstallRegion(r Region) error {
+	as.init()
+	if r.Size == 0 || r.Size%PageSize != 0 || r.Start%PageSize != 0 {
+		return fmt.Errorf("%w: region %+v", ErrBadAlloc, r)
+	}
+	for i := range as.regions {
+		ex := as.regions[i]
+		if r.Start < ex.End() && ex.Start < r.End() {
+			return fmt.Errorf("%w: region %+v overlaps %+v", ErrBadAlloc, r, ex)
+		}
+	}
+	as.regions = append(as.regions, r)
+	if r.End()+PageSize > as.next {
+		as.next = r.End() + PageSize
+	}
+	return nil
+}
+
+// Snapshot returns a copy-on-write clone of the address space: both the
+// original and the clone see the current contents, pages are shared until
+// either side writes. Snapshot is O(resident pages) in map work but copies
+// no page data, which is what lets a checkpoint proceed concurrently with
+// application execution.
+func (as *AddressSpace) Snapshot() *AddressSpace {
+	as.init()
+	clone := &AddressSpace{
+		pages:   make(map[uint64]*Page, len(as.pages)),
+		dirty:   make(map[uint64]bool),
+		next:    as.next,
+		regions: make([]Region, len(as.regions)),
+	}
+	copy(clone.regions, as.regions)
+	for pn, p := range as.pages {
+		p.refs++
+		clone.pages[pn] = p
+	}
+	return clone
+}
+
+// SharedPages reports how many of the space's pages are currently shared
+// with a snapshot (refs > 1). Useful in tests and ablation benchmarks.
+func (as *AddressSpace) SharedPages() int {
+	n := 0
+	for _, p := range as.pages {
+		if p.refs > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,343 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	base, err := as.Alloc(10000, "heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	if err := as.Write(base+100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := as.Read(base+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip = %q, want %q", got, msg)
+	}
+}
+
+func TestAllocRoundsToPages(t *testing.T) {
+	as := NewAddressSpace()
+	base, err := as.Alloc(1, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := as.Regions()[0]
+	if r.Size != PageSize {
+		t.Fatalf("region size = %d, want %d", r.Size, PageSize)
+	}
+	// The whole rounded page must be addressable.
+	if err := as.Write(base+PageSize-1, []byte{1}); err != nil {
+		t.Fatalf("write at end of rounded page: %v", err)
+	}
+}
+
+func TestAllocZeroFails(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Alloc(0, "zero"); !errors.Is(err, ErrBadAlloc) {
+		t.Fatalf("err = %v, want ErrBadAlloc", err)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(PageSize, "one")
+	if err := as.Write(base+PageSize, []byte{1}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write past end: err = %v, want ErrOutOfRange", err)
+	}
+	if err := as.Read(0, make([]byte, 1)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read unmapped: err = %v, want ErrOutOfRange", err)
+	}
+	// A write spanning the region end must fail even if it starts inside.
+	if err := as.Write(base+PageSize-2, []byte{1, 2, 3, 4}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("straddling write: err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestDemandZero(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(4*PageSize, "zeros")
+	b := make([]byte, 100)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	if err := as.Read(base+PageSize+5, b); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d = %#x, want 0 (demand-zero)", i, v)
+		}
+	}
+	if as.ResidentPages() != 0 {
+		t.Fatalf("reads materialized %d pages", as.ResidentPages())
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(3*PageSize, "span")
+	data := make([]byte, 2*PageSize)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := as.Write(base+PageSize/2, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := as.Read(base+PageSize/2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page write round trip mismatch")
+	}
+	if as.ResidentPages() != 3 {
+		t.Fatalf("ResidentPages = %d, want 3", as.ResidentPages())
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(PageSize, "u64")
+	const v = uint64(0xDEADBEEF_CAFEF00D)
+	if err := as.WriteUint64(base+8, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadUint64(base + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("got %#x, want %#x", got, v)
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(10*PageSize, "d")
+	as.Write(base, make([]byte, 3*PageSize))
+	if as.DirtyPages() != 3 {
+		t.Fatalf("DirtyPages = %d, want 3", as.DirtyPages())
+	}
+	as.ClearDirty()
+	if as.DirtyPages() != 0 {
+		t.Fatalf("DirtyPages after clear = %d", as.DirtyPages())
+	}
+	as.Write(base+5*PageSize, []byte{1})
+	if as.DirtyPages() != 1 {
+		t.Fatalf("DirtyPages = %d, want 1", as.DirtyPages())
+	}
+	pns := as.PageNumbers(true)
+	if len(pns) != 1 || pns[0] != (base+5*PageSize)/PageSize {
+		t.Fatalf("dirty page numbers = %v", pns)
+	}
+	if as.ResidentPages() != 4 {
+		t.Fatalf("ResidentPages = %d, want 4", as.ResidentPages())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(PageSize, "s")
+	as.Write(base, []byte("original"))
+	snap := as.Snapshot()
+
+	// Writing the original must not change the snapshot.
+	as.Write(base, []byte("MUTATED!"))
+	got := make([]byte, 8)
+	if err := snap.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("snapshot sees %q, want %q", got, "original")
+	}
+	// And the original must see its own write.
+	as.Read(base, got)
+	if string(got) != "MUTATED!" {
+		t.Fatalf("original sees %q", got)
+	}
+}
+
+func TestSnapshotSharesUntilWrite(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(8*PageSize, "cow")
+	as.Write(base, make([]byte, 8*PageSize))
+	snap := as.Snapshot()
+	if as.SharedPages() != 8 {
+		t.Fatalf("SharedPages = %d, want 8", as.SharedPages())
+	}
+	as.Write(base, []byte{1}) // breaks exactly one page
+	if as.SharedPages() != 7 {
+		t.Fatalf("SharedPages after write = %d, want 7", as.SharedPages())
+	}
+	if snap.ResidentPages() != 8 {
+		t.Fatalf("snapshot ResidentPages = %d", snap.ResidentPages())
+	}
+}
+
+func TestSnapshotWriteBreaksSharing(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(PageSize, "cow2")
+	as.Write(base, []byte("base"))
+	snap := as.Snapshot()
+	// Writing through the snapshot must not disturb the original.
+	snap.Write(base, []byte("snap"))
+	got := make([]byte, 4)
+	as.Read(base, got)
+	if string(got) != "base" {
+		t.Fatalf("original corrupted by snapshot write: %q", got)
+	}
+}
+
+func TestInstallRegionAndPage(t *testing.T) {
+	src := NewAddressSpace()
+	base, _ := src.Alloc(2*PageSize, "img")
+	src.Write(base, bytes.Repeat([]byte{0xAB}, 2*PageSize))
+
+	dst := NewAddressSpace()
+	for _, r := range src.Regions() {
+		if err := dst.InstallRegion(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pn := range src.PageNumbers(false) {
+		data := make([]byte, PageSize)
+		copy(data, src.PageData(pn))
+		if err := dst.InstallPage(pn, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, 2*PageSize)
+	if err := dst.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xAB}, 2*PageSize)) {
+		t.Fatal("restored contents mismatch")
+	}
+	// New allocations in the restored space must not collide.
+	nb, err := dst.Alloc(PageSize, "post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb < base+2*PageSize {
+		t.Fatalf("post-restore alloc %#x collides with installed region", nb)
+	}
+}
+
+func TestInstallRegionOverlapRejected(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.InstallRegion(Region{Start: 0x10000, Size: 2 * PageSize}); err != nil {
+		t.Fatal(err)
+	}
+	err := as.InstallRegion(Region{Start: 0x10000 + PageSize, Size: PageSize})
+	if !errors.Is(err, ErrBadAlloc) {
+		t.Fatalf("overlap err = %v, want ErrBadAlloc", err)
+	}
+}
+
+func TestInstallPageValidation(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.InstallPage(5, make([]byte, 10)); !errors.Is(err, ErrBadAlloc) {
+		t.Fatalf("short page err = %v", err)
+	}
+	if err := as.InstallPage(5, make([]byte, PageSize)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("uncovered page err = %v", err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var as AddressSpace
+	if _, err := as.Alloc(PageSize, "z"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a sequence of random writes followed by reads behaves exactly
+// like a flat reference buffer.
+func TestPropertyWriteReadMatchesReference(t *testing.T) {
+	const regionSize = 8 * PageSize
+	f := func(ops []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		as := NewAddressSpace()
+		base, _ := as.Alloc(regionSize, "ref")
+		ref := make([]byte, regionSize)
+		for _, op := range ops {
+			off := uint64(op.Off) % regionSize
+			data := op.Data
+			if max := regionSize - off; uint64(len(data)) > max {
+				data = data[:max]
+			}
+			if err := as.Write(base+off, data); err != nil {
+				return false
+			}
+			copy(ref[off:], data)
+		}
+		got := make([]byte, regionSize)
+		if err := as.Read(base, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshots taken at arbitrary points remain equal to the
+// reference state captured at the same point, regardless of later writes.
+func TestPropertySnapshotImmutability(t *testing.T) {
+	const regionSize = 4 * PageSize
+	f := func(rounds []struct {
+		Off  uint16
+		Val  byte
+		Snap bool
+	}) bool {
+		as := NewAddressSpace()
+		base, _ := as.Alloc(regionSize, "ref")
+		ref := make([]byte, regionSize)
+		type pair struct {
+			snap *AddressSpace
+			ref  []byte
+		}
+		var snaps []pair
+		for _, r := range rounds {
+			if r.Snap {
+				rc := make([]byte, regionSize)
+				copy(rc, ref)
+				snaps = append(snaps, pair{as.Snapshot(), rc})
+			}
+			off := uint64(r.Off) % regionSize
+			if err := as.Write(base+off, []byte{r.Val}); err != nil {
+				return false
+			}
+			ref[off] = r.Val
+		}
+		for _, p := range snaps {
+			got := make([]byte, regionSize)
+			if err := p.snap.Read(base, got); err != nil {
+				return false
+			}
+			if !bytes.Equal(got, p.ref) {
+				return false
+			}
+		}
+		got := make([]byte, regionSize)
+		as.Read(base, got)
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All Cruz components — the simulated kernels, the TCP/IP stack, the
+// Ethernet fabric, disks, and application programs — run on a single
+// Engine. Virtual time only advances when the event at the head of the
+// queue fires, so every experiment is reproducible bit-for-bit from its
+// seed: there are no wall-clock reads and no reliance on Go scheduler
+// interleaving.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration's unit so the familiar constants below read naturally.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time t+d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of
+// milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns the duration as a floating-point number of
+// microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback. Events are ordered by firing time and,
+// for equal times, by scheduling order, which keeps the simulation
+// deterministic.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once removed
+	canceled bool
+}
+
+// At returns the virtual time at which the event fires (or would have
+// fired, if canceled).
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event before it fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run when Stop was called before the horizon or
+// event exhaustion was reached.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// fired counts events executed, useful for tests and runaway guards.
+	fired uint64
+}
+
+// NewEngine returns an engine whose clock reads zero and whose
+// deterministic random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All simulation
+// randomness (initial TCP sequence numbers, jitter) must come from here.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule arranges for fn to run after delay elapses. A negative delay is
+// treated as zero (fires "now", after already-queued events at the current
+// time). It returns the Event so the caller may cancel it.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now.Add(delay), fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time at. Times in
+// the past are clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes the event from the queue if it has not fired yet. It is
+// safe to cancel an event twice or after it has fired; those calls are
+// no-ops. Cancel reports whether the event was actually descheduled.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Step executes the single next event, advancing the clock to its firing
+// time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// ErrStopped if stopped, nil on drain.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped {
+		if !e.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with firing times <= horizon, advancing the
+// clock to exactly horizon if the queue runs dry earlier. It returns
+// ErrStopped if Stop was called.
+func (e *Engine) RunUntil(horizon Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > horizon {
+			if e.now < horizon {
+				e.now = horizon
+			}
+			return nil
+		}
+		e.Step()
+	}
+	return ErrStopped
+}
+
+// RunFor is RunUntil(Now()+d).
+func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Ticker invokes fn every period until canceled. It is a convenience for
+// periodic activities such as rate sampling.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}

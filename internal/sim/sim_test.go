@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30*Microsecond, func() { order = append(order, 3) })
+	e.Schedule(10*Microsecond, func() { order = append(order, 1) })
+	e.Schedule(20*Microsecond, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != Time(30*Microsecond) {
+		t.Errorf("Now = %v, want 30µs", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Millisecond, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(-5, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(Second, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel reported false for queued event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel reported true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(0, func() {})
+	e.Run()
+	if e.Cancel(ev) {
+		t.Fatal("Cancel after fire reported true")
+	}
+}
+
+func TestRunUntilAdvancesClockOnDrain(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*Millisecond, func() {})
+	if err := e.RunUntil(Time(Second)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != Time(Second) {
+		t.Fatalf("Now = %v, want 1s", e.Now())
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(10*Millisecond, func() { fired++ })
+	e.Schedule(2*Second, func() { fired++ })
+	e.RunUntil(Time(Second))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after drain, want 2", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(1, func() { fired++; e.Stop() })
+	e.Schedule(2, func() { fired++ })
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(10, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 20 {
+		t.Fatalf("times = %v, want [10 20]", times)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	tk := e.NewTicker(10*Millisecond, func() { ticks = append(ticks, e.Now()) })
+	e.RunUntil(Time(35 * Millisecond))
+	tk.Stop()
+	e.RunUntil(Time(100 * Millisecond))
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks", ticks)
+	}
+	for i, at := range ticks {
+		want := Time((Duration(i) + 1) * 10 * Millisecond)
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStopFromTick(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tk *Ticker
+	tk = e.NewTicker(Millisecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(Time(Second))
+	if n != 2 {
+		t.Fatalf("ticks = %d, want 2", n)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var out []int64
+		var rec func()
+		rec = func() {
+			out = append(out, int64(e.Now()), e.Rand().Int63n(1000))
+			if len(out) < 40 {
+				e.Schedule(Duration(e.Rand().Int63n(int64(Millisecond))), rec)
+			}
+		}
+		e.Schedule(0, rec)
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3500 * Microsecond, "3.500ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// nondecreasing time order and the clock ends at the max delay.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var fireTimes []Time
+		var max Duration
+		for _, d := range delays {
+			dd := Duration(d)
+			if dd > max {
+				max = dd
+			}
+			e.Schedule(dd, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == Time(max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling any subset of events fires exactly the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(delays []uint8, cancelMask []bool) bool {
+		e := NewEngine(9)
+		fired := make(map[int]bool)
+		evs := make([]*Event, len(delays))
+		for i, d := range delays {
+			i := i
+			evs[i] = e.Schedule(Duration(d), func() { fired[i] = true })
+		}
+		want := make(map[int]bool)
+		for i := range delays {
+			cancel := i < len(cancelMask) && cancelMask[i]
+			if cancel {
+				e.Cancel(evs[i])
+			} else {
+				want[i] = true
+			}
+		}
+		e.Run()
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package tcpip
+
+// This file implements the packet-filter hook the Cruz coordination
+// protocol depends on. In the paper (§5), each Checkpoint Agent installs a
+// netfilter rule that silently drops all traffic to or from the local pod
+// before the local checkpoint is taken, and removes it when the pod is
+// allowed to continue. The filter sits at the lowest level of the stack:
+// it sees packets after the NIC but before demultiplexing (input hook) and
+// after the transport layer but before ARP/transmit (output hook).
+
+// Verdict is a filter decision.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictAccept Verdict = iota
+	VerdictDrop
+)
+
+// Hook identifies where in the stack a rule applies.
+type Hook int
+
+// Hooks.
+const (
+	HookInput Hook = 1 << iota
+	HookOutput
+	HookBoth = HookInput | HookOutput
+)
+
+// Rule is one filter rule.
+type Rule struct {
+	id    int
+	hooks Hook
+	match func(*Packet) bool
+}
+
+// Filter is an ordered rule list, one per stack. The zero value accepts
+// everything.
+type Filter struct {
+	rules  []*Rule
+	nextID int
+	// Stats count verdicts for observability and tests.
+	Stats FilterStats
+}
+
+// FilterStats counts filter activity.
+type FilterStats struct {
+	InputDropped  uint64
+	OutputDropped uint64
+}
+
+// AddRule installs a rule at the given hooks and returns its id.
+func (f *Filter) AddRule(hooks Hook, match func(*Packet) bool) int {
+	f.nextID++
+	f.rules = append(f.rules, &Rule{id: f.nextID, hooks: hooks, match: match})
+	return f.nextID
+}
+
+// AddDropAddr installs the rule Cruz agents use: silently drop every
+// packet whose source or destination is ip, in both directions.
+func (f *Filter) AddDropAddr(ip Addr) int {
+	return f.AddRule(HookBoth, func(p *Packet) bool {
+		return p.Src == ip || p.Dst == ip
+	})
+}
+
+// RemoveRule deletes the rule with the given id. Removing an unknown id is
+// a no-op.
+func (f *Filter) RemoveRule(id int) {
+	for i, r := range f.rules {
+		if r.id == id {
+			f.rules = append(f.rules[:i], f.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// RuleCount returns the number of installed rules.
+func (f *Filter) RuleCount() int { return len(f.rules) }
+
+// verdict evaluates the packet at the given hook.
+func (f *Filter) verdict(hook Hook, p *Packet) Verdict {
+	for _, r := range f.rules {
+		if r.hooks&hook != 0 && r.match(p) {
+			if hook == HookInput {
+				f.Stats.InputDropped++
+			} else {
+				f.Stats.OutputDropped++
+			}
+			return VerdictDrop
+		}
+	}
+	return VerdictAccept
+}

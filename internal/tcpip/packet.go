@@ -1,0 +1,132 @@
+package tcpip
+
+import "fmt"
+
+// IP protocol numbers used by the simulation.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+const ipHeaderBytes = 20
+
+// Packet is an IPv4 packet. It is carried as the payload of an Ethernet
+// frame.
+type Packet struct {
+	Src, Dst Addr
+	Proto    uint8
+	TTL      uint8
+	// Body is the transport payload: *Segment for TCP, *Datagram for UDP.
+	Body interface{ WireSize() int }
+}
+
+// WireSize implements ether.Payload.
+func (p *Packet) WireSize() int {
+	n := ipHeaderBytes
+	if p.Body != nil {
+		n += p.Body.WireSize()
+	}
+	return n
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("IP %s->%s proto=%d %v", p.Src, p.Dst, p.Proto, p.Body)
+}
+
+// TCP segment flags.
+type Flags uint8
+
+// Flag bits.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+	FlagPSH
+)
+
+func (f Flags) Has(bit Flags) bool { return f&bit != 0 }
+
+func (f Flags) String() string {
+	var s []byte
+	add := func(bit Flags, c byte) {
+		if f.Has(bit) {
+			s = append(s, c)
+		}
+	}
+	add(FlagSYN, 'S')
+	add(FlagACK, 'A')
+	add(FlagFIN, 'F')
+	add(FlagRST, 'R')
+	add(FlagPSH, 'P')
+	if len(s) == 0 {
+		return "-"
+	}
+	return string(s)
+}
+
+const tcpHeaderBytes = 20
+
+// Segment is a TCP segment.
+type Segment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            Flags
+	Window           uint16
+	Data             []byte
+}
+
+// WireSize returns the segment's encoded size.
+func (s *Segment) WireSize() int { return tcpHeaderBytes + len(s.Data) }
+
+func (s *Segment) String() string {
+	return fmt.Sprintf("TCP %d->%d [%s] seq=%d ack=%d win=%d len=%d",
+		s.SrcPort, s.DstPort, s.Flags, s.Seq, s.Ack, s.Window, len(s.Data))
+}
+
+// seqLen returns the sequence-space length of the segment (data plus one
+// for each of SYN and FIN).
+func (s *Segment) seqLen() uint32 {
+	n := uint32(len(s.Data))
+	if s.Flags.Has(FlagSYN) {
+		n++
+	}
+	if s.Flags.Has(FlagFIN) {
+		n++
+	}
+	return n
+}
+
+const udpHeaderBytes = 8
+
+// Datagram is a UDP datagram.
+type Datagram struct {
+	SrcPort, DstPort uint16
+	Data             []byte
+}
+
+// WireSize returns the datagram's encoded size.
+func (d *Datagram) WireSize() int { return udpHeaderBytes + len(d.Data) }
+
+func (d *Datagram) String() string {
+	return fmt.Sprintf("UDP %d->%d len=%d", d.SrcPort, d.DstPort, len(d.Data))
+}
+
+// Sequence-number arithmetic (mod 2^32), following RFC 793 conventions.
+
+// seqLT reports a < b in sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLE reports a <= b in sequence space.
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// seqGT reports a > b in sequence space.
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// seqMax returns the later of a and b in sequence space.
+func seqMax(a, b uint32) uint32 {
+	if seqGT(a, b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,1137 @@
+package tcpip
+
+import (
+	"fmt"
+	"io"
+
+	"cruz/internal/sim"
+)
+
+// State is a TCP connection state (RFC 793).
+type State int
+
+// TCP states.
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = map[State]string{
+	StateClosed:      "CLOSED",
+	StateListen:      "LISTEN",
+	StateSynSent:     "SYN_SENT",
+	StateSynRcvd:     "SYN_RCVD",
+	StateEstablished: "ESTABLISHED",
+	StateFinWait1:    "FIN_WAIT_1",
+	StateFinWait2:    "FIN_WAIT_2",
+	StateCloseWait:   "CLOSE_WAIT",
+	StateClosing:     "CLOSING",
+	StateLastAck:     "LAST_ACK",
+	StateTimeWait:    "TIME_WAIT",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// TCPParams tunes the TCP implementation. DefaultTCPParams matches the
+// behaviour of the Linux 2.4 systems in the paper's testbed closely
+// enough for the reproduced experiments.
+type TCPParams struct {
+	MSS         int          // maximum segment payload
+	SndBufLimit int          // send buffer size in bytes
+	RcvBufLimit int          // receive buffer / max advertised window
+	RTOInit     sim.Duration // retransmission timeout before first RTT sample
+	RTOMin      sim.Duration // floor for the computed RTO
+	RTOMax      sim.Duration // cap under exponential backoff
+	MSL         sim.Duration // maximum segment lifetime (TIME_WAIT = 2*MSL)
+	SynRetries  int          // SYN retransmissions before giving up
+	DataRetries int          // data retransmissions before reset
+	InitialCwnd int          // initial congestion window, in segments
+}
+
+// DefaultTCPParams returns the standard parameter set.
+func DefaultTCPParams() TCPParams {
+	return TCPParams{
+		MSS:         1460,
+		SndBufLimit: 65536,
+		RcvBufLimit: 65535,
+		RTOInit:     1 * sim.Second,
+		RTOMin:      200 * sim.Millisecond,
+		RTOMax:      120 * sim.Second,
+		MSL:         2 * sim.Second,
+		SynRetries:  5,
+		DataRetries: 15,
+		InitialCwnd: 2,
+	}
+}
+
+// TCPConnStats counts per-connection activity.
+type TCPConnStats struct {
+	BytesSent, BytesReceived uint64
+	SegsSent, SegsReceived   uint64
+	Retransmits              uint64
+	FastRetransmits          uint64
+	RTOFirings               uint64
+	DupAcksReceived          uint64
+}
+
+// inflightSeg is one packetized, possibly-unsent-yet-unacked segment in
+// the send buffer. The paper's checkpoint walks exactly this structure:
+// "read and save the application-level data found in the send buffer and
+// record the packet boundaries".
+type inflightSeg struct {
+	seq    uint32
+	data   []byte
+	fin    bool
+	sentAt sim.Time
+	retx   int
+	// needsRetx marks a segment presumed lost after an RTO; recovery
+	// retransmits marked segments under congestion-window clocking
+	// (go-back-N with slow start, as classic TCP does after a timeout).
+	needsRetx bool
+}
+
+func (g *inflightSeg) seqLen() uint32 {
+	n := uint32(len(g.data))
+	if g.fin {
+		n++
+	}
+	return n
+}
+
+func (g *inflightSeg) end() uint32 { return g.seq + g.seqLen() }
+
+// oooSeg is an out-of-order received segment awaiting reassembly.
+type oooSeg struct {
+	seq  uint32
+	data []byte
+	fin  bool
+}
+
+// TCPConn is a TCP connection endpoint. All operations are non-blocking:
+// Send/Recv return ErrWouldBlock and the kernel layer sleeps the calling
+// process until the notify callback fires.
+type TCPConn struct {
+	stack  *Stack
+	params TCPParams
+	tuple  FourTuple
+	state  State
+
+	// Send side. Sequence space: sndUna <= sndNxt; segs covers
+	// [sndUna, sndNxt) in packetized form; pending holds accepted bytes
+	// not yet packetized.
+	iss       uint32
+	sndUna    uint32
+	sndNxt    uint32
+	sndWnd    uint32
+	segs      []*inflightSeg
+	pending   []byte
+	finQueued bool
+	finSent   bool
+
+	// Congestion control (Reno-flavoured, byte-counted).
+	cwnd     int
+	ssthresh int
+	dupAcks  int
+
+	// Receive side.
+	irs               uint32
+	rcvNxt            uint32
+	rcvQueue          []byte
+	rcvClosed         bool // in-order FIN consumed
+	ooo               []oooSeg
+	lastWndAdvertised uint32
+
+	// altQueue holds receive-buffer bytes restored from a checkpoint
+	// image. Zap's interposed recv drains it before touching live TCP
+	// data (§4.1).
+	altQueue []byte
+
+	// Options.
+	noDelay bool
+	cork    bool
+
+	// Timers and RTT estimation (Jacobson/Karn).
+	rtoTimer     *sim.Event
+	persistTimer *sim.Event
+	twTimer      *sim.Event
+	rto          sim.Duration
+	srtt         sim.Duration
+	rttvar       sim.Duration
+	hasRTT       bool
+	sampleSeq    uint32
+	sampleAt     sim.Time
+	sampleValid  bool
+
+	synRetriesUsed int
+
+	notify   func()
+	err      error
+	listener *TCPListener // set while a passive open completes
+
+	// Stats counts activity on this connection.
+	Stats TCPConnStats
+}
+
+// TCPListener is a passive TCP socket.
+type TCPListener struct {
+	stack   *Stack
+	local   AddrPort
+	backlog int
+	synRcvd int
+	acceptQ []*TCPConn
+	notify  func()
+	closed  bool
+}
+
+// ListenTCP creates a listening socket on local. A zero port allocates an
+// ephemeral port; an unspecified address accepts connections to any local
+// interface.
+func (s *Stack) ListenTCP(local AddrPort, backlog int) (*TCPListener, error) {
+	if !local.Addr.IsAny() && s.ifaceByIP(local.Addr) == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, local.Addr)
+	}
+	if local.Port == 0 {
+		p, err := s.allocEphemeralPort(local.Addr)
+		if err != nil {
+			return nil, err
+		}
+		local.Port = p
+	} else if !s.portFree(local.Addr, local.Port) {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, local)
+	}
+	if backlog <= 0 {
+		backlog = 8
+	}
+	l := &TCPListener{stack: s, local: local, backlog: backlog}
+	s.listeners[local] = l
+	return l, nil
+}
+
+// LocalAddr returns the listening endpoint.
+func (l *TCPListener) LocalAddr() AddrPort { return l.local }
+
+// SetNotify installs a callback fired when a connection becomes ready to
+// accept.
+func (l *TCPListener) SetNotify(fn func()) { l.notify = fn }
+
+// Acceptable reports whether Accept would succeed now.
+func (l *TCPListener) Acceptable() bool { return len(l.acceptQ) > 0 }
+
+// Accept dequeues an established connection or returns ErrWouldBlock.
+func (l *TCPListener) Accept() (*TCPConn, error) {
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if len(l.acceptQ) == 0 {
+		return nil, ErrWouldBlock
+	}
+	c := l.acceptQ[0]
+	l.acceptQ = l.acceptQ[1:]
+	return c, nil
+}
+
+// Close stops listening. Connections already established or queued are
+// aborted.
+func (l *TCPListener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.stack.listeners, l.local)
+	for _, c := range l.acceptQ {
+		c.Abort()
+	}
+	l.acceptQ = nil
+}
+
+// DialTCP starts an active open from local to remote. If local.Addr is
+// unspecified the first interface's address is used (the paper's Zap layer
+// interposes bind/connect to force the pod's VIF address; see
+// internal/zap). If local.Port is zero an ephemeral port is allocated.
+// The returned connection is in SYN_SENT; the notify callback fires when
+// it becomes established or fails.
+func (s *Stack) DialTCP(local AddrPort, remote AddrPort) (*TCPConn, error) {
+	if local.Addr.IsAny() {
+		a, ok := s.FirstAddr()
+		if !ok {
+			return nil, ErrNoRoute
+		}
+		local.Addr = a
+	}
+	if s.ifaceByIP(local.Addr) == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, local.Addr)
+	}
+	if local.Port == 0 {
+		p, err := s.allocEphemeralPort(local.Addr)
+		if err != nil {
+			return nil, err
+		}
+		local.Port = p
+	}
+	tuple := FourTuple{Local: local, Remote: remote}
+	if _, ok := s.conns[tuple]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnExists, tuple)
+	}
+	c := s.newConn(tuple)
+	c.state = StateSynSent
+	s.conns[tuple] = c
+	c.sendControl(FlagSYN, c.iss, 0)
+	c.sndNxt = c.iss + 1
+	c.armRTO()
+	return c, nil
+}
+
+// newConn builds a connection with fresh sequence state.
+func (s *Stack) newConn(tuple FourTuple) *TCPConn {
+	p := DefaultTCPParams()
+	iss := uint32(s.engine.Rand().Int63())
+	c := &TCPConn{
+		stack:             s,
+		params:            p,
+		tuple:             tuple,
+		iss:               iss,
+		sndUna:            iss,
+		sndNxt:            iss,
+		sndWnd:            uint32(p.MSS),
+		cwnd:              p.InitialCwnd * p.MSS,
+		ssthresh:          p.RcvBufLimit,
+		rto:               p.RTOInit,
+		lastWndAdvertised: uint32(p.RcvBufLimit),
+	}
+	return c
+}
+
+// Accessors.
+
+// State returns the connection state.
+func (c *TCPConn) State() State { return c.state }
+
+// LocalAddr returns the local endpoint.
+func (c *TCPConn) LocalAddr() AddrPort { return c.tuple.Local }
+
+// RemoteAddr returns the remote endpoint.
+func (c *TCPConn) RemoteAddr() AddrPort { return c.tuple.Remote }
+
+// Tuple returns the connection four-tuple.
+func (c *TCPConn) Tuple() FourTuple { return c.tuple }
+
+// Err returns the terminal error, if the connection failed.
+func (c *TCPConn) Err() error { return c.err }
+
+// SetNotify installs the state-change callback.
+func (c *TCPConn) SetNotify(fn func()) { c.notify = fn }
+
+// SetNoDelay disables (true) or enables (false) the Nagle algorithm.
+// Restore sets it true while replaying the saved send buffer so packet
+// boundaries survive (§4.1).
+func (c *TCPConn) SetNoDelay(v bool) { c.noDelay = v; c.trySend() }
+
+// NoDelay reports the Nagle setting.
+func (c *TCPConn) NoDelay() bool { return c.noDelay }
+
+// SetCork corks (true) or uncorks (false) the connection, like TCP_CORK.
+func (c *TCPConn) SetCork(v bool) {
+	c.cork = v
+	if !v {
+		c.trySend()
+	}
+}
+
+// Cork reports the cork setting.
+func (c *TCPConn) Cork() bool { return c.cork }
+
+// Readable reports whether Recv would return data or EOF now.
+func (c *TCPConn) Readable() bool {
+	return len(c.altQueue) > 0 || len(c.rcvQueue) > 0 || c.rcvClosed || c.err != nil
+}
+
+// ReadableBytes returns the number of buffered readable bytes (restored
+// alternate buffer plus live receive queue).
+func (c *TCPConn) ReadableBytes() int { return len(c.altQueue) + len(c.rcvQueue) }
+
+// WritableSpace returns the free send-buffer space in bytes.
+func (c *TCPConn) WritableSpace() int {
+	used := int(c.sndNxt-c.sndUna) + len(c.pending)
+	space := c.params.SndBufLimit - used
+	if space < 0 {
+		return 0
+	}
+	return space
+}
+
+// Established reports whether the connection is in a data-transfer state.
+func (c *TCPConn) Established() bool {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateFinWait1, StateFinWait2, StateClosing:
+		return true
+	}
+	return false
+}
+
+// Send queues bytes for transmission, returning how many were accepted.
+// It returns ErrWouldBlock when the send buffer is full, and the terminal
+// error if the connection failed or is closing.
+func (c *TCPConn) Send(b []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	switch c.state {
+	case StateEstablished, StateCloseWait:
+	case StateSynSent, StateSynRcvd:
+		return 0, ErrNotConnected
+	default:
+		return 0, ErrClosed
+	}
+	space := c.WritableSpace()
+	if space == 0 {
+		return 0, ErrWouldBlock
+	}
+	n := len(b)
+	if n > space {
+		n = space
+	}
+	c.pending = append(c.pending, b[:n]...)
+	c.trySend()
+	return n, nil
+}
+
+// Recv copies buffered data into b. With peek set, the data is not
+// consumed (MSG_PEEK; the paper's checkpoint uses this to read receive
+// buffers non-destructively). At end of stream it returns (0, io.EOF).
+func (c *TCPConn) Recv(b []byte, peek bool) (int, error) {
+	if len(c.altQueue) == 0 && len(c.rcvQueue) == 0 {
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.rcvClosed {
+			return 0, io.EOF
+		}
+		if !c.Established() && c.state != StateTimeWait {
+			return 0, ErrNotConnected
+		}
+		return 0, ErrWouldBlock
+	}
+	n := 0
+	// Alternate (restored) buffer drains first, transparently.
+	n += copyFrom(b, c.altQueue)
+	if n < len(b) {
+		n += copyFrom(b[n:], c.rcvQueue)
+	}
+	if peek {
+		return n, nil
+	}
+	fromAlt := n
+	if fromAlt > len(c.altQueue) {
+		fromAlt = len(c.altQueue)
+	}
+	c.altQueue = c.altQueue[fromAlt:]
+	fromLive := n - fromAlt
+	c.rcvQueue = c.rcvQueue[fromLive:]
+	c.maybeSendWindowUpdate(fromLive)
+	return n, nil
+}
+
+func copyFrom(dst, src []byte) int {
+	if len(src) == 0 {
+		return 0
+	}
+	return copy(dst, src)
+}
+
+// maybeSendWindowUpdate sends a pure ACK when the app's read reopens a
+// window the peer may believe is closed or nearly closed.
+func (c *TCPConn) maybeSendWindowUpdate(consumed int) {
+	if consumed == 0 || !c.Established() {
+		return
+	}
+	newWnd := c.rcvWindow()
+	if c.lastWndAdvertised == 0 || (newWnd >= uint32(c.params.MSS) && c.lastWndAdvertised < uint32(c.params.MSS)) {
+		c.sendControl(FlagACK, c.sndNxt, c.rcvNxt)
+	}
+}
+
+// Close initiates an orderly close. Buffered data is still delivered; the
+// FIN follows the last pending byte.
+func (c *TCPConn) Close() error {
+	switch c.state {
+	case StateClosed, StateTimeWait, StateLastAck, StateClosing, StateFinWait1, StateFinWait2:
+		return nil
+	case StateSynSent, StateSynRcvd:
+		c.teardown(nil)
+		return nil
+	case StateEstablished:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	}
+	c.finQueued = true
+	c.trySend()
+	return nil
+}
+
+// Abort sends a RST and destroys the connection immediately (SO_LINGER-0
+// semantics). Pod teardown after a checkpointed migration uses it so the
+// old instance never speaks again.
+func (c *TCPConn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	if c.Established() || c.state == StateSynRcvd {
+		c.sendControl(FlagRST, c.sndNxt, 0)
+	}
+	c.teardown(ErrClosed)
+}
+
+// Destroy removes the connection silently — no RST, no FIN. It is used
+// after a connection's state has been captured into a checkpoint image:
+// the peer must keep retransmitting into the void (or to the restored
+// incarnation), never learning that this endpoint went away.
+func (c *TCPConn) Destroy() {
+	if c.state == StateClosed {
+		return
+	}
+	c.teardown(ErrClosed)
+}
+
+// teardown releases timers and the connection-table entry.
+func (c *TCPConn) teardown(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.state = StateClosed
+	c.stack.engine.Cancel(c.rtoTimer)
+	c.stack.engine.Cancel(c.persistTimer)
+	c.stack.engine.Cancel(c.twTimer)
+	delete(c.stack.conns, c.tuple)
+	c.wake()
+}
+
+func (c *TCPConn) wake() {
+	if c.notify != nil {
+		c.notify()
+	}
+}
+
+// rcvWindow returns the advertised receive window.
+func (c *TCPConn) rcvWindow() uint32 {
+	w := c.params.RcvBufLimit - len(c.rcvQueue)
+	if w < 0 {
+		w = 0
+	}
+	if w > 65535 {
+		w = 65535
+	}
+	return uint32(w)
+}
+
+// sendControl emits a data-less segment with the given flags.
+func (c *TCPConn) sendControl(flags Flags, seq, ack uint32) {
+	seg := &Segment{
+		SrcPort: c.tuple.Local.Port,
+		DstPort: c.tuple.Remote.Port,
+		Seq:     seq,
+		Ack:     ack,
+		Flags:   flags,
+		Window:  uint16(c.rcvWindow()),
+	}
+	c.lastWndAdvertised = uint32(seg.Window)
+	c.Stats.SegsSent++
+	c.stack.sendIP(&Packet{
+		Src:   c.tuple.Local.Addr,
+		Dst:   c.tuple.Remote.Addr,
+		Proto: ProtoTCP,
+		TTL:   64,
+		Body:  seg,
+	})
+}
+
+// transmitSeg puts an in-flight segment on the wire.
+func (c *TCPConn) transmitSeg(g *inflightSeg) {
+	flags := FlagACK
+	if g.fin {
+		flags |= FlagFIN
+	}
+	if len(g.data) > 0 {
+		flags |= FlagPSH
+	}
+	seg := &Segment{
+		SrcPort: c.tuple.Local.Port,
+		DstPort: c.tuple.Remote.Port,
+		Seq:     g.seq,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Window:  uint16(c.rcvWindow()),
+		Data:    g.data,
+	}
+	c.lastWndAdvertised = uint32(seg.Window)
+	g.sentAt = c.stack.engine.Now()
+	c.Stats.SegsSent++
+	c.Stats.BytesSent += uint64(len(g.data))
+	c.stack.sendIP(&Packet{
+		Src:   c.tuple.Local.Addr,
+		Dst:   c.tuple.Remote.Addr,
+		Proto: ProtoTCP,
+		TTL:   64,
+		Body:  seg,
+	})
+	// Time one segment at a time for RTT (Karn's rule: never a
+	// retransmitted one).
+	if !c.sampleValid && g.retx == 0 {
+		c.sampleValid = true
+		c.sampleSeq = g.end()
+		c.sampleAt = g.sentAt
+	}
+}
+
+// inflightBytes returns the sequence-space span currently unacknowledged.
+func (c *TCPConn) inflightBytes() int { return int(c.sndNxt - c.sndUna) }
+
+// usableWindow returns how many more bytes may enter flight.
+func (c *TCPConn) usableWindow() int {
+	wnd := int(c.sndWnd)
+	if c.cwnd < wnd {
+		wnd = c.cwnd
+	}
+	u := wnd - c.inflightBytes()
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// trySend packetizes pending data and transmits whatever the send window
+// permits, applying Nagle and cork rules, and finally the queued FIN.
+func (c *TCPConn) trySend() {
+	if !c.Established() && c.state != StateLastAck {
+		return
+	}
+	for len(c.pending) > 0 {
+		usable := c.usableWindow()
+		if usable == 0 {
+			c.armPersistIfNeeded()
+			break
+		}
+		n := len(c.pending)
+		if n > c.params.MSS {
+			n = c.params.MSS
+		}
+		if n > usable {
+			n = usable
+		}
+		if n < c.params.MSS && len(c.pending) < c.params.MSS {
+			// Sub-MSS segment: cork always holds it; Nagle holds it
+			// while anything is in flight.
+			if c.cork {
+				break
+			}
+			if !c.noDelay && c.inflightBytes() > 0 {
+				break
+			}
+		}
+		data := make([]byte, n)
+		copy(data, c.pending)
+		c.pending = c.pending[n:]
+		g := &inflightSeg{seq: c.sndNxt, data: data}
+		c.segs = append(c.segs, g)
+		c.sndNxt += uint32(n)
+		c.transmitSeg(g)
+	}
+	if c.finQueued && !c.finSent && len(c.pending) == 0 {
+		g := &inflightSeg{seq: c.sndNxt, fin: true}
+		c.segs = append(c.segs, g)
+		c.sndNxt++
+		c.finSent = true
+		c.transmitSeg(g)
+	}
+	if len(c.segs) > 0 {
+		c.armRTO()
+	}
+}
+
+// armRTO starts the retransmission timer if it is not already running.
+func (c *TCPConn) armRTO() {
+	if c.rtoTimer != nil && !c.rtoTimer.Canceled() && c.rtoTimer.At() > c.stack.engine.Now() {
+		return
+	}
+	c.rtoTimer = c.stack.engine.Schedule(c.rto, c.onRTO)
+}
+
+// resetRTO restarts the retransmission timer.
+func (c *TCPConn) resetRTO() {
+	c.stack.engine.Cancel(c.rtoTimer)
+	c.rtoTimer = c.stack.engine.Schedule(c.rto, c.onRTO)
+}
+
+// onRTO fires when the oldest outstanding segment times out.
+func (c *TCPConn) onRTO() {
+	switch c.state {
+	case StateSynSent:
+		c.Stats.RTOFirings++
+		if c.retrySYN() {
+			return
+		}
+		c.teardown(ErrTimeout)
+		return
+	case StateClosed, StateListen, StateTimeWait:
+		return
+	}
+	if len(c.segs) == 0 {
+		return
+	}
+	c.Stats.RTOFirings++
+	g := c.segs[0]
+	if g.retx >= c.params.DataRetries {
+		c.teardown(ErrTimeout)
+		return
+	}
+	g.retx++
+	c.Stats.Retransmits++
+	// Loss response: collapse to one segment and slow-start again. All
+	// other outstanding segments are presumed lost too and will be
+	// retransmitted as the window reopens (pumpRetransmits).
+	c.ssthresh = maxInt(c.inflightBytes()/2, 2*c.params.MSS)
+	c.cwnd = c.params.MSS
+	c.dupAcks = 0
+	c.sampleValid = false // Karn: no sample across retransmission
+	for _, other := range c.segs[1:] {
+		other.needsRetx = true
+	}
+	g.needsRetx = false
+	c.transmitSeg(g)
+	// Exponential backoff.
+	c.rto *= 2
+	if c.rto > c.params.RTOMax {
+		c.rto = c.params.RTOMax
+	}
+	c.resetRTO()
+}
+
+// retrySYN retransmits the initial SYN with backoff; reports whether a
+// retry was scheduled.
+func (c *TCPConn) retrySYN() bool {
+	if c.synRetriesUsed >= c.params.SynRetries {
+		return false
+	}
+	c.synRetriesUsed++
+	c.Stats.Retransmits++
+	c.sendControl(FlagSYN, c.iss, 0)
+	c.rto *= 2
+	if c.rto > c.params.RTOMax {
+		c.rto = c.params.RTOMax
+	}
+	c.resetRTO()
+	return true
+}
+
+// pumpRetransmits re-sends segments presumed lost after an RTO, limited
+// by the congestion window measured from the left edge of the send
+// buffer. Called on each ACK that makes forward progress, it yields the
+// exponential slow-start recovery of the outstanding flight.
+func (c *TCPConn) pumpRetransmits() {
+	budget := c.cwnd
+	for _, g := range c.segs {
+		if budget <= 0 {
+			return
+		}
+		if g.needsRetx {
+			g.needsRetx = false
+			g.retx++
+			c.Stats.Retransmits++
+			c.transmitSeg(g)
+		}
+		budget -= maxInt(len(g.data), 1)
+	}
+}
+
+// armPersistIfNeeded starts the zero-window probe timer.
+func (c *TCPConn) armPersistIfNeeded() {
+	if c.sndWnd != 0 || len(c.pending) == 0 || c.inflightBytes() > 0 {
+		return
+	}
+	if c.persistTimer != nil && !c.persistTimer.Canceled() && c.persistTimer.At() > c.stack.engine.Now() {
+		return
+	}
+	c.persistTimer = c.stack.engine.Schedule(c.rto, func() {
+		if c.sndWnd == 0 && len(c.pending) > 0 && c.Established() {
+			// Probe with one byte of pending data.
+			g := &inflightSeg{seq: c.sndNxt, data: []byte{c.pending[0]}}
+			c.pending = c.pending[1:]
+			c.segs = append(c.segs, g)
+			c.sndNxt++
+			c.transmitSeg(g)
+			c.armRTO()
+		}
+	})
+}
+
+// updateRTT folds an RTT measurement into the estimator (Jacobson).
+func (c *TCPConn) updateRTT(sample sim.Duration) {
+	if !c.hasRTT {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		c.hasRTT = true
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.computeRTO()
+}
+
+// computeRTO derives the timeout from the estimator, clamped to the
+// configured bounds.
+func (c *TCPConn) computeRTO() sim.Duration {
+	if !c.hasRTT {
+		return c.params.RTOInit
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.params.RTOMin {
+		rto = c.params.RTOMin
+	}
+	if rto > c.params.RTOMax {
+		rto = c.params.RTOMax
+	}
+	return rto
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rxTCP demultiplexes an inbound TCP segment to a connection or listener.
+func (s *Stack) rxTCP(p *Packet, seg *Segment) {
+	tuple := FourTuple{
+		Local:  AddrPort{Addr: p.Dst, Port: seg.DstPort},
+		Remote: AddrPort{Addr: p.Src, Port: seg.SrcPort},
+	}
+	if c, ok := s.conns[tuple]; ok {
+		c.handleSegment(seg)
+		return
+	}
+	// New connection request?
+	if seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagACK) {
+		l := s.listeners[tuple.Local]
+		if l == nil {
+			l = s.listeners[AddrPort{Port: seg.DstPort}]
+		}
+		if l != nil && !l.closed {
+			l.handleSYN(tuple, seg)
+			return
+		}
+	}
+	// No socket: answer with RST (unless the segment itself is a RST).
+	if !seg.Flags.Has(FlagRST) {
+		s.Stats.NoSocketRSTs++
+		rst := &Segment{
+			SrcPort: seg.DstPort,
+			DstPort: seg.SrcPort,
+			Flags:   FlagRST | FlagACK,
+			Seq:     seg.Ack,
+			Ack:     seg.Seq + seg.seqLen(),
+		}
+		s.sendIP(&Packet{Src: p.Dst, Dst: p.Src, Proto: ProtoTCP, TTL: 64, Body: rst})
+	}
+}
+
+// handleSYN performs the passive open.
+func (l *TCPListener) handleSYN(tuple FourTuple, seg *Segment) {
+	if l.synRcvd+len(l.acceptQ) >= l.backlog {
+		return // backlog full: drop, client will retry
+	}
+	c := l.stack.newConn(tuple)
+	c.state = StateSynRcvd
+	c.listener = l
+	c.irs = seg.Seq
+	c.rcvNxt = seg.Seq + 1
+	c.sndWnd = uint32(seg.Window)
+	l.stack.conns[tuple] = c
+	l.synRcvd++
+	c.sendControl(FlagSYN|FlagACK, c.iss, c.rcvNxt)
+	c.sndNxt = c.iss + 1
+	c.armRTO()
+}
+
+// handleSegment is the connection-state machine.
+func (c *TCPConn) handleSegment(seg *Segment) {
+	c.Stats.SegsReceived++
+
+	if seg.Flags.Has(FlagRST) {
+		c.handleRST(seg)
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		if seg.Flags.Has(FlagSYN) && seg.Flags.Has(FlagACK) && seg.Ack == c.iss+1 {
+			c.irs = seg.Seq
+			c.rcvNxt = seg.Seq + 1
+			c.sndUna = seg.Ack
+			c.sndWnd = uint32(seg.Window)
+			c.state = StateEstablished
+			c.rto = c.params.RTOInit
+			c.stack.engine.Cancel(c.rtoTimer)
+			c.sendControl(FlagACK, c.sndNxt, c.rcvNxt)
+			c.wake()
+			c.trySend()
+		}
+		return
+	case StateSynRcvd:
+		if seg.Flags.Has(FlagACK) && seg.Ack == c.iss+1 {
+			c.sndUna = seg.Ack
+			c.sndWnd = uint32(seg.Window)
+			c.state = StateEstablished
+			c.stack.engine.Cancel(c.rtoTimer)
+			if l := c.listener; l != nil {
+				l.synRcvd--
+				l.acceptQ = append(l.acceptQ, c)
+				c.listener = nil
+				if l.notify != nil {
+					l.notify()
+				}
+			}
+			// Fall through: the ACK may carry data.
+		} else if seg.Flags.Has(FlagSYN) {
+			// Duplicate SYN: re-answer.
+			c.sendControl(FlagSYN|FlagACK, c.iss, c.rcvNxt)
+			return
+		} else {
+			return
+		}
+	case StateClosed, StateListen:
+		return
+	}
+
+	if seg.Flags.Has(FlagACK) {
+		c.processACK(seg)
+		if c.state == StateClosed {
+			return
+		}
+	}
+	if len(seg.Data) > 0 || seg.Flags.Has(FlagFIN) {
+		c.processData(seg)
+	}
+}
+
+// handleRST validates and applies a reset.
+func (c *TCPConn) handleRST(seg *Segment) {
+	switch c.state {
+	case StateSynSent:
+		if seg.Flags.Has(FlagACK) && seg.Ack == c.iss+1 {
+			c.teardown(ErrReset)
+		}
+	case StateClosed:
+	default:
+		// Acceptable if within the receive window (simplified check).
+		if seqLE(c.rcvNxt, seg.Seq) || seg.Seq == c.rcvNxt-1 || c.rcvNxt == seg.Seq {
+			c.teardown(ErrReset)
+		} else {
+			c.teardown(ErrReset)
+		}
+	}
+}
+
+// processACK handles acknowledgement, window update, RTT sampling,
+// congestion control, and FIN-progress transitions.
+func (c *TCPConn) processACK(seg *Segment) {
+	ack := seg.Ack
+	if seqGT(ack, c.sndNxt) {
+		// Acks something not yet sent: ignore (stale restore peer will
+		// be corrected by retransmission).
+		return
+	}
+	if seqGT(ack, c.sndUna) {
+		acked := ack - c.sndUna
+		c.sndUna = ack
+		c.dupAcks = 0
+		// Drop fully acknowledged segments.
+		for len(c.segs) > 0 && seqLE(c.segs[0].end(), ack) {
+			c.segs = c.segs[1:]
+		}
+		// RTT sample (Karn-filtered at transmit time).
+		if c.sampleValid && seqLE(c.sampleSeq, ack) {
+			c.updateRTT(c.stack.engine.Now().Sub(c.sampleAt))
+			c.sampleValid = false
+		}
+		// Congestion window growth.
+		if c.cwnd < c.ssthresh {
+			c.cwnd += int(acked) // slow start
+		} else {
+			c.cwnd += maxInt(c.params.MSS*c.params.MSS/maxInt(c.cwnd, 1), 1)
+		}
+		if c.cwnd > c.params.SndBufLimit {
+			c.cwnd = c.params.SndBufLimit
+		}
+		// Forward progress clears any retransmission backoff: the RTO
+		// returns to the estimator's value, as in Linux.
+		c.rto = c.computeRTO()
+		c.sndWnd = uint32(seg.Window)
+		if len(c.segs) == 0 {
+			c.stack.engine.Cancel(c.rtoTimer)
+		} else {
+			c.resetRTO()
+		}
+		c.pumpRetransmits()
+		// Our FIN acknowledged?
+		if c.finSent && ack == c.sndNxt {
+			switch c.state {
+			case StateFinWait1:
+				c.state = StateFinWait2
+			case StateClosing:
+				c.enterTimeWait()
+			case StateLastAck:
+				c.teardown(nil)
+				return
+			}
+		}
+		c.wake() // writable space opened
+		c.trySend()
+		return
+	}
+	// Duplicate ACK.
+	c.sndWnd = uint32(seg.Window)
+	if ack == c.sndUna && len(c.segs) > 0 && len(seg.Data) == 0 {
+		c.dupAcks++
+		c.Stats.DupAcksReceived++
+		if c.dupAcks == 3 {
+			// Fast retransmit.
+			g := c.segs[0]
+			g.retx++
+			c.Stats.FastRetransmits++
+			c.Stats.Retransmits++
+			c.ssthresh = maxInt(c.inflightBytes()/2, 2*c.params.MSS)
+			c.cwnd = c.ssthresh
+			c.sampleValid = false
+			c.transmitSeg(g)
+			c.resetRTO()
+		}
+	}
+	if c.sndWnd > 0 {
+		c.trySend() // window may have opened
+	}
+}
+
+// processData handles payload bytes and FIN sequencing, with out-of-order
+// reassembly and cumulative ACK generation.
+func (c *TCPConn) processData(seg *Segment) {
+	seq := seg.Seq
+	data := seg.Data
+	fin := seg.Flags.Has(FlagFIN)
+
+	// Trim data the receiver already has.
+	if seqLT(seq, c.rcvNxt) {
+		skip := c.rcvNxt - seq
+		if skip >= uint32(len(data)) {
+			if !(fin && seq+uint32(len(data)) == c.rcvNxt) {
+				// Entirely old: re-ACK and stop (keeps dup-data loops
+				// from growing the queue after restore replays).
+				c.sendControl(FlagACK, c.sndNxt, c.rcvNxt)
+				return
+			}
+			data = nil
+		} else {
+			data = data[skip:]
+		}
+		seq = c.rcvNxt
+	}
+
+	if seq == c.rcvNxt {
+		c.ingest(data, fin)
+		c.drainOOO()
+	} else {
+		// Out of order: queue and send a duplicate ACK.
+		c.insertOOO(oooSeg{seq: seq, data: data, fin: fin})
+	}
+	c.sendControl(FlagACK, c.sndNxt, c.rcvNxt)
+	c.wake()
+}
+
+// ingest appends in-order data (and FIN) at rcvNxt.
+func (c *TCPConn) ingest(data []byte, fin bool) {
+	if len(data) > 0 {
+		c.Stats.BytesReceived += uint64(len(data))
+		c.rcvQueue = append(c.rcvQueue, data...)
+		c.rcvNxt += uint32(len(data))
+	}
+	if fin && !c.rcvClosed {
+		c.rcvNxt++
+		c.rcvClosed = true
+		switch c.state {
+		case StateEstablished:
+			c.state = StateCloseWait
+		case StateFinWait1:
+			// Their FIN before our FIN's ACK: simultaneous close.
+			c.state = StateClosing
+		case StateFinWait2:
+			c.enterTimeWait()
+		}
+	}
+}
+
+// insertOOO stores an out-of-order segment, keeping the list seq-sorted.
+func (c *TCPConn) insertOOO(s oooSeg) {
+	const maxOOO = 256
+	if len(c.ooo) >= maxOOO {
+		return
+	}
+	for _, e := range c.ooo {
+		if e.seq == s.seq {
+			return // duplicate
+		}
+	}
+	c.ooo = append(c.ooo, s)
+	for i := len(c.ooo) - 1; i > 0 && seqLT(c.ooo[i].seq, c.ooo[i-1].seq); i-- {
+		c.ooo[i], c.ooo[i-1] = c.ooo[i-1], c.ooo[i]
+	}
+}
+
+// drainOOO ingests any queued segments now contiguous with rcvNxt.
+func (c *TCPConn) drainOOO() {
+	for len(c.ooo) > 0 {
+		s := c.ooo[0]
+		if seqGT(s.seq, c.rcvNxt) {
+			return
+		}
+		c.ooo = c.ooo[1:]
+		data := s.data
+		if seqLT(s.seq, c.rcvNxt) {
+			skip := c.rcvNxt - s.seq
+			if skip >= uint32(len(data)) {
+				if !s.fin {
+					continue
+				}
+				data = nil
+			} else {
+				data = data[skip:]
+			}
+		}
+		c.ingest(data, s.fin)
+	}
+}
+
+// enterTimeWait parks the connection for 2*MSL, then frees the tuple.
+func (c *TCPConn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.stack.engine.Cancel(c.rtoTimer)
+	c.twTimer = c.stack.engine.Schedule(2*c.params.MSL, func() { c.teardown(nil) })
+	c.wake()
+}

@@ -1,0 +1,299 @@
+package tcpip
+
+import (
+	"errors"
+	"testing"
+
+	"cruz/internal/sim"
+)
+
+func TestHandshakeAndTransfer(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 5000)
+
+	msg := pattern(100000, 3)
+	tn.sendAll(c, msg)
+	got := tn.recvN(s, len(msg))
+	bytesEqual(t, got, msg, "client->server stream")
+
+	// And the reverse direction on the same connection.
+	reply := pattern(5000, 9)
+	tn.sendAll(s, reply)
+	bytesEqual(t, tn.recvN(c, len(reply)), reply, "server->client stream")
+}
+
+func TestConnectNoListener(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, err := tn.stacks[0].DialTCP(AddrPort{Addr: addrOf(0)}, AddrPort{Addr: addrOf(1), Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.run(100 * sim.Millisecond)
+	if c.State() != StateClosed {
+		t.Fatalf("state = %v, want CLOSED after RST", c.State())
+	}
+	if !errors.Is(c.Err(), ErrReset) {
+		t.Fatalf("Err = %v, want ErrReset", c.Err())
+	}
+}
+
+func TestConnectToUnreachableHostTimesOut(t *testing.T) {
+	tn := newTestNet(t, 2)
+	// An address nobody owns: ARP never resolves, SYN retries exhaust.
+	c, err := tn.stacks[0].DialTCP(AddrPort{Addr: addrOf(0)}, AddrPort{Addr: Addr{10, 0, 0, 99}, Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.run(600 * sim.Second)
+	if c.State() != StateClosed || !errors.Is(c.Err(), ErrTimeout) {
+		t.Fatalf("state=%v err=%v, want CLOSED/ErrTimeout", c.State(), c.Err())
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	tn := newTestNet(t, 2)
+	l, _ := tn.stacks[1].ListenTCP(AddrPort{Addr: addrOf(1), Port: 80}, 8)
+	seen := map[uint16]bool{}
+	for i := 0; i < 5; i++ {
+		c, err := tn.stacks[0].DialTCP(AddrPort{Addr: addrOf(0)}, AddrPort{Addr: addrOf(1), Port: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := c.LocalAddr().Port
+		if seen[p] {
+			t.Fatalf("ephemeral port %d reused", p)
+		}
+		seen[p] = true
+	}
+	tn.run(50 * sim.Millisecond)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Accept(); err != nil {
+			t.Fatalf("Accept %d: %v", i, err)
+		}
+	}
+}
+
+func TestListenerBacklogDropsExcessSYNs(t *testing.T) {
+	tn := newTestNet(t, 2)
+	_, err := tn.stacks[1].ListenTCP(AddrPort{Addr: addrOf(1), Port: 80}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []*TCPConn
+	for i := 0; i < 4; i++ {
+		c, err := tn.stacks[0].DialTCP(AddrPort{Addr: addrOf(0)}, AddrPort{Addr: addrOf(1), Port: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	tn.run(20 * sim.Millisecond)
+	established := 0
+	for _, c := range conns {
+		if c.State() == StateEstablished {
+			established++
+		}
+	}
+	if established != 2 {
+		t.Fatalf("established = %d, want 2 (backlog)", established)
+	}
+}
+
+func TestAddrInUse(t *testing.T) {
+	tn := newTestNet(t, 1)
+	if _, err := tn.stacks[0].ListenTCP(AddrPort{Addr: addrOf(0), Port: 80}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.stacks[0].ListenTCP(AddrPort{Addr: addrOf(0), Port: 80}, 1); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("err = %v, want ErrAddrInUse", err)
+	}
+	if _, err := tn.stacks[0].ListenTCP(AddrPort{Addr: Addr{1, 2, 3, 4}, Port: 81}, 1); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestWildcardListener(t *testing.T) {
+	tn := newTestNet(t, 2)
+	l, err := tn.stacks[1].ListenTCP(AddrPort{Port: 80}, 8) // INADDR_ANY
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tn.stacks[0].DialTCP(AddrPort{Addr: addrOf(0)}, AddrPort{Addr: addrOf(1), Port: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.run(20 * sim.Millisecond)
+	s, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LocalAddr().Addr != addrOf(1) {
+		t.Fatalf("accepted local addr = %v", s.LocalAddr())
+	}
+}
+
+func TestMSGPeekDoesNotConsume(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 5000)
+	msg := []byte("peek me gently")
+	tn.sendAll(c, msg)
+	tn.run(10 * sim.Millisecond)
+
+	buf := make([]byte, 64)
+	n, err := s.Recv(buf, true) // MSG_PEEK
+	if err != nil || string(buf[:n]) != string(msg) {
+		t.Fatalf("peek = %q/%v", buf[:n], err)
+	}
+	// A second peek sees the same data.
+	n2, err := s.Recv(buf, true)
+	if err != nil || n2 != n {
+		t.Fatalf("second peek = %d/%v, want %d", n2, err, n)
+	}
+	// A real read still gets everything.
+	n3, err := s.Recv(buf, false)
+	if err != nil || string(buf[:n3]) != string(msg) {
+		t.Fatalf("read after peek = %q/%v", buf[:n3], err)
+	}
+	if _, err := s.Recv(buf, false); err != ErrWouldBlock {
+		t.Fatalf("read after drain: %v, want ErrWouldBlock", err)
+	}
+}
+
+func TestNagleCoalescesSmallWrites(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 5000)
+	base := c.Stats.SegsSent
+	// 50 tiny writes, faster than the RTT, with Nagle on: they must
+	// coalesce into far fewer than 50 data segments.
+	for i := 0; i < 50; i++ {
+		if _, err := c.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn.run(50 * sim.Millisecond)
+	got := tn.recvN(s, 50)
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+	segs := c.Stats.SegsSent - base
+	if segs > 10 {
+		t.Fatalf("Nagle sent %d segments for 50 tiny writes", segs)
+	}
+}
+
+func TestNoDelaySendsImmediately(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 5000)
+	c.SetNoDelay(true)
+	dataSegs := func() uint64 { return c.Stats.SegsSent }
+	base := dataSegs()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All ten went out as individual segments without waiting for ACKs.
+	if got := dataSegs() - base; got != 10 {
+		t.Fatalf("segments sent = %d, want 10", got)
+	}
+	tn.recvN(s, 10)
+}
+
+func TestCorkHoldsPartialSegments(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 5000)
+	c.SetCork(true)
+	if _, err := c.Send([]byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	tn.run(50 * sim.Millisecond)
+	if s.ReadableBytes() != 0 {
+		t.Fatal("corked data leaked")
+	}
+	c.SetCork(false)
+	tn.run(10 * sim.Millisecond)
+	bytesEqual(t, tn.recvN(s, 4), []byte("held"), "uncorked data")
+}
+
+func TestRetransmissionAfterLoss(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 5000)
+	// Kill the link, send (packets vanish), then heal and wait for RTO.
+	tn.sw.SetLinkDown(tn.nics[0], true)
+	msg := []byte("must arrive eventually")
+	if _, err := c.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	tn.run(50 * sim.Millisecond)
+	if s.ReadableBytes() != 0 {
+		t.Fatal("data crossed a dead link")
+	}
+	tn.sw.SetLinkDown(tn.nics[0], false)
+	tn.run(5 * sim.Second)
+	bytesEqual(t, tn.recvN(s, len(msg)), msg, "retransmitted data")
+	if c.Stats.Retransmits == 0 {
+		t.Fatal("no retransmissions recorded")
+	}
+}
+
+func TestRTOExponentialBackoff(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, _ := tn.connect(0, 1, 5000)
+	tn.sw.SetLinkDown(tn.nics[0], true)
+	c.Send([]byte("x"))
+	tn.run(10 * sim.Second)
+	// With RTOmin 200ms doubling: ~200+400+800+1600+3200+6400 ≈ 12.6s of
+	// budget; in 10s we expect around 5-6 firings, certainly not 50.
+	if c.Stats.RTOFirings < 3 || c.Stats.RTOFirings > 8 {
+		t.Fatalf("RTO firings in 10s = %d, want 3..8 (exponential backoff)", c.Stats.RTOFirings)
+	}
+}
+
+func TestConnectionTimesOutAfterRepeatedLoss(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, _ := tn.connect(0, 1, 5000)
+	tn.sw.SetLinkDown(tn.nics[0], true)
+	c.Send([]byte("x"))
+	tn.run(3000 * sim.Second)
+	if c.State() != StateClosed || !errors.Is(c.Err(), ErrTimeout) {
+		t.Fatalf("state=%v err=%v, want CLOSED/ErrTimeout", c.State(), c.Err())
+	}
+}
+
+func TestFastRetransmitOnDupAcks(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 5000)
+	c.SetNoDelay(true)
+	// Warm the congestion window up so several segments can be in
+	// flight at once (the initial window is only 2 MSS).
+	warm := pattern(50000, 7)
+	tn.sendAll(c, warm)
+	bytesEqual(t, tn.recvN(s, len(warm)), warm, "warmup stream")
+
+	// Drop exactly one MSS-sized segment by momentarily downing the link.
+	tn.sw.SetLinkDown(tn.nics[0], true)
+	c.Send(pattern(1460, 1))
+	tn.run(500 * sim.Microsecond)
+	tn.sw.SetLinkDown(tn.nics[0], false)
+	// Following segments arrive out of order, generating dup ACKs.
+	for i := 0; i < 6; i++ {
+		c.Send(pattern(1460, byte(2+i)))
+		tn.run(200 * sim.Microsecond)
+	}
+	tn.run(100 * sim.Millisecond)
+	if c.Stats.FastRetransmits == 0 {
+		t.Fatal("expected a fast retransmit")
+	}
+	// All data must still arrive, in order.
+	want := pattern(1460, 1)
+	for i := 0; i < 6; i++ {
+		want = append(want, pattern(1460, byte(2+i))...)
+	}
+	bytesEqual(t, tn.recvN(s, len(want)), want, "post-fast-retransmit stream")
+	// Recovery should have happened well before the 200ms RTO floor.
+	if c.Stats.RTOFirings != 0 {
+		t.Fatalf("RTO fired %d times; fast retransmit should have recovered", c.Stats.RTOFirings)
+	}
+}
