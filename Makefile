@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the extended tier-1 gate
+# (see ROADMAP.md): vet + build + full tests, plus race-detector runs of
+# the packages with concurrency-sensitive bookkeeping.
+
+GO ?= go
+
+.PHONY: check build test vet race bench trace-demo
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/trace/... ./internal/metrics/...
+
+# Tracer overhead guard: trace=false must match the pre-tracing baseline.
+bench:
+	$(GO) test -run XXX -bench=BenchmarkCheckpoint -benchmem .
+
+# Worked example from README: quickstart scenario with a Chrome trace.
+trace-demo:
+	$(GO) run ./cmd/cruzsim -scenario quickstart -nodes 3 -trace cruz-trace.json

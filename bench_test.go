@@ -146,6 +146,31 @@ func BenchmarkRestartLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpoint measures the simulator-side cost (wall-clock time
+// and allocations) of a full coordinated checkpoint cycle, with tracing
+// off and on. The trace=false case is the regression baseline: enabling
+// the tracing subsystem must not change it, and the trace=true case
+// bounds the tracer's own overhead.
+func BenchmarkCheckpoint(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("trace=%v", traced), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl, err := cruz.New(cruz.Config{Nodes: 2, Seed: 11, Trace: traced})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, job := deployRing(b, cl, 2)
+				cl.Run(50 * cruz.Millisecond)
+				if _, err := cl.Checkpoint(job, cruz.CheckpointOptions{}); err != nil {
+					b.Fatal(err)
+				}
+				cl.Run(20 * cruz.Millisecond)
+			}
+		})
+	}
+}
+
 // BenchmarkIncrementalCheckpoint is ablation A1: dirty-page incremental
 // checkpoints versus full checkpoints on the slm workload.
 func BenchmarkIncrementalCheckpoint(b *testing.B) {

@@ -4,28 +4,41 @@
 //
 // Usage:
 //
-//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental]
-//	          [-scale 1.0] [-ckpts 3] [-maxnodes 8]
+//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|phases]
+//	          [-scale 1.0] [-ckpts 3] [-maxnodes 8] [-trace] [-json]
 //
 // scale 1.0 reproduces the paper's ≈100 MB pod images (slowest); smaller
 // scales preserve every shape result and run faster.
+//
+// -trace runs the checkpoint-phase breakdown experiment (same as
+// -exp phases): a traced cluster decomposes coordinated checkpoint
+// latency into quiesce/drain/capture/write/commit. -traceout additionally
+// writes its Chrome trace JSON. -json writes every selected experiment's
+// distribution statistics (mean/stddev/percentiles) to BENCH_cruz.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"cruz"
 	"cruz/internal/exp"
+	"cruz/internal/trace"
 )
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental")
-		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's ~100 MB pod images)")
-		ckpts    = flag.Int("ckpts", 3, "checkpoints per configuration (fig5)")
-		maxNodes = flag.Int("maxnodes", 8, "largest node count for sweeps")
+		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|phases")
+		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's ~100 MB pod images)")
+		ckpts     = flag.Int("ckpts", 3, "checkpoints per configuration (fig5)")
+		maxNodes  = flag.Int("maxnodes", 8, "largest node count for sweeps")
+		doTrace   = flag.Bool("trace", false, "run the checkpoint-phase breakdown (alias for -exp phases)")
+		traceOut  = flag.String("traceout", "", "write the phases experiment's Chrome trace JSON to this file")
+		jsonOut   = flag.Bool("json", false, "write distribution statistics to BENCH_cruz.json")
+		jsonFile  = flag.String("jsonfile", "BENCH_cruz.json", "output path for -json")
+		jsonCkpts = flag.Int("jsonckpts", 5, "checkpoints per configuration for -json distributions")
 	)
 	flag.Parse()
 
@@ -46,6 +59,79 @@ func main() {
 	run("fig4", func() error { return fig4(*maxNodes, *scale) })
 	run("restart", func() error { return restart(*maxNodes, *scale) })
 	run("incremental", func() error { return incremental(*scale) })
+	if *doTrace || *which == "phases" || *which == "all" {
+		if err := phases(*maxNodes, *ckpts, *scale, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cruzbench: phases: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		if err := writeJSON(*jsonFile, *maxNodes, *jsonCkpts, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "cruzbench: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// phases runs the traced checkpoint experiment and prints the per-phase
+// latency decomposition (E1: where does checkpoint latency go?).
+func phases(maxNodes, ckpts int, scale float64, traceOut string) error {
+	n := 4
+	if maxNodes < n {
+		n = maxNodes
+	}
+	if n < 2 {
+		n = 2
+	}
+	fmt.Println("== Checkpoint phase breakdown (traced) ==")
+	fmt.Printf("   (%d nodes, %d checkpoints, scale %.2f)\n\n", n, ckpts, scale)
+	res, err := exp.Phases(n, ckpts, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report.Format())
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f, res.Events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", len(res.Events), traceOut)
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeJSON collects distribution statistics for the headline
+// experiments and writes them as indented JSON.
+func writeJSON(path string, maxNodes, ckpts int, scale float64) error {
+	counts := []int{2}
+	if maxNodes >= 4 {
+		counts = append(counts, 4)
+	}
+	if maxNodes >= 8 {
+		counts = append(counts, 8)
+	}
+	rep, err := exp.JSONBench(counts, ckpts, scale)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d experiment distributions to %s\n", len(rep.Experiments), path)
+	return nil
 }
 
 func sweep(maxNodes int) []int {

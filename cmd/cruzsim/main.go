@@ -4,28 +4,39 @@
 //
 // Usage:
 //
-//	cruzsim -scenario migrate|failover|periodic [-nodes 4] [-seed 1]
+//	cruzsim -scenario quickstart|migrate|failover|periodic [-nodes 4] [-seed 1]
+//	        [-trace out.json] [-v]
 //
 // Scenarios:
 //
-//	migrate   A live kvstore server pod moves between machines while an
-//	          external client keeps issuing verified operations.
-//	failover  An slm job loses a machine; its pod restarts on a spare
-//	          node from the last coordinated checkpoint.
-//	periodic  An slm job checkpoints every 2s using the Fig. 4 optimized
-//	          protocol; prints per-checkpoint latencies and overheads.
+//	quickstart  An slm job on every node takes one coordinated checkpoint
+//	            and one coordinated restart — the smallest end-to-end run,
+//	            and the reference input for -trace.
+//	migrate     A live kvstore server pod moves between machines while an
+//	            external client keeps issuing verified operations.
+//	failover    An slm job loses a machine; its pod restarts on a spare
+//	            node from the last coordinated checkpoint.
+//	periodic    An slm job checkpoints every 2s using the Fig. 4 optimized
+//	            protocol; prints per-checkpoint latencies and overheads.
+//
+// -trace out.json enables the deterministic tracer and writes a Chrome
+// trace-event file (load it in Perfetto / chrome://tracing); -v prints
+// the trace as a human-readable timeline. Either flag also prints the
+// checkpoint phase breakdown when the scenario checkpoints.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"cruz"
 	"cruz/internal/apps/kvstore"
 	"cruz/internal/apps/slm"
 	"cruz/internal/ckpt"
 	"cruz/internal/sim"
+	"cruz/internal/trace"
 )
 
 func init() {
@@ -34,16 +45,25 @@ func init() {
 	cruz.RegisterProgram(&kvstore.Client{})
 }
 
+var (
+	traceOut string
+	verbose  bool
+)
+
 func main() {
 	var (
-		scenario = flag.String("scenario", "migrate", "migrate|failover|periodic")
+		scenario = flag.String("scenario", "quickstart", "quickstart|migrate|failover|periodic")
 		nodes    = flag.Int("nodes", 4, "application nodes")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 	)
+	flag.StringVar(&traceOut, "trace", "", "write Chrome trace-event JSON to this file")
+	flag.BoolVar(&verbose, "v", false, "print the trace as a timeline on stdout")
 	flag.Parse()
 
 	var err error
 	switch *scenario {
+	case "quickstart":
+		err = quickstart(*nodes, *seed)
 	case "migrate":
 		err = migrate(*seed)
 	case "failover":
@@ -62,8 +82,96 @@ func stamp(cl *cruz.Cluster, format string, args ...any) {
 	fmt.Printf("[%10v] %s\n", cl.Engine.Now(), fmt.Sprintf(format, args...))
 }
 
+// tracing reports whether any trace output was requested; scenarios pass
+// it as Config.Trace.
+func tracing() bool { return traceOut != "" || verbose }
+
+// emitTrace renders the requested trace outputs for a finished scenario:
+// the -v timeline, the -trace Chrome JSON file, and — whenever checkpoint
+// phase spans were recorded — the phase breakdown table.
+func emitTrace(cl *cruz.Cluster) error {
+	tr := cl.Trace()
+	if tr == nil {
+		return nil
+	}
+	events := tr.Events()
+	if verbose {
+		if err := trace.WriteTimeline(os.Stdout, events); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s (%d dropped)\n", len(events), traceOut, tr.Dropped())
+	}
+	if rep := trace.PhaseBreakdown(events); len(rep.Rows) > 0 {
+		fmt.Println()
+		fmt.Print(rep.Format())
+	}
+	return nil
+}
+
+// quickstart runs the smallest full checkpoint-restart cycle: an slm
+// ring with one worker pod per node, one coordinated checkpoint, a crash
+// of every pod, and a coordinated restart from the image.
+func quickstart(nodes int, seed int64) error {
+	if nodes < 2 {
+		nodes = 2
+	}
+	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed, Trace: tracing()})
+	if err != nil {
+		return err
+	}
+	job, workers, err := slmJob(cl, nodes)
+	if err != nil {
+		return err
+	}
+	cl.Run(500 * cruz.Millisecond)
+	stamp(cl, "slm ring of %d running at step %d", nodes, workers[0].StepsDone)
+
+	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	if err != nil {
+		return err
+	}
+	stamp(cl, "checkpoint %d committed (latency %v, %d msgs, %.1f MB images)",
+		res.Seq, res.Latency, res.Messages, float64(res.TotalImageBytes)/(1<<20))
+	cl.Run(200 * cruz.Millisecond)
+
+	step := workers[0].StepsDone
+	for i := 0; i < nodes; i++ {
+		cl.Pod(fmt.Sprintf("slm-%d", i)).Destroy()
+	}
+	stamp(cl, "all pods destroyed (step was %d)", step)
+
+	rres, err := cl.Restart(job, res.Seq)
+	if err != nil {
+		return err
+	}
+	stamp(cl, "restarted from checkpoint %d (latency %v)", res.Seq, rres.Latency)
+	cl.Run(500 * cruz.Millisecond)
+	for i := 0; i < nodes; i++ {
+		w := cl.Pod(fmt.Sprintf("slm-%d", i)).Process(1).Program().(*slm.Worker)
+		if w.Fault != "" {
+			return fmt.Errorf("worker %d fault: %s", i, w.Fault)
+		}
+	}
+	w := cl.Pod("slm-0").Process(1).Program().(*slm.Worker)
+	stamp(cl, "ring healthy at step %d after restart", w.StepsDone)
+	return emitTrace(cl)
+}
+
 func migrate(seed int64) error {
-	cl, err := cruz.New(cruz.Config{Nodes: 3, Seed: seed})
+	cl, err := cruz.New(cruz.Config{Nodes: 3, Seed: seed, Trace: tracing()})
 	if err != nil {
 		return err
 	}
@@ -110,7 +218,7 @@ func migrate(seed int64) error {
 		}
 	}
 	stamp(cl, "two live migrations, zero client disruptions")
-	return nil
+	return emitTrace(cl)
 }
 
 func slmJob(cl *cruz.Cluster, n int) (*cruz.Job, []*slm.Worker, error) {
@@ -151,7 +259,7 @@ func failover(nodes int, seed int64) error {
 	if nodes < 3 {
 		nodes = 3
 	}
-	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed})
+	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed, Trace: tracing()})
 	if err != nil {
 		return err
 	}
@@ -231,11 +339,11 @@ func failover(nodes int, seed int64) error {
 		}
 	}
 	stamp(cl, "ring healthy at step %d after failover", w.StepsDone)
-	return nil
+	return emitTrace(cl)
 }
 
 func periodic(nodes int, seed int64) error {
-	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed})
+	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed, Trace: tracing()})
 	if err != nil {
 		return err
 	}
@@ -259,5 +367,5 @@ func periodic(nodes int, seed int64) error {
 		}
 	}
 	stamp(cl, "5 optimized checkpoints, application undisturbed")
-	return nil
+	return emitTrace(cl)
 }

@@ -31,6 +31,7 @@ import (
 	"cruz/internal/kernel"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 	"cruz/internal/zap"
 )
 
@@ -91,6 +92,13 @@ type Config struct {
 	// FlushBaseline also starts a CoCheck-style flushing agent on every
 	// node and a flushing coordinator, for comparison experiments.
 	FlushBaseline bool
+	// Trace enables the deterministic tracing subsystem (internal/trace):
+	// spans, instants, and counters from every layer, exportable as a
+	// timeline or Chrome trace JSON via Cluster.Trace(). Off by default;
+	// when off there is zero overhead beyond a nil check at trace points.
+	Trace bool
+	// TraceCapacity bounds the tracer's event ring buffer (0 = default).
+	TraceCapacity int
 }
 
 // Node is one simulated machine.
@@ -116,9 +124,15 @@ type Cluster struct {
 	FlushCoordinator *flush.Coordinator
 
 	cfg      Config
+	tracer   *trace.Tracer
 	pods     map[string]podRef
 	podCount int
 }
+
+// Trace returns the cluster's tracer, or nil when Config.Trace was false.
+// The nil tracer is safe to pass around; use internal/trace exporters on
+// its Events() to render timelines or Chrome trace JSON.
+func (cl *Cluster) Trace() *trace.Tracer { return cl.tracer }
 
 type podRef struct {
 	pod  *zap.Pod
@@ -153,6 +167,11 @@ func New(cfg Config) (*Cluster, error) {
 		Engine: sim.NewEngine(cfg.Seed),
 		cfg:    cfg,
 		pods:   make(map[string]podRef),
+	}
+	if cfg.Trace {
+		// Attach before any component is built: constructors snapshot the
+		// engine's trace sink.
+		cl.tracer = trace.New(cl.Engine, trace.Config{Capacity: cfg.TraceCapacity})
 	}
 	cl.Switch = ether.NewSwitch(cl.Engine)
 

@@ -27,7 +27,7 @@ func smallSlm(workers int) slm.Config {
 }
 
 // deployRing places one slm worker pod per node.
-func deployRing(t *testing.T, cl *cruz.Cluster, n int) ([]string, *cruz.Job) {
+func deployRing(t testing.TB, cl *cruz.Cluster, n int) ([]string, *cruz.Job) {
 	t.Helper()
 	cfg := smallSlm(n)
 	var names []string

@@ -8,6 +8,7 @@ import (
 
 	"cruz/internal/kernel"
 	"cruz/internal/mem"
+	"cruz/internal/trace"
 	"cruz/internal/zap"
 )
 
@@ -78,6 +79,13 @@ func Capture(pod *zap.Pod, seq int, opts Options) (*Image, error) {
 			continue
 		}
 		img.Sems = append(img.Sems, SemImage{ID: s.ID, Key: s.Key, Value: s.Value()})
+	}
+	if tr := trace.FromEngine(kern.Engine()); tr.Enabled() {
+		tr.Instant(kern.Name(), "ckpt", "capture",
+			trace.Str("pod", pod.Name()),
+			trace.Int("procs", int64(len(img.Processes))),
+			trace.Int("mem_bytes", img.MemoryBytes()),
+			trace.Int("shms", int64(len(img.Shms))))
 	}
 	return img, nil
 }

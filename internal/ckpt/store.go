@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cruz/internal/kernel"
+	"cruz/internal/trace"
 )
 
 // ErrNoImage is returned when a requested checkpoint does not exist.
@@ -53,7 +54,16 @@ func (s *Store) Save(img *Image, done func(size int64, err error)) {
 		s.latest[img.PodName] = img.Seq
 	}
 	size := int64(len(blob))
-	s.disk.Write(size, func() { done(size, nil) })
+	var sp trace.Span
+	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
+		sp = tr.Begin(s.disk.Name(), "ckpt", "store.save",
+			trace.Str("pod", img.PodName), trace.Int("seq", int64(img.Seq)),
+			trace.Int("bytes", size))
+	}
+	s.disk.Write(size, func() {
+		sp.End()
+		done(size, nil)
+	})
 }
 
 // LatestSeq returns the highest stored sequence number for a pod.
@@ -80,7 +90,14 @@ func (s *Store) Load(pod string, seq int, done func(*Image, error)) {
 		done(nil, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq))
 		return
 	}
+	var sp trace.Span
+	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
+		sp = tr.Begin(s.disk.Name(), "ckpt", "store.load",
+			trace.Str("pod", pod), trace.Int("seq", int64(seq)),
+			trace.Int("bytes", int64(len(blob))))
+	}
 	s.disk.Read(int64(len(blob)), func() {
+		sp.End()
 		img, err := DecodeImage(blob)
 		done(img, err)
 	})
@@ -112,7 +129,14 @@ func (s *Store) LoadMerged(pod string, seq int, done func(*Image, error)) {
 		}
 		cur = meta.BaseSeq
 	}
+	var sp trace.Span
+	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
+		sp = tr.Begin(s.disk.Name(), "ckpt", "store.load",
+			trace.Str("pod", pod), trace.Int("seq", int64(seq)),
+			trace.Int("bytes", total), trace.Int("chain", int64(len(chain))))
+	}
 	s.disk.Read(total, func() {
+		sp.End()
 		// Decode base-first, merging upward.
 		merged, err := DecodeImage(s.blobs[pod][chain[len(chain)-1]])
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"cruz/internal/kernel"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 	"cruz/internal/zap"
 )
 
@@ -55,6 +56,7 @@ type Agent struct {
 	store  *ckpt.Store
 	params AgentParams
 	cpu    ctl.Serializer
+	tr     *trace.Tracer
 
 	pods     map[string]*zap.Pod
 	ops      map[string]*agentOp
@@ -85,6 +87,25 @@ type agentOp struct {
 	contRecvd bool
 	resumed   bool
 	filterID  int
+
+	// Trace spans for the op and its lifecycle phases. Zero values are
+	// inert, so paths that never begin a phase may End it freely.
+	span      trace.Span
+	phQuiesce trace.Span
+	phDrain   trace.Span
+	phCapture trace.Span
+	phWrite   trace.Span
+	phCommit  trace.Span
+}
+
+// endSpans closes everything still open on the op (abort/failure paths).
+func (op *agentOp) endSpans(args ...trace.Arg) {
+	op.phQuiesce.End(args...)
+	op.phDrain.End(args...)
+	op.phCapture.End(args...)
+	op.phWrite.End(args...)
+	op.phCommit.End(args...)
+	op.span.End(args...)
 }
 
 // NewAgent starts an agent on the node, listening on its control port.
@@ -96,6 +117,7 @@ func NewAgent(kern *kernel.Kernel, store *ckpt.Store, params AgentParams) (*Agen
 		store:  store,
 		params: params,
 		cpu:    ctl.Serializer{Engine: kern.Engine()},
+		tr:     trace.FromEngine(kern.Engine()),
 		pods:   make(map[string]*zap.Pod),
 		ops:    make(map[string]*agentOp),
 	}
@@ -176,10 +198,19 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 	op := &agentOp{seq: m.Seq, optimized: m.Optimized, cow: m.COW, t0: a.kern.Engine().Now(), conn: c}
 	a.ops[m.Pod] = op
 	a.Stats.Checkpoints++
+	if a.tr.Enabled() {
+		node := a.kern.Name()
+		op.span = a.tr.Begin(node, "core", "agent.checkpoint",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
+		op.phQuiesce = a.tr.Begin(node, trace.PhaseCat, "quiesce", trace.Str("pod", m.Pod))
+	}
 
 	// Step 1: configure the filter to silently drop all pod traffic.
 	a.cpu.Do(a.params.FilterCost, func() {
 		op.filterID = a.kern.Stack().Filter().AddDropAddr(pod.IP())
+		if a.tr.Enabled() {
+			a.tr.Instant(a.kern.Name(), "core", "filter.install", trace.Str("pod", m.Pod))
+		}
 		if op.optimized && !op.cow {
 			// Fig. 4: notify as soon as communication is disabled,
 			// without waiting for the local save.
@@ -191,9 +222,23 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 				return
 			}
 			op.stoppedAt = a.kern.Engine().Now()
+			op.phQuiesce.End()
+			// In Cruz the filter drops in-flight pod traffic rather than
+			// flushing it; the "drain" phase is the settle window between
+			// full quiesce and the start of the state copy (the serialized
+			// in-kernel walk of process and socket structures).
+			if a.tr.Enabled() {
+				op.phDrain = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "drain",
+					trace.Str("pod", m.Pod), trace.Str("mode", "drop"))
+			}
 			a.cpu.Do(a.params.CaptureCost, func() {
 				if op.aborted {
 					return
+				}
+				op.phDrain.End()
+				if a.tr.Enabled() {
+					op.phCapture = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "capture",
+						trace.Str("pod", m.Pod))
 				}
 				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: m.Incremental})
 				if err != nil {
@@ -201,6 +246,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 					a.fail(c, msgDone, m, err)
 					return
 				}
+				op.phCapture.End(trace.Int("mem_bytes", img.MemoryBytes()))
 				op.captured = true
 				if op.cow {
 					// §5.2 copy-on-write optimization: the captured copy
@@ -208,8 +254,16 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 					// resume (once the coordinator confirms every node
 					// has captured) while the image write proceeds from
 					// the snapshot.
+					if a.tr.Enabled() {
+						op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+							trace.Str("pod", m.Pod), trace.Str("mode", "cow"))
+					}
 					c.send(&wireMsg{Type: msgCommDisabled, Seq: m.Seq, Pod: m.Pod})
 					a.maybeFinishContinue(m.Pod, pod, op)
+				}
+				if a.tr.Enabled() {
+					op.phWrite = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "write",
+						trace.Str("pod", m.Pod))
 				}
 				a.store.Save(img, func(size int64, err error) {
 					if op.aborted {
@@ -221,6 +275,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 						return
 					}
 					op.saveDone = true
+					op.phWrite.End(trace.Int("bytes", size))
 					// Step 3: send <done>.
 					c.send(&wireMsg{
 						Type:          msgDone,
@@ -232,8 +287,13 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 					if op.resumed {
 						// COW: the pod resumed before the write finished;
 						// the operation completes here.
+						op.endSpans()
 						delete(a.ops, m.Pod)
 						return
+					}
+					if !op.phCommit.Active() && a.tr.Enabled() {
+						op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+							trace.Str("pod", m.Pod))
 					}
 					a.maybeFinishContinue(m.Pod, pod, op)
 				})
@@ -270,7 +330,12 @@ func (a *Agent) maybeFinishContinue(name string, pod *zap.Pod, op *agentOp) {
 	a.cpu.Do(a.params.FilterCost, func() {
 		pod.Resume()
 		a.kern.Stack().Filter().RemoveRule(op.filterID)
+		if a.tr.Enabled() {
+			a.tr.Instant(a.kern.Name(), "core", "filter.remove", trace.Str("pod", name))
+		}
+		op.phCommit.End()
 		if op.saveDone {
+			op.endSpans()
 			delete(a.ops, name)
 		}
 		op.conn.send(&wireMsg{
@@ -295,6 +360,14 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 	op := &agentOp{seq: m.Seq, t0: a.kern.Engine().Now(), conn: c, saveDone: true}
 	a.ops[m.Pod] = op
 	a.Stats.Restores++
+	if a.tr.Enabled() {
+		node := a.kern.Name()
+		op.span = a.tr.Begin(node, "core", "agent.restart",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
+		// Reuse the quiesce/write slots for the restart phases so abort
+		// cleanup covers them.
+		op.phQuiesce = a.tr.Begin(node, trace.PhaseCat, "load", trace.Str("pod", m.Pod))
+	}
 
 	load := func(done func(*ckpt.Image, error)) {
 		if m.Seq > 0 {
@@ -308,9 +381,15 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 			return
 		}
 		if err != nil {
+			op.endSpans(trace.Str("err", err.Error()))
 			delete(a.ops, m.Pod)
 			a.fail(c, msgRestartDone, m, err)
 			return
+		}
+		op.phQuiesce.End()
+		if a.tr.Enabled() {
+			op.phCapture = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "restore",
+				trace.Str("pod", m.Pod))
 		}
 		// Disable communication for the pod's address first.
 		a.cpu.Do(a.params.FilterCost+a.params.CaptureCost, func() {
@@ -321,12 +400,18 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 			pod, rerr := ckpt.Restore(a.kern, img)
 			if rerr != nil {
 				a.kern.Stack().Filter().RemoveRule(op.filterID)
+				op.endSpans(trace.Str("err", rerr.Error()))
 				delete(a.ops, m.Pod)
 				a.fail(c, msgRestartDone, m, rerr)
 				return
 			}
 			a.pods[m.Pod] = pod
 			op.seq = m.Seq
+			op.phCapture.End(trace.Int("mem_bytes", img.MemoryBytes()))
+			if a.tr.Enabled() {
+				op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+					trace.Str("pod", m.Pod))
+			}
 			c.send(&wireMsg{
 				Type:          msgRestartDone,
 				Seq:           m.Seq,
@@ -359,5 +444,6 @@ func (a *Agent) abortLocal(name string, pod *zap.Pod, op *agentOp) {
 	if pod != nil && pod.Stopped() {
 		pod.Resume()
 	}
+	op.endSpans(trace.Str("outcome", "aborted"))
 	delete(a.ops, name)
 }

@@ -7,6 +7,7 @@ import (
 	"cruz/internal/ctl"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 )
 
 // Errors surfaced by the coordinator.
@@ -119,6 +120,7 @@ type Coordinator struct {
 	stack  *tcpip.Stack
 	params CoordinatorParams
 	cpu    ctl.Serializer
+	tr     *trace.Tracer
 
 	conns map[tcpip.AddrPort]*ctlConn
 	op    map[string]*coordOp // job name -> active op
@@ -148,6 +150,7 @@ type coordOp struct {
 	timeout    *sim.Event
 	finish     func(*coordOp, error)
 	failed     error
+	span       trace.Span
 }
 
 // NewCoordinator creates a coordinator on the given node's stack.
@@ -156,6 +159,7 @@ func NewCoordinator(stack *tcpip.Stack, params CoordinatorParams) *Coordinator {
 		stack:     stack,
 		params:    params,
 		cpu:       ctl.Serializer{Engine: stack.Engine()},
+		tr:        trace.FromEngine(stack.Engine()),
 		conns:     make(map[tcpip.AddrPort]*ctlConn),
 		op:        make(map[string]*coordOp),
 		committed: make(map[string]int),
@@ -260,16 +264,27 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 		contPend: make(map[string]bool),
 		msgBase:  c.msgCount(job),
 	}
+	if c.tr.Enabled() {
+		op.span = c.tr.Begin(c.stack.Name(), "core", "checkpoint",
+			trace.Str("job", job.Name), trace.Int("seq", int64(seq)),
+			trace.Int("members", int64(len(job.Members))))
+	}
 	op.finish = func(op *coordOp, err error) {
 		delete(c.op, job.Name)
 		if op.timeout != nil {
 			c.stack.Engine().Cancel(op.timeout)
 		}
 		if err != nil {
+			op.span.End(trace.Str("err", err.Error()))
 			done(nil, err)
 			return
 		}
 		c.committed[job.Name] = op.seq
+		if c.tr.Enabled() {
+			c.tr.Instant(c.stack.Name(), "core", "commit",
+				trace.Str("job", job.Name), trace.Int("seq", int64(op.seq)))
+		}
+		op.span.End()
 		now := c.stack.Engine().Now()
 		res := &CheckpointResult{
 			Seq:                op.seq,
@@ -334,15 +349,22 @@ func (c *Coordinator) Restart(job *Job, seq int, done func(*RestartResult, error
 		contPend: make(map[string]bool),
 		msgBase:  c.msgCount(job),
 	}
+	if c.tr.Enabled() {
+		op.span = c.tr.Begin(c.stack.Name(), "core", "restart",
+			trace.Str("job", job.Name), trace.Int("seq", int64(seq)),
+			trace.Int("members", int64(len(job.Members))))
+	}
 	op.finish = func(op *coordOp, err error) {
 		delete(c.op, job.Name)
 		if op.timeout != nil {
 			c.stack.Engine().Cancel(op.timeout)
 		}
 		if err != nil {
+			op.span.End(trace.Str("err", err.Error()))
 			done(nil, err)
 			return
 		}
+		op.span.End()
 		now := c.stack.Engine().Now()
 		res := &RestartResult{
 			Seq:              op.seq,
@@ -423,6 +445,10 @@ func (c *Coordinator) onMsg(_ *ctlConn, m *wireMsg) {
 		op := c.opForPod(m.Pod, m.Seq)
 		if op == nil {
 			return
+		}
+		if c.tr.Enabled() {
+			c.tr.Instant(c.stack.Name(), "core", "recv."+m.Type.String(),
+				trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
 		}
 		if m.Err != "" {
 			c.abortOp(op, fmt.Errorf("%w: pod %s: %s", ErrAgentFailed, m.Pod, m.Err))

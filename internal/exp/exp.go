@@ -57,19 +57,24 @@ func slmConfig(workers int, scale float64) slm.Config {
 // slmCluster builds an n-node cluster running the slm ring, one worker
 // pod per node, and returns it with the job and workers.
 func slmCluster(n int, scale float64, flushToo bool) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
-	return slmClusterCfg(n, slmConfig(n, scale), flushToo, nil)
+	return slmClusterCfg(n, slmConfig(n, scale), flushToo, false, nil)
+}
+
+// slmClusterTraced is slmCluster with the tracing subsystem enabled.
+func slmClusterTraced(n int, scale float64) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
+	return slmClusterCfg(n, slmConfig(n, scale), false, true, nil)
 }
 
 // slmClusterSkewed additionally scales worker i's grid by gridMult[i]
 // (nil = homogeneous), used to expose save-time skew in the Fig. 4
 // comparison.
 func slmClusterSkewed(n int, scale float64, flushToo bool, gridMult []float64) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
-	return slmClusterCfg(n, slmConfig(n, scale), flushToo, gridMult)
+	return slmClusterCfg(n, slmConfig(n, scale), flushToo, false, gridMult)
 }
 
 // slmClusterCfg is the fully parameterized deployment.
-func slmClusterCfg(n int, cfg slm.Config, flushToo bool, gridMult []float64) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
-	cl, err := cruz.New(cruz.Config{Nodes: n, Seed: int64(n)*101 + 7, FlushBaseline: flushToo})
+func slmClusterCfg(n int, cfg slm.Config, flushToo, traced bool, gridMult []float64) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
+	cl, err := cruz.New(cruz.Config{Nodes: n, Seed: int64(n)*101 + 7, FlushBaseline: flushToo, Trace: traced})
 	if err != nil {
 		return nil, nil, nil, err
 	}

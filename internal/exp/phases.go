@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"cruz"
+	"cruz/internal/metrics"
+	"cruz/internal/trace"
+)
+
+// PhasesResult decomposes coordinated checkpoint latency into the named
+// protocol phases (quiesce, drain, capture, write, commit) recorded by
+// the tracing subsystem. This is the breakdown behind E1–E4: it shows
+// where the latency of Fig. 5 actually goes (the paper: checkpoint
+// latency "is dominated by the time to write this state to disk").
+type PhasesResult struct {
+	Nodes       int
+	Checkpoints int
+	Report      *trace.PhaseReport
+	// Events is the full trace, for optional Chrome-trace export.
+	Events []trace.Event
+}
+
+// Phases runs ckpts coordinated checkpoints of the slm benchmark on n
+// nodes with tracing enabled and returns the per-phase latency report.
+func Phases(n, ckpts int, scale float64) (*PhasesResult, error) {
+	cl, job, workers, err := slmClusterTraced(n, scale)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < ckpts; k++ {
+		if _, err := cl.Checkpoint(job, cruz.CheckpointOptions{}); err != nil {
+			return nil, fmt.Errorf("exp: phases n=%d ckpt %d: %w", n, k, err)
+		}
+		cl.Run(500 * cruz.Millisecond)
+	}
+	if err := checkWorkers(workers); err != nil {
+		return nil, err
+	}
+	events := cl.Trace().Events()
+	return &PhasesResult{
+		Nodes:       n,
+		Checkpoints: ckpts,
+		Report:      trace.PhaseBreakdown(events),
+		Events:      events,
+	}, nil
+}
+
+// BenchReport is the machine-readable benchmark output written by
+// cruzbench -json to BENCH_cruz.json: one distribution per experiment
+// metric, keyed "experiment/metric".
+type BenchReport struct {
+	Scale       float64                 `json:"scale"`
+	Experiments map[string]metrics.Dist `json:"experiments"`
+}
+
+// Keys returns the experiment keys in sorted (stable) order.
+func (r *BenchReport) Keys() []string {
+	keys := make([]string, 0, len(r.Experiments))
+	for k := range r.Experiments {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// JSONBench collects the distributions behind the headline experiments:
+// coordinated checkpoint latency, coordination overhead, and slowest
+// local checkpoint for each node count, plus coordinated restart latency
+// at the largest count.
+func JSONBench(nodeCounts []int, ckpts int, scale float64) (*BenchReport, error) {
+	rep := &BenchReport{Scale: scale, Experiments: make(map[string]metrics.Dist)}
+	for _, n := range nodeCounts {
+		cl, job, workers, err := slmCluster(n, scale, false)
+		if err != nil {
+			return nil, err
+		}
+		var lat, ovh, local metrics.Summary
+		for k := 0; k < ckpts; k++ {
+			res, cerr := cl.Checkpoint(job, cruz.CheckpointOptions{})
+			if cerr != nil {
+				return nil, fmt.Errorf("exp: jsonbench n=%d ckpt %d: %w", n, k, cerr)
+			}
+			lat.AddDuration(res.Latency)
+			ovh.Add(res.Overhead.Microseconds())
+			local.AddDuration(res.MaxLocalCheckpoint)
+			cl.Run(500 * cruz.Millisecond)
+		}
+		if err := checkWorkers(workers); err != nil {
+			return nil, err
+		}
+		prefix := fmt.Sprintf("checkpoint_n%d", n)
+		rep.Experiments[prefix+"/latency_ms"] = lat.Dist()
+		rep.Experiments[prefix+"/coord_overhead_us"] = ovh.Dist()
+		rep.Experiments[prefix+"/max_local_ms"] = local.Dist()
+	}
+	if len(nodeCounts) > 0 {
+		n := nodeCounts[len(nodeCounts)-1]
+		cl, job, _, err := slmCluster(n, scale, false)
+		if err != nil {
+			return nil, err
+		}
+		var lat, ovh metrics.Summary
+		for k := 0; k < ckpts; k++ {
+			if _, err := cl.Checkpoint(job, cruz.CheckpointOptions{}); err != nil {
+				return nil, fmt.Errorf("exp: jsonbench restart ckpt: %w", err)
+			}
+			cl.Run(100 * cruz.Millisecond)
+			for i := 0; i < n; i++ {
+				cl.Pod(fmt.Sprintf("slm-%d", i)).Destroy()
+			}
+			res, rerr := cl.Restart(job, 0)
+			if rerr != nil {
+				return nil, fmt.Errorf("exp: jsonbench restart: %w", rerr)
+			}
+			lat.AddDuration(res.Latency)
+			ovh.Add(res.Overhead.Microseconds())
+			cl.Run(200 * cruz.Millisecond)
+		}
+		prefix := fmt.Sprintf("restart_n%d", n)
+		rep.Experiments[prefix+"/latency_ms"] = lat.Dist()
+		rep.Experiments[prefix+"/coord_overhead_us"] = ovh.Dist()
+	}
+	return rep, nil
+}

@@ -27,6 +27,7 @@ import (
 	"cruz/internal/kernel"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 	"cruz/internal/zap"
 )
 
@@ -140,6 +141,7 @@ type Agent struct {
 	store  *ckpt.Store
 	params AgentParams
 	cpu    ctl.Serializer
+	tr     *trace.Tracer
 
 	pods     map[string]*zap.Pod
 	listener *tcpip.TCPListener
@@ -163,6 +165,11 @@ type agentOp struct {
 	need       int
 	markerSent int
 	saved      bool
+
+	span      trace.Span // agent.checkpoint (cat "flush")
+	phQuiesce trace.Span
+	phDrain   trace.Span
+	phCommit  trace.Span
 }
 
 // NewAgent starts a flushing agent on the node.
@@ -172,6 +179,7 @@ func NewAgent(kern *kernel.Kernel, store *ckpt.Store, params AgentParams) (*Agen
 		store:        store,
 		params:       params,
 		cpu:          ctl.Serializer{Engine: kern.Engine()},
+		tr:           trace.FromEngine(kern.Engine()),
 		pods:         make(map[string]*zap.Pod),
 		peers:        make(map[tcpip.AddrPort]*fConn),
 		earlyMarkers: make(map[int][]*fWireMsg),
@@ -258,6 +266,12 @@ func (a *Agent) startCheckpoint(c *fConn, m *fWireMsg) {
 		need:    len(m.Members) - 1,
 	}
 	a.op = op
+	if a.tr.Enabled() {
+		node := a.kern.Name()
+		op.span = a.tr.Begin(node, "flush", "agent.checkpoint",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
+		op.phQuiesce = a.tr.Begin(node, trace.PhaseCat, "quiesce", trace.Str("pod", m.Pod))
+	}
 	// Adopt any markers that raced ahead of the request.
 	for _, em := range a.earlyMarkers[m.Seq] {
 		op.markers[em.FromPod] = em
@@ -265,6 +279,11 @@ func (a *Agent) startCheckpoint(c *fConn, m *fWireMsg) {
 	delete(a.earlyMarkers, m.Seq)
 
 	pod.Stop(func() {
+		op.phQuiesce.End()
+		if a.tr.Enabled() {
+			op.phDrain = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "drain",
+				trace.Str("pod", op.podName), trace.Str("mode", "flush"))
+		}
 		// Application stopped: emit this node's markers to every other
 		// node (the all-to-all exchange; O(N²) cluster-wide).
 		for _, mem := range op.members {
@@ -277,6 +296,10 @@ func (a *Agent) startCheckpoint(c *fConn, m *fWireMsg) {
 				continue
 			}
 			op.markerSent++
+			if a.tr.Enabled() {
+				a.tr.Instant(a.kern.Name(), "flush", "marker.send",
+					trace.Str("to", mem.Pod), trace.Int("channels", int64(len(positions))))
+			}
 			pc.send(&fWireMsg{
 				Type:      fMarker,
 				Seq:       op.seq,
@@ -310,6 +333,9 @@ func (a *Agent) positionsToward(pod *zap.Pod, peerIP tcpip.Addr) []connPos {
 
 // handleMarker records a peer's marker (possibly before our own request).
 func (a *Agent) handleMarker(m *fWireMsg) {
+	if a.tr.Enabled() {
+		a.tr.Instant(a.kern.Name(), "flush", "marker.recv", trace.Str("from", m.FromPod))
+	}
 	if a.op != nil && a.op.seq == m.Seq {
 		a.op.markers[m.FromPod] = m
 		return
@@ -325,6 +351,7 @@ func (a *Agent) pollDrain(op *agentOp) {
 	}
 	if len(op.markers) >= op.need && a.drained(op) {
 		op.flushEnd = a.kern.Engine().Now()
+		op.phDrain.End(trace.Int("markers", int64(len(op.markers))))
 		a.saveLocal(op)
 		return
 	}
@@ -363,14 +390,32 @@ func (a *Agent) drained(op *agentOp) bool {
 
 // saveLocal captures and writes the pod image, then reports done.
 func (a *Agent) saveLocal(op *agentOp) {
+	var phCapture trace.Span
+	if a.tr.Enabled() {
+		phCapture = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "capture",
+			trace.Str("pod", op.podName))
+	}
 	a.cpu.Do(a.params.CaptureCost, func() {
 		img, err := ckpt.Capture(op.pod, op.seq, ckpt.Options{})
 		if err != nil {
+			phCapture.End(trace.Str("err", err.Error()))
+			op.span.End(trace.Str("err", err.Error()))
 			op.conn.send(&fWireMsg{Type: fDone, Seq: op.seq, Pod: op.podName, Err: err.Error()})
 			a.op = nil
 			return
 		}
+		phCapture.End(trace.Int("mem_bytes", img.MemoryBytes()))
+		var phWrite trace.Span
+		if a.tr.Enabled() {
+			phWrite = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "write",
+				trace.Str("pod", op.podName))
+		}
 		a.store.Save(img, func(size int64, serr error) {
+			phWrite.End(trace.Int("bytes", size))
+			if a.tr.Enabled() && serr == nil {
+				op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+					trace.Str("pod", op.podName))
+			}
 			msg := &fWireMsg{
 				Type:          fDone,
 				Seq:           op.seq,
@@ -382,6 +427,7 @@ func (a *Agent) saveLocal(op *agentOp) {
 			}
 			if serr != nil {
 				msg.Err = serr.Error()
+				op.span.End(trace.Str("err", serr.Error()))
 			}
 			op.saved = true
 			op.conn.send(msg)
@@ -397,6 +443,8 @@ func (a *Agent) handleContinue(m *fWireMsg) {
 	}
 	a.op = nil
 	op.pod.Resume()
+	op.phCommit.End()
+	op.span.End()
 	op.conn.send(&fWireMsg{
 		Type:          fContinueDone,
 		Seq:           m.Seq,
@@ -440,6 +488,7 @@ type Coordinator struct {
 	stack  *tcpip.Stack
 	params AgentParams // MsgCost reused
 	cpu    ctl.Serializer
+	tr     *trace.Tracer
 	conns  map[tcpip.AddrPort]*fConn
 	ops    map[string]*coordOp
 	seq    map[string]int
@@ -455,6 +504,7 @@ type coordOp struct {
 	res      *Result
 	done     func(*Result, error)
 	failed   bool
+	span     trace.Span
 }
 
 // NewCoordinator creates a flushing coordinator on the given stack.
@@ -463,6 +513,7 @@ func NewCoordinator(stack *tcpip.Stack) *Coordinator {
 		stack:  stack,
 		params: DefaultAgentParams(),
 		cpu:    ctl.Serializer{Engine: stack.Engine()},
+		tr:     trace.FromEngine(stack.Engine()),
 		conns:  make(map[tcpip.AddrPort]*fConn),
 		ops:    make(map[string]*coordOp),
 		seq:    make(map[string]int),
@@ -525,6 +576,11 @@ func (c *Coordinator) Checkpoint(job *Job, done func(*Result, error)) {
 		res:      &Result{Seq: seq},
 		done:     done,
 	}
+	if c.tr.Enabled() {
+		op.span = c.tr.Begin(c.stack.Name(), "flush", "checkpoint",
+			trace.Str("job", job.Name), trace.Int("seq", int64(seq)),
+			trace.Int("members", int64(len(job.Members))))
+	}
 	c.ops[job.Name] = op
 	for _, m := range job.Members {
 		op.pending[m.Pod] = true
@@ -547,6 +603,7 @@ func (c *Coordinator) fail(op *coordOp, err error) {
 		return
 	}
 	op.failed = true
+	op.span.End(trace.Str("err", err.Error()))
 	delete(c.ops, op.job.Name)
 	op.done(nil, err)
 }
@@ -603,6 +660,7 @@ func (c *Coordinator) onMsg(_ *fConn, m *fWireMsg) {
 			op.res.CoordinatorMessages++
 			if len(op.contPend) == 0 && len(op.pending) == 0 {
 				op.res.CycleLatency = c.stack.Engine().Now().Sub(op.t0)
+				op.span.End(trace.Int("marker_msgs", int64(op.res.MarkerMessages)))
 				delete(c.ops, op.job.Name)
 				op.done(op.res, nil)
 			}

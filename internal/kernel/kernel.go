@@ -24,6 +24,7 @@ import (
 	"cruz/internal/mem"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 )
 
 // Errors returned by kernel operations.
@@ -69,6 +70,7 @@ type Kernel struct {
 	params Params
 	stack  *tcpip.Stack
 	disk   *Disk
+	tr     *trace.Tracer
 
 	procs   map[int]*Process
 	nextPID int
@@ -104,6 +106,7 @@ func New(engine *sim.Engine, name string, params Params, stack *tcpip.Stack) *Ke
 		name:    name,
 		params:  params,
 		stack:   stack,
+		tr:      trace.FromEngine(engine),
 		procs:   make(map[int]*Process),
 		nextPID: 1,
 		shms:    make(map[int]*ShmSegment),
@@ -111,6 +114,7 @@ func New(engine *sim.Engine, name string, params Params, stack *tcpip.Stack) *Ke
 	}
 	k.disk = &Disk{
 		engine:   engine,
+		name:     name,
 		writeBPS: params.DiskWriteBPS,
 		readBPS:  params.DiskReadBPS,
 		latency:  params.DiskLatency,
@@ -165,6 +169,10 @@ func (k *Kernel) Spawn(name string, prog Program, parent int) *Process {
 	k.nextPID++
 	k.procs[p.pid] = p
 	k.Stats.ProcsSpawned++
+	if k.tr.Enabled() {
+		k.tr.Instant(k.name, "kernel", "spawn",
+			trace.Str("proc", name), trace.Int("pid", int64(p.pid)), trace.Int("parent", int64(parent)))
+	}
 	k.enqueue(p)
 	return p
 }
@@ -329,6 +337,10 @@ func (k *Kernel) exitProcess(p *Process, code int) {
 	}
 	delete(k.procs, p.pid)
 	k.Stats.ProcsExited++
+	if k.tr.Enabled() {
+		k.tr.Instant(k.name, "kernel", "exit",
+			trace.Str("proc", p.name), trace.Int("pid", int64(p.pid)), trace.Int("code", int64(code)))
+	}
 	// Wake a parent blocked in WaitChild.
 	if parent, ok := k.procs[p.parent]; ok {
 		parent.zombies = append(parent.zombies, ChildExit{PID: p.pid, Code: code})
@@ -347,6 +359,10 @@ func (k *Kernel) Signal(pid int, sig Signal) error {
 	if !ok {
 		return fmt.Errorf("%w: pid %d", ErrNoProcess, pid)
 	}
+	if k.tr.Enabled() {
+		k.tr.Instant(k.name, "kernel", "signal",
+			trace.Str("sig", sig.String()), trace.Int("pid", int64(pid)))
+	}
 	p.deliverSignal(sig)
 	return nil
 }
@@ -357,6 +373,7 @@ func (k *Kernel) Signal(pid int, sig Signal) error {
 // this).
 type Disk struct {
 	engine   *sim.Engine
+	name     string // owning node, for trace scoping
 	writeBPS int64
 	readBPS  int64
 	latency  sim.Duration
@@ -365,6 +382,12 @@ type Disk struct {
 	// Stats counts disk activity.
 	Stats DiskStats
 }
+
+// Engine returns the engine the disk schedules on.
+func (d *Disk) Engine() *sim.Engine { return d.engine }
+
+// Name returns the owning node's name (empty for bare test disks).
+func (d *Disk) Name() string { return d.name }
 
 // DiskStats counts disk activity.
 type DiskStats struct {

@@ -51,6 +51,24 @@ const (
 	SIGSTOP Signal = 19
 )
 
+func (s Signal) String() string {
+	switch s {
+	case SIGKILL:
+		return "SIGKILL"
+	case SIGUSR1:
+		return "SIGUSR1"
+	case SIGUSR2:
+		return "SIGUSR2"
+	case SIGTERM:
+		return "SIGTERM"
+	case SIGCONT:
+		return "SIGCONT"
+	case SIGSTOP:
+		return "SIGSTOP"
+	}
+	return fmt.Sprintf("SIG(%d)", int(s))
+}
+
 // WaitKind says what a finished step is waiting for.
 type WaitKind int
 

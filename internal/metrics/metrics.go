@@ -129,10 +129,16 @@ func (s *Series) MinMax() (min, max float64) {
 type Summary struct {
 	Name    string
 	samples []float64
+	// sorted memoizes the sorted copy Percentile needs; Add invalidates
+	// it so repeated percentile queries cost one sort, not one each.
+	sorted []float64
 }
 
 // Add appends a sample.
-func (s *Summary) Add(v float64) { s.samples = append(s.samples, v) }
+func (s *Summary) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = nil
+}
 
 // AddDuration appends a duration sample in milliseconds.
 func (s *Summary) AddDuration(d sim.Duration) { s.Add(d.Milliseconds()) }
@@ -201,9 +207,11 @@ func (s *Summary) Percentile(p float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	sorted := make([]float64, n)
-	copy(sorted, s.samples)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = make([]float64, n)
+		copy(s.sorted, s.samples)
+		sort.Float64s(s.sorted)
+	}
 	rank := int(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1
@@ -211,7 +219,34 @@ func (s *Summary) Percentile(p float64) float64 {
 	if rank > n {
 		rank = n
 	}
-	return sorted[rank-1]
+	return s.sorted[rank-1]
+}
+
+// Dist is a serializable snapshot of a Summary's distribution, used by
+// cruzbench -json to record per-experiment statistics.
+type Dist struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+}
+
+// Dist returns the summary's distribution snapshot.
+func (s *Summary) Dist() Dist {
+	return Dist{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Min:    s.Min(),
+		P50:    s.Percentile(50),
+		P90:    s.Percentile(90),
+		P99:    s.Percentile(99),
+		Max:    s.Max(),
+	}
 }
 
 // String renders "name: mean ± stddev (n=N)".

@@ -124,6 +124,12 @@ type Engine struct {
 	stopped bool
 	// fired counts events executed, useful for tests and runaway guards.
 	fired uint64
+	// traceSink holds the cluster's tracer (an opaque any so sim does not
+	// depend on the trace package); components reach it through
+	// trace.FromEngine. stepHook, when set, observes every dispatched
+	// event — the tracer uses it for sampled dispatch counters.
+	traceSink any
+	stepHook  func()
 }
 
 // NewEngine returns an engine whose clock reads zero and whose
@@ -141,6 +147,19 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// SetTraceSink attaches an opaque tracing sink to the engine. Every
+// component holds the engine, so the sink is reachable from anywhere in
+// the stack without the sim package importing the trace package.
+func (e *Engine) SetTraceSink(v any) { e.traceSink = v }
+
+// TraceSink returns the value set by SetTraceSink (nil if none).
+func (e *Engine) TraceSink() any { return e.traceSink }
+
+// SetStepHook installs fn to run after every event dispatch, with the
+// clock already advanced to the event's firing time. A nil fn removes the
+// hook. The hook must not schedule events.
+func (e *Engine) SetStepHook(fn func()) { e.stepHook = fn }
 
 // Schedule arranges for fn to run after delay elapses. A negative delay is
 // treated as zero (fires "now", after already-queued events at the current
@@ -185,6 +204,9 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
 	e.fired++
+	if e.stepHook != nil {
+		e.stepHook()
+	}
 	ev.fn()
 	return true
 }

@@ -6,6 +6,7 @@ import (
 
 	"cruz/internal/ether"
 	"cruz/internal/sim"
+	"cruz/internal/trace"
 )
 
 // Errors returned by stack operations.
@@ -46,6 +47,7 @@ func (i *Interface) NIC() *ether.NIC { return i.nic }
 type Stack struct {
 	engine *sim.Engine
 	name   string
+	tr     *trace.Tracer
 
 	ifaces []*Interface
 	arp    *arpTable
@@ -74,6 +76,7 @@ func NewStack(engine *sim.Engine, name string) *Stack {
 	s := &Stack{
 		engine:        engine,
 		name:          name,
+		tr:            trace.FromEngine(engine),
 		conns:         make(map[FourTuple]*TCPConn),
 		listeners:     make(map[AddrPort]*TCPListener),
 		udpConns:      make(map[AddrPort]*UDPConn),

@@ -3,6 +3,8 @@ package tcpip
 import (
 	"errors"
 	"fmt"
+
+	"cruz/internal/trace"
 )
 
 // This file implements the paper's central capability (§4.1): saving and
@@ -259,6 +261,12 @@ func (c *TCPConn) DrainToAlt() int {
 	}
 	c.altQueue = append(c.altQueue, c.rcvQueue...)
 	c.rcvQueue = nil
+	if tr := c.stack.tr; tr.Enabled() {
+		tr.Instant(c.stack.name, "tcp", "drain",
+			trace.Str("conn", c.tuple.String()),
+			trace.Int("bytes", int64(n)),
+			trace.Int("alt_total", int64(len(c.altQueue))))
+	}
 	c.maybeSendWindowUpdate(n)
 	return n
 }

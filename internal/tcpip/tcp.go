@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"cruz/internal/sim"
+	"cruz/internal/trace"
 )
 
 // State is a TCP connection state (RFC 793).
@@ -287,7 +288,7 @@ func (s *Stack) DialTCP(local AddrPort, remote AddrPort) (*TCPConn, error) {
 		return nil, fmt.Errorf("%w: %s", ErrConnExists, tuple)
 	}
 	c := s.newConn(tuple)
-	c.state = StateSynSent
+	c.setState(StateSynSent)
 	s.conns[tuple] = c
 	c.sendControl(FlagSYN, c.iss, 0)
 	c.sndNxt = c.iss + 1
@@ -319,6 +320,22 @@ func (s *Stack) newConn(tuple FourTuple) *TCPConn {
 
 // State returns the connection state.
 func (c *TCPConn) State() State { return c.state }
+
+// setState transitions the RFC 793 state machine, tracing the transition.
+// All state changes (except construction and checkpoint restore, which
+// install state rather than transition it) flow through here.
+func (c *TCPConn) setState(next State) {
+	if c.state == next {
+		return
+	}
+	if tr := c.stack.tr; tr.Enabled() {
+		tr.Instant(c.stack.name, "tcp", "state",
+			trace.Str("conn", c.tuple.String()),
+			trace.Str("from", c.state.String()),
+			trace.Str("to", next.String()))
+	}
+	c.state = next
+}
 
 // LocalAddr returns the local endpoint.
 func (c *TCPConn) LocalAddr() AddrPort { return c.tuple.Local }
@@ -474,9 +491,9 @@ func (c *TCPConn) Close() error {
 		c.teardown(nil)
 		return nil
 	case StateEstablished:
-		c.state = StateFinWait1
+		c.setState(StateFinWait1)
 	case StateCloseWait:
-		c.state = StateLastAck
+		c.setState(StateLastAck)
 	}
 	c.finQueued = true
 	c.trySend()
@@ -512,7 +529,7 @@ func (c *TCPConn) teardown(err error) {
 	if c.err == nil {
 		c.err = err
 	}
-	c.state = StateClosed
+	c.setState(StateClosed)
 	c.stack.engine.Cancel(c.rtoTimer)
 	c.stack.engine.Cancel(c.persistTimer)
 	c.stack.engine.Cancel(c.twTimer)
@@ -700,6 +717,12 @@ func (c *TCPConn) onRTO() {
 	}
 	g.retx++
 	c.Stats.Retransmits++
+	if tr := c.stack.tr; tr.Enabled() {
+		tr.Instant(c.stack.name, "tcp", "rto",
+			trace.Str("conn", c.tuple.String()),
+			trace.Int("retx", int64(g.retx)),
+			trace.Num("rto_ms", c.rto.Milliseconds()))
+	}
 	// Loss response: collapse to one segment and slow-start again. All
 	// other outstanding segments are presumed lost too and will be
 	// retransmitted as the window reopens (pumpRetransmits).
@@ -859,7 +882,7 @@ func (l *TCPListener) handleSYN(tuple FourTuple, seg *Segment) {
 		return // backlog full: drop, client will retry
 	}
 	c := l.stack.newConn(tuple)
-	c.state = StateSynRcvd
+	c.setState(StateSynRcvd)
 	c.listener = l
 	c.irs = seg.Seq
 	c.rcvNxt = seg.Seq + 1
@@ -887,7 +910,7 @@ func (c *TCPConn) handleSegment(seg *Segment) {
 			c.rcvNxt = seg.Seq + 1
 			c.sndUna = seg.Ack
 			c.sndWnd = uint32(seg.Window)
-			c.state = StateEstablished
+			c.setState(StateEstablished)
 			c.rto = c.params.RTOInit
 			c.stack.engine.Cancel(c.rtoTimer)
 			c.sendControl(FlagACK, c.sndNxt, c.rcvNxt)
@@ -899,7 +922,7 @@ func (c *TCPConn) handleSegment(seg *Segment) {
 		if seg.Flags.Has(FlagACK) && seg.Ack == c.iss+1 {
 			c.sndUna = seg.Ack
 			c.sndWnd = uint32(seg.Window)
-			c.state = StateEstablished
+			c.setState(StateEstablished)
 			c.stack.engine.Cancel(c.rtoTimer)
 			if l := c.listener; l != nil {
 				l.synRcvd--
@@ -995,7 +1018,7 @@ func (c *TCPConn) processACK(seg *Segment) {
 		if c.finSent && ack == c.sndNxt {
 			switch c.state {
 			case StateFinWait1:
-				c.state = StateFinWait2
+				c.setState(StateFinWait2)
 			case StateClosing:
 				c.enterTimeWait()
 			case StateLastAck:
@@ -1018,6 +1041,11 @@ func (c *TCPConn) processACK(seg *Segment) {
 			g.retx++
 			c.Stats.FastRetransmits++
 			c.Stats.Retransmits++
+			if tr := c.stack.tr; tr.Enabled() {
+				tr.Instant(c.stack.name, "tcp", "fast_retransmit",
+					trace.Str("conn", c.tuple.String()),
+					trace.Int("seq", int64(g.seq)))
+			}
 			c.ssthresh = maxInt(c.inflightBytes()/2, 2*c.params.MSS)
 			c.cwnd = c.ssthresh
 			c.sampleValid = false
@@ -1077,10 +1105,10 @@ func (c *TCPConn) ingest(data []byte, fin bool) {
 		c.rcvClosed = true
 		switch c.state {
 		case StateEstablished:
-			c.state = StateCloseWait
+			c.setState(StateCloseWait)
 		case StateFinWait1:
 			// Their FIN before our FIN's ACK: simultaneous close.
-			c.state = StateClosing
+			c.setState(StateClosing)
 		case StateFinWait2:
 			c.enterTimeWait()
 		}
@@ -1130,7 +1158,7 @@ func (c *TCPConn) drainOOO() {
 
 // enterTimeWait parks the connection for 2*MSL, then frees the tuple.
 func (c *TCPConn) enterTimeWait() {
-	c.state = StateTimeWait
+	c.setState(StateTimeWait)
 	c.stack.engine.Cancel(c.rtoTimer)
 	c.twTimer = c.stack.engine.Schedule(2*c.params.MSL, func() { c.teardown(nil) })
 	c.wake()

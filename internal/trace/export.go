@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cruz/internal/sim"
+)
+
+// WriteTimeline renders events as a human-readable timeline, one line
+// per event, oldest first. Span Ends show the span duration; nesting is
+// indented per node. The output is deterministic for a given event
+// sequence.
+func WriteTimeline(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	begins := make(map[SpanID]sim.Time)
+	depth := make(map[string]int)
+	for i := range events {
+		ev := &events[i]
+		var mark string
+		var tail string
+		switch ev.Kind {
+		case KindBegin:
+			mark = ">"
+			begins[ev.Span] = ev.At
+		case KindEnd:
+			mark = "<"
+			if at, ok := begins[ev.Span]; ok {
+				tail = fmt.Sprintf(" (%v)", ev.At.Sub(at))
+				delete(begins, ev.Span)
+			}
+			if depth[ev.Node] > 0 {
+				depth[ev.Node]--
+			}
+		case KindCounter:
+			mark = "#"
+			tail = fmt.Sprintf(" = %g", ev.Value)
+		default:
+			mark = "*"
+		}
+		fmt.Fprintf(bw, "[%12.3fms] %-8s %-6s %*s%s %s", float64(ev.At)/1e6,
+			ev.Node, ev.Cat, 2*depth[ev.Node], "", mark, ev.Name)
+		for _, a := range ev.ArgSlice() {
+			if a.IsStr {
+				fmt.Fprintf(bw, " %s=%s", a.Key, a.Str)
+			} else {
+				fmt.Fprintf(bw, " %s=%g", a.Key, a.Num)
+			}
+		}
+		bw.WriteString(tail)
+		bw.WriteByte('\n')
+		if ev.Kind == KindBegin {
+			depth[ev.Node]++
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace renders events as Chrome trace-event JSON (the
+// "JSON Array Format" with a traceEvents wrapper), loadable in Perfetto
+// or chrome://tracing. Nodes map to processes; categories map to named
+// threads within each node. Spans are emitted as nestable async events
+// ("b"/"e" keyed by span id) because Cruz spans cross callbacks and are
+// not stack-disciplined per thread.
+//
+// The writer builds JSON by hand so field and argument order — and hence
+// the exact bytes — are deterministic for a given event sequence.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+
+	pids := make(map[string]int)
+	tids := make(map[string]int) // "node\x00cat" -> tid within node
+	perNode := make(map[string]int)
+	first := true
+	comma := func() {
+		if first {
+			first = false
+		} else {
+			bw.WriteByte(',')
+		}
+	}
+	ids := func(ev *Event) (pid, tid int) {
+		pid, ok := pids[ev.Node]
+		if !ok {
+			pid = len(pids) + 1
+			pids[ev.Node] = pid
+			comma()
+			fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}",
+				pid, strconv.Quote(ev.Node))
+		}
+		key := ev.Node + "\x00" + ev.Cat
+		tid, ok = tids[key]
+		if !ok {
+			perNode[ev.Node]++
+			tid = perNode[ev.Node]
+			tids[key] = tid
+			comma()
+			fmt.Fprintf(bw, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}",
+				pid, tid, strconv.Quote(ev.Cat))
+		}
+		return pid, tid
+	}
+	writeArgs := func(ev *Event) {
+		bw.WriteString("\"args\":{")
+		for i, a := range ev.ArgSlice() {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.Quote(a.Key))
+			bw.WriteByte(':')
+			if a.IsStr {
+				bw.WriteString(strconv.Quote(a.Str))
+			} else {
+				bw.WriteString(strconv.FormatFloat(a.Num, 'g', -1, 64))
+			}
+		}
+		bw.WriteString("}}")
+	}
+
+	for i := range events {
+		ev := &events[i]
+		pid, tid := ids(ev)
+		ts := strconv.FormatFloat(float64(ev.At)/1e3, 'f', 3, 64) // µs
+		comma()
+		switch ev.Kind {
+		case KindBegin, KindEnd:
+			ph := "b"
+			if ev.Kind == KindEnd {
+				ph = "e"
+			}
+			fmt.Fprintf(bw, "{\"name\":%s,\"cat\":%s,\"ph\":%q,\"id\":\"0x%x\",\"ts\":%s,\"pid\":%d,\"tid\":%d,",
+				strconv.Quote(ev.Name), strconv.Quote(ev.Cat), ph, uint64(ev.Span), ts, pid, tid)
+			writeArgs(ev)
+		case KindCounter:
+			fmt.Fprintf(bw, "{\"name\":%s,\"cat\":%s,\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"value\":%s}}",
+				strconv.Quote(ev.Name), strconv.Quote(ev.Cat), ts, pid, tid,
+				strconv.FormatFloat(ev.Value, 'g', -1, 64))
+		default:
+			fmt.Fprintf(bw, "{\"name\":%s,\"cat\":%s,\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,",
+				strconv.Quote(ev.Name), strconv.Quote(ev.Cat), ts, pid, tid)
+			writeArgs(ev)
+		}
+	}
+	bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cruz/internal/sim"
+)
+
+// PhaseCat is the category agents use for checkpoint-phase spans; the
+// PhaseBreakdown report aggregates exactly these.
+const PhaseCat = "phase"
+
+// Canonical checkpoint phase order (the 2PC lifecycle): quiesce the pod,
+// drain/settle in-flight communication, capture state, write the image,
+// then the commit round-trip back to running. Unknown phases sort after
+// these, alphabetically.
+var phaseOrder = map[string]int{
+	"quiesce": 0,
+	"drain":   1,
+	"capture": 2,
+	"write":   3,
+	"commit":  4,
+	"load":    5,
+	"restore": 6,
+}
+
+// PhaseStat aggregates one named phase across all nodes and checkpoints
+// in a trace.
+type PhaseStat struct {
+	Phase   string
+	Count   int
+	MeanMs  float64
+	MinMs   float64
+	MaxMs   float64
+	TotalMs float64
+}
+
+// PhaseReport is the per-phase decomposition of checkpoint latency — the
+// table the paper's Fig. 5 discussion implies ("dominated by the time to
+// write this state to disk") but never prints.
+type PhaseReport struct {
+	Rows []PhaseStat
+	// OpCount and OpMeanMs summarize end-to-end agent checkpoint spans
+	// (cat "core" or "flush", name "agent.checkpoint"), when present.
+	OpCount  int
+	OpMeanMs float64
+}
+
+// PhaseBreakdown pairs Begin/End phase spans in a trace and aggregates
+// them by phase name. Unmatched Begins (phases still open when the trace
+// was cut) are ignored.
+func PhaseBreakdown(events []Event) *PhaseReport {
+	begins := make(map[SpanID]sim.Time)
+	acc := make(map[string][]float64)
+	var opTotal float64
+	var opCount int
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindBegin:
+			begins[ev.Span] = ev.At
+		case KindEnd:
+			at, ok := begins[ev.Span]
+			if !ok {
+				continue
+			}
+			delete(begins, ev.Span)
+			ms := ev.At.Sub(at).Milliseconds()
+			if ev.Cat == PhaseCat {
+				acc[ev.Name] = append(acc[ev.Name], ms)
+			} else if ev.Name == "agent.checkpoint" {
+				opTotal += ms
+				opCount++
+			}
+		}
+	}
+	rep := &PhaseReport{OpCount: opCount}
+	if opCount > 0 {
+		rep.OpMeanMs = opTotal / float64(opCount)
+	}
+	names := make([]string, 0, len(acc))
+	for name := range acc {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := phaseOrder[names[i]]
+		oj, jok := phaseOrder[names[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	for _, name := range names {
+		samples := acc[name]
+		st := PhaseStat{Phase: name, Count: len(samples), MinMs: samples[0], MaxMs: samples[0]}
+		for _, ms := range samples {
+			st.TotalMs += ms
+			if ms < st.MinMs {
+				st.MinMs = ms
+			}
+			if ms > st.MaxMs {
+				st.MaxMs = ms
+			}
+		}
+		st.MeanMs = st.TotalMs / float64(st.Count)
+		rep.Rows = append(rep.Rows, st)
+	}
+	return rep
+}
+
+// Format renders the report as an aligned text table.
+func (r *PhaseReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %10s %10s %10s\n", "phase", "count", "mean ms", "min ms", "max ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %6d %10.3f %10.3f %10.3f\n",
+			row.Phase, row.Count, row.MeanMs, row.MinMs, row.MaxMs)
+	}
+	if r.OpCount > 0 {
+		fmt.Fprintf(&b, "%-10s %6d %10.3f\n", "end-to-end", r.OpCount, r.OpMeanMs)
+	}
+	return b.String()
+}

@@ -1,0 +1,310 @@
+// Package trace is Cruz's deterministic tracing and telemetry layer.
+//
+// Because the whole stack runs on one discrete-event engine, every trace
+// event is stamped with virtual time and the complete trace is a pure
+// function of the simulation seed: two runs from the same seed produce
+// byte-identical exports. That makes traces diffable — a behavioural
+// change shows up as a trace diff, not as noise.
+//
+// The model is deliberately small:
+//
+//   - Instant: a point event (a signal delivered, a retransmit fired).
+//   - Span: a Begin/End pair measuring a phase (quiesce, disk write, a
+//     whole coordinated checkpoint). Spans nest and may overlap across
+//     nodes; they are matched by SpanID, not by stack discipline.
+//   - Counter: a named numeric sample (events dispatched, queue depth).
+//
+// Every event carries a node (which simulated machine), a category
+// (which subsystem: sim, kernel, tcp, zap, core, flush, ckpt, phase),
+// and up to MaxArgs key/value arguments stored inline — no maps, no
+// interface boxing — so an enabled tracer stays allocation-light and a
+// nil *Tracer is a safe no-op everywhere.
+//
+// Events land in a bounded ring buffer; exporters (export.go) render the
+// ring as a human-readable timeline or as Chrome trace-event JSON for
+// Perfetto / chrome://tracing, and report.go derives the per-phase
+// checkpoint-latency breakdown the paper's Fig. 5 discussion implies.
+package trace
+
+import "cruz/internal/sim"
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindInstant Kind = iota
+	KindBegin
+	KindEnd
+	KindCounter
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInstant:
+		return "instant"
+	case KindBegin:
+		return "begin"
+	case KindEnd:
+		return "end"
+	case KindCounter:
+		return "counter"
+	}
+	return "unknown"
+}
+
+// MaxArgs is the number of key/value arguments an event can carry inline.
+const MaxArgs = 4
+
+// Arg is one key/value argument. Exactly one of Str (IsStr) or Num is
+// meaningful. Args are stored by value inside events to avoid per-event
+// heap allocation.
+type Arg struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsStr bool
+}
+
+// Str builds a string-valued argument.
+func Str(key, val string) Arg { return Arg{Key: key, Str: val, IsStr: true} }
+
+// Num builds a float-valued argument.
+func Num(key string, val float64) Arg { return Arg{Key: key, Num: val} }
+
+// Int builds an integer-valued argument.
+func Int(key string, val int64) Arg { return Arg{Key: key, Num: float64(val)} }
+
+// SpanID identifies one Begin/End pair. IDs are allocated from a
+// deterministic counter, never reused within a run.
+type SpanID uint64
+
+// Event is one trace record. At is virtual time; Node and Cat scope the
+// event to a machine and subsystem; Span links Begin/End pairs; Value
+// carries the sample for counters.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Node  string
+	Cat   string
+	Name  string
+	Span  SpanID
+	Value float64
+	NArgs uint8
+	Args  [MaxArgs]Arg
+}
+
+// ArgSlice returns the event's populated arguments.
+func (ev *Event) ArgSlice() []Arg { return ev.Args[:ev.NArgs] }
+
+// Config tunes a Tracer.
+type Config struct {
+	// Capacity bounds the event ring buffer; once full, the oldest events
+	// are overwritten. 0 means DefaultCapacity.
+	Capacity int
+	// SampleEvery emits engine dispatch counters every N events fired.
+	// 0 means DefaultSampleEvery; negative disables engine sampling.
+	SampleEvery int
+}
+
+// Defaults for Config.
+const (
+	DefaultCapacity    = 1 << 16
+	DefaultSampleEvery = 4096
+)
+
+type spanMeta struct {
+	node, cat, name string
+}
+
+// Tracer collects events into a bounded ring. A nil *Tracer is valid and
+// every method on it is a no-op, so call sites need no enablement checks
+// beyond guarding expensive argument construction with Enabled.
+type Tracer struct {
+	engine *sim.Engine
+	buf    []Event
+	total  uint64 // events ever emitted; buf index = total % len(buf)
+	nextID SpanID
+	open   map[SpanID]spanMeta
+}
+
+// New creates a tracer, attaches it to the engine as its trace sink (so
+// trace.FromEngine finds it from any component), and installs the
+// sampled dispatch-counter hook.
+func New(engine *sim.Engine, cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	t := &Tracer{
+		engine: engine,
+		buf:    make([]Event, cfg.Capacity),
+		open:   make(map[SpanID]spanMeta),
+	}
+	engine.SetTraceSink(t)
+	if cfg.SampleEvery >= 0 {
+		every := uint64(cfg.SampleEvery)
+		if every == 0 {
+			every = DefaultSampleEvery
+		}
+		engine.SetStepHook(func() {
+			if fired := engine.Fired(); fired%every == 0 {
+				t.Counter("sim", "sim", "events_fired", float64(fired))
+				t.Counter("sim", "sim", "queue_depth", float64(engine.Pending()))
+			}
+		})
+	}
+	return t
+}
+
+// FromEngine returns the tracer attached to an engine, or nil if tracing
+// is disabled. The nil result is safe to use directly.
+func FromEngine(e *sim.Engine) *Tracer {
+	if e == nil {
+		return nil
+	}
+	t, _ := e.TraceSink().(*Tracer)
+	return t
+}
+
+// Enabled reports whether events are being collected. Use it to guard
+// argument construction that would otherwise run on hot paths:
+//
+//	if tr.Enabled() {
+//		tr.Instant(node, "tcp", "rto", trace.Str("conn", c.tuple.String()))
+//	}
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) now() sim.Time {
+	if t.engine != nil {
+		return t.engine.Now()
+	}
+	return 0
+}
+
+func (t *Tracer) emit(ev *Event) {
+	t.buf[t.total%uint64(len(t.buf))] = *ev
+	t.total++
+}
+
+func setArgs(ev *Event, args []Arg) {
+	n := len(args)
+	if n > MaxArgs {
+		n = MaxArgs
+	}
+	for i := 0; i < n; i++ {
+		ev.Args[i] = args[i]
+	}
+	ev.NArgs = uint8(n)
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(node, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	ev := Event{At: t.now(), Kind: KindInstant, Node: node, Cat: cat, Name: name}
+	setArgs(&ev, args)
+	t.emit(&ev)
+}
+
+// Counter records a numeric sample.
+func (t *Tracer) Counter(node, cat, name string, value float64) {
+	if t == nil {
+		return
+	}
+	t.emit(&Event{At: t.now(), Kind: KindCounter, Node: node, Cat: cat, Name: name, Value: value})
+}
+
+// Begin opens a span and returns a handle whose End closes it. The zero
+// Span (and any Span from a nil tracer) is inert.
+func (t *Tracer) Begin(node, cat, name string, args ...Arg) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.nextID++
+	id := t.nextID
+	t.open[id] = spanMeta{node: node, cat: cat, name: name}
+	ev := Event{At: t.now(), Kind: KindBegin, Node: node, Cat: cat, Name: name, Span: id}
+	setArgs(&ev, args)
+	t.emit(&ev)
+	return Span{t: t, id: id}
+}
+
+// Span is a handle to an open span.
+type Span struct {
+	t  *Tracer
+	id SpanID
+}
+
+// Active reports whether the span is real and still open.
+func (s Span) Active() bool {
+	if s.t == nil {
+		return false
+	}
+	_, ok := s.t.open[s.id]
+	return ok
+}
+
+// End closes the span. Ending an inert or already-ended span is a no-op,
+// which lets cleanup paths End unconditionally.
+func (s Span) End(args ...Arg) {
+	t := s.t
+	if t == nil {
+		return
+	}
+	meta, ok := t.open[s.id]
+	if !ok {
+		return
+	}
+	delete(t.open, s.id)
+	ev := Event{At: t.now(), Kind: KindEnd, Node: meta.node, Cat: meta.cat, Name: meta.name, Span: s.id}
+	setArgs(&ev, args)
+	t.emit(&ev)
+}
+
+// Len returns the number of events currently held in the ring.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.total < uint64(len(t.buf)) {
+		return int(t.total)
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	if t.total <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.total - uint64(len(t.buf))
+}
+
+// OpenSpans returns the number of spans begun but not yet ended.
+func (t *Tracer) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.open)
+}
+
+// Events returns the buffered events oldest-first. The slice is a copy.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := uint64(len(t.buf))
+	out := make([]Event, 0, t.Len())
+	start := uint64(0)
+	if t.total > n {
+		start = t.total - n
+	}
+	for i := start; i < t.total; i++ {
+		out = append(out, t.buf[i%n])
+	}
+	return out
+}

@@ -26,6 +26,7 @@ import (
 	"cruz/internal/kernel"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 )
 
 // Errors returned by pod operations.
@@ -123,6 +124,10 @@ func (p *Pod) attachVIF() error {
 		return err
 	}
 	p.vif = vif
+	if tr := trace.FromEngine(p.kern.Engine()); tr.Enabled() {
+		tr.Instant(p.kern.Name(), "zap", "vif.attach",
+			trace.Str("pod", p.name), trace.Str("ip", p.cfg.IP.String()))
+	}
 	return nil
 }
 
@@ -253,19 +258,28 @@ func (p *Pod) Stop(done func()) {
 		return
 	}
 	p.stopped = true
+	var sp trace.Span
+	if tr := trace.FromEngine(p.kern.Engine()); tr.Enabled() {
+		sp = tr.Begin(p.kern.Name(), "zap", "pod.stop", trace.Str("pod", p.name))
+	}
 	remaining := 0
 	check := func() {
-		if remaining == 0 && done != nil {
-			done()
-			done = nil
+		if remaining == 0 {
+			sp.End()
+			if done != nil {
+				done()
+				done = nil
+			}
 		}
 	}
-	for _, proc := range p.procs {
+	// Iterate in vpid order: p.procs is a map, and signal order must not
+	// depend on map iteration (the tracer records it).
+	for _, vpid := range p.VPIDs() {
+		proc := p.procs[vpid]
 		if proc.Stopped() || proc.State() == kernel.StateExited {
 			continue
 		}
 		remaining++
-		proc := proc
 		proc.SetOnStopped(func() {
 			proc.SetOnStopped(nil)
 			remaining--
@@ -282,8 +296,11 @@ func (p *Pod) Resume() {
 		return
 	}
 	p.stopped = false
-	for _, proc := range p.procs {
-		p.kern.Signal(proc.PID(), kernel.SIGCONT)
+	if tr := trace.FromEngine(p.kern.Engine()); tr.Enabled() {
+		tr.Instant(p.kern.Name(), "zap", "pod.resume", trace.Str("pod", p.name))
+	}
+	for _, vpid := range p.VPIDs() {
+		p.kern.Signal(p.procs[vpid].PID(), kernel.SIGCONT)
 	}
 }
 
@@ -324,10 +341,26 @@ func (p *Pod) Destroy() {
 		return
 	}
 	p.destroyed = true
-	for _, proc := range p.procs {
+	if tr := trace.FromEngine(p.kern.Engine()); tr.Enabled() {
+		tr.Instant(p.kern.Name(), "zap", "pod.destroy", trace.Str("pod", p.name))
+	}
+	for _, vpid := range p.VPIDs() {
+		proc := p.procs[vpid]
 		// Destroy sockets first so closing fds at exit cannot emit FINs
-		// from a pod that must disappear silently.
-		for _, fd := range proc.FDs() {
+		// from a pod that must disappear silently. fd order, like vpid
+		// order above, is fixed so the trace is reproducible.
+		fds := proc.FDs()
+		nums := make([]int, 0, len(fds))
+		for n := range fds {
+			nums = append(nums, n)
+		}
+		for i := 1; i < len(nums); i++ {
+			for j := i; j > 0 && nums[j] < nums[j-1]; j-- {
+				nums[j], nums[j-1] = nums[j-1], nums[j]
+			}
+		}
+		for _, n := range nums {
+			fd := fds[n]
 			switch fd.Kind() {
 			case kernel.FDConn:
 				fd.Conn().Destroy()
@@ -339,10 +372,10 @@ func (p *Pod) Destroy() {
 		}
 		p.kern.Signal(proc.PID(), kernel.SIGKILL)
 	}
-	for id := range p.shmIDs {
+	for _, id := range p.ShmIDs() {
 		p.kern.RemoveShm(id)
 	}
-	for id := range p.semIDs {
+	for _, id := range p.SemIDs() {
 		p.kern.RemoveSem(id)
 	}
 	if p.vif != nil {
