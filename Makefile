@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench trace-demo
+.PHONY: check build test vet race bench gobench trace-demo
 
 check: vet build test race
 
@@ -20,8 +20,15 @@ test:
 race:
 	$(GO) test -race ./internal/trace/... ./internal/metrics/...
 
-# Tracer overhead guard: trace=false must match the pre-tracing baseline.
+# Regenerate the machine-readable benchmark report and fail if the
+# output is not valid BENCH_cruz.json-shaped JSON.
 bench:
+	$(GO) run ./cmd/cruzbench -exp none -json -jsonfile bench.tmp.json
+	$(GO) run ./cmd/cruzbench -checkjson bench.tmp.json
+	rm -f bench.tmp.json
+
+# Tracer overhead guard: trace=false must match the pre-tracing baseline.
+gobench:
 	$(GO) test -run XXX -bench=BenchmarkCheckpoint -benchmem .
 
 # Worked example from README: quickstart scenario with a Chrome trace.

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|phases]
+//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|phases|none]
 //	          [-scale 1.0] [-ckpts 3] [-maxnodes 8] [-trace] [-json]
+//	          [-checkjson FILE]
 //
 // scale 1.0 reproduces the paper's ≈100 MB pod images (slowest); smaller
 // scales preserve every shape result and run faster.
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|phases")
+		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|phases|none")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's ~100 MB pod images)")
 		ckpts     = flag.Int("ckpts", 3, "checkpoints per configuration (fig5)")
 		maxNodes  = flag.Int("maxnodes", 8, "largest node count for sweeps")
@@ -39,8 +40,17 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "write distribution statistics to BENCH_cruz.json")
 		jsonFile  = flag.String("jsonfile", "BENCH_cruz.json", "output path for -json")
 		jsonCkpts = flag.Int("jsonckpts", 5, "checkpoints per configuration for -json distributions")
+		checkJSON = flag.String("checkjson", "", "validate an existing -json output file and exit")
 	)
 	flag.Parse()
+
+	if *checkJSON != "" {
+		if err := validateJSON(*checkJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "cruzbench: checkjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *which != "all" && *which != name {
@@ -59,6 +69,7 @@ func main() {
 	run("fig4", func() error { return fig4(*maxNodes, *scale) })
 	run("restart", func() error { return restart(*maxNodes, *scale) })
 	run("incremental", func() error { return incremental(*scale) })
+	run("dedup", func() error { return dedup(*jsonCkpts, *scale) })
 	if *doTrace || *which == "phases" || *which == "all" {
 		if err := phases(*maxNodes, *ckpts, *scale, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "cruzbench: phases: %v\n", err)
@@ -90,6 +101,12 @@ func phases(maxNodes, ckpts int, scale float64, traceOut string) error {
 		return err
 	}
 	fmt.Print(res.Report.Format())
+	fmt.Println("\n-- with content-addressed pipeline (dedup+pipeline, incremental, auto-compact) --")
+	dres, err := exp.PhasesDedup(n, ckpts, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dres.Report.Format())
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
@@ -255,5 +272,50 @@ func incremental(scale float64) error {
 		fmt.Printf("%-12s  %9.1f   %11.1f\n", r.Kind, r.ImageMB, r.LatencyMs)
 	}
 	fmt.Println()
+	return nil
+}
+
+func dedup(ckpts int, scale float64) error {
+	fmt.Println("== Ablation: content-addressed (dedup) checkpoint store ==")
+	fmt.Printf("   (4 nodes, %d checkpoints per variant, scale %.2f)\n\n", ckpts, scale)
+	rows, err := exp.DedupAblation(4, ckpts, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("variant          first(ms)   steady(ms)   first(MB)   steady(MB)   restore(ms)")
+	for _, r := range rows {
+		fmt.Printf("%-15s  %9.1f   %10.1f   %9.1f   %10.2f   %11.1f\n",
+			r.Variant, r.FirstLatencyMs, r.SteadyLatencyMs, r.FirstMB, r.SteadyMB, r.RestoreMs)
+	}
+	fmt.Println("\n-- chain compaction: restore after 1 full + 8 incremental dedup checkpoints --")
+	crows, err := exp.CompactionAblation(4, 8, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("scenario        ckpts   restore(ms)   store chunks   freed(MB)")
+	for _, r := range crows {
+		fmt.Printf("%-14s  %5d   %11.1f   %12d   %9.2f\n",
+			r.Scenario, r.Checkpoints, r.RestoreMs, r.StoreChunks, r.FreedMB)
+	}
+	fmt.Println()
+	return nil
+}
+
+// validateJSON parses a -json output file and verifies it is a
+// well-formed benchmark report (make bench's gate).
+func validateJSON(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep exp.BenchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("%s: invalid JSON: %w", path, err)
+	}
+	if len(rep.Experiments) == 0 {
+		return fmt.Errorf("%s: no experiment distributions", path)
+	}
+	fmt.Printf("%s: ok (%d experiment distributions, scale %.2f)\n",
+		path, len(rep.Experiments), rep.Scale)
 	return nil
 }

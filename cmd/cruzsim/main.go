@@ -55,6 +55,7 @@ func main() {
 		scenario = flag.String("scenario", "quickstart", "quickstart|migrate|failover|periodic")
 		nodes    = flag.Int("nodes", 4, "application nodes")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		dedup    = flag.Bool("dedup", false, "periodic: store checkpoints content-addressed with the pipelined save path")
 	)
 	flag.StringVar(&traceOut, "trace", "", "write Chrome trace-event JSON to this file")
 	flag.BoolVar(&verbose, "v", false, "print the trace as a timeline on stdout")
@@ -69,7 +70,7 @@ func main() {
 	case "failover":
 		err = failover(*nodes, *seed)
 	case "periodic":
-		err = periodic(*nodes, *seed)
+		err = periodic(*nodes, *seed, *dedup)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -342,8 +343,8 @@ func failover(nodes int, seed int64) error {
 	return emitTrace(cl)
 }
 
-func periodic(nodes int, seed int64) error {
-	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed, Trace: tracing()})
+func periodic(nodes int, seed int64, dedup bool) error {
+	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed, Trace: tracing(), AutoCompact: 4})
 	if err != nil {
 		return err
 	}
@@ -353,12 +354,18 @@ func periodic(nodes int, seed int64) error {
 	}
 	cl.Run(500 * cruz.Millisecond)
 	for k := 0; k < 5; k++ {
-		res, cerr := cl.Checkpoint(job, cruz.CheckpointOptions{Optimized: true})
+		opts := cruz.CheckpointOptions{Optimized: true}
+		if dedup {
+			opts.Dedup = true
+			opts.Pipeline = true
+		}
+		res, cerr := cl.Checkpoint(job, opts)
 		if cerr != nil {
 			return cerr
 		}
-		stamp(cl, "checkpoint %d: latency %v  overhead %v  blocked %v  %d msgs  step %d",
-			res.Seq, res.Latency, res.Overhead, res.MaxBlocked, res.Messages, workers[0].StepsDone)
+		stamp(cl, "checkpoint %d: latency %v  overhead %v  blocked %v  %d msgs  %.2f MB written  step %d",
+			res.Seq, res.Latency, res.Overhead, res.MaxBlocked, res.Messages,
+			float64(res.TotalImageBytes)/(1<<20), workers[0].StepsDone)
 		cl.Run(2 * cruz.Second)
 	}
 	for i, w := range workers {
@@ -366,6 +373,10 @@ func periodic(nodes int, seed int64) error {
 			return fmt.Errorf("worker %d fault: %s", i, w.Fault)
 		}
 	}
-	stamp(cl, "5 optimized checkpoints, application undisturbed")
+	mode := "optimized"
+	if dedup {
+		mode = "optimized dedup+pipeline"
+	}
+	stamp(cl, "5 %s checkpoints, application undisturbed", mode)
 	return emitTrace(cl)
 }

@@ -89,6 +89,11 @@ type Config struct {
 	// Agent and Coordinator override daemon cost models.
 	Agent       core.AgentParams
 	Coordinator core.CoordinatorParams
+	// AutoCompact, when > 0, makes every node's store fold a pod's
+	// incremental manifest chain into a synthetic full manifest (freeing
+	// unreferenced chunks) once the chain exceeds this many deduplicated
+	// checkpoints. Only affects Dedup checkpoints.
+	AutoCompact int
 	// FlushBaseline also starts a CoCheck-style flushing agent on every
 	// node and a flushing coordinator, for comparison experiments.
 	FlushBaseline bool
@@ -184,7 +189,9 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		k := kernel.New(cl.Engine, fmt.Sprintf("node%d", i), cfg.Kernel, st)
-		return &Node{Index: i, Kernel: k, NIC: nic, Store: ckpt.NewStore(k.Disk())}, nil
+		store := ckpt.NewStore(k.Disk())
+		store.SetAutoCompact(cfg.AutoCompact)
+		return &Node{Index: i, Kernel: k, NIC: nic, Store: store}, nil
 	}
 
 	for i := 0; i < cfg.Nodes; i++ {

@@ -1,8 +1,6 @@
 package ckpt
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 
@@ -22,6 +20,11 @@ type Options struct {
 	// Incremental saves only memory pages dirtied since the previous
 	// capture (kernel state is always saved in full — it is tiny).
 	Incremental bool
+	// Hashes records each captured page's content hash in the image,
+	// enabling content-addressed (deduplicating) storage. Hashes are
+	// cached on clean pages, so only pages written since the last
+	// hashing capture cost a recompute (counted in Image.FreshHashes).
+	Hashes bool
 }
 
 // Capture copies a stopped pod's complete state into an Image. The copy
@@ -56,6 +59,11 @@ func Capture(pod *zap.Pod, seq int, opts Options) (*Image, error) {
 	// Pipes are shared objects; assign stable ids as we encounter them.
 	pipeIDs := make(map[*kernel.Pipe]int)
 
+	// Dirty tracking is cleared only after the whole pod captures
+	// successfully: clearing per process inside the loop would, on a
+	// later process's failure, lose the earlier processes' dirty sets
+	// and silently corrupt the next incremental capture.
+	spaces := make([]*mem.AddressSpace, 0, len(pod.VPIDs()))
 	for _, vpid := range pod.VPIDs() {
 		proc := pod.Process(vpid)
 		pi, err := captureProcess(vpid, proc, opts, pipeIDs, img)
@@ -63,7 +71,10 @@ func Capture(pod *zap.Pod, seq int, opts Options) (*Image, error) {
 			return nil, fmt.Errorf("ckpt: pod %s vpid %d: %w", pod.Name(), vpid, err)
 		}
 		img.Processes = append(img.Processes, pi)
-		proc.Mem().ClearDirty()
+		spaces = append(spaces, proc.Mem())
+	}
+	for _, as := range spaces {
+		as.ClearDirty()
 	}
 
 	for _, id := range pod.ShmIDs() {
@@ -100,12 +111,13 @@ func captureProcess(vpid int, proc *kernel.Process, opts Options, pipeIDs map[*k
 		CPUTime: proc.CPUTime(),
 	}
 
-	// "CPU state": the program value, gob-encoded.
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&progHolder{P: proc.Program()}); err != nil {
+	// "CPU state": the program value, gob-encoded through a pooled
+	// buffer (captures repeat; keep the steady state allocation-free).
+	prog, err := encodeToBytes(&progHolder{P: proc.Program()})
+	if err != nil {
 		return pi, fmt.Errorf("encode program (did you ckpt.RegisterProgram it?): %w", err)
 	}
-	pi.ProgData = buf.Bytes()
+	pi.ProgData = prog
 
 	// Virtual memory: regions always, pages full or dirty-only.
 	as := proc.Mem()
@@ -115,6 +127,14 @@ func captureProcess(vpid int, proc *kernel.Process, opts Options, pipeIDs map[*k
 	pi.Memory.PageData = make([]byte, 0, len(pns)*mem.PageSize)
 	for _, pn := range pns {
 		pi.Memory.PageData = append(pi.Memory.PageData, as.PageData(pn)...)
+	}
+	if opts.Hashes {
+		pi.Memory.PageHashes = make([]mem.PageHash, 0, len(pns))
+		before := as.HashComputes()
+		for _, pn := range pns {
+			pi.Memory.PageHashes = append(pi.Memory.PageHashes, as.PageHash(pn))
+		}
+		img.FreshHashes += int(as.HashComputes() - before)
 	}
 
 	// Descriptors, in fd order for determinism.

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"cruz/internal/ether"
 	"cruz/internal/kernel"
@@ -22,6 +23,24 @@ import (
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
 )
+
+// encBufPool recycles the scratch buffers behind every gob encode on the
+// capture path (program state, whole images, manifests). Checkpoints are
+// taken repeatedly over a pod's life, so reusing the grown buffer avoids
+// re-paying the append-doubling allocations on every capture.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeToBytes gob-encodes v through a pooled buffer and returns a
+// compact copy of the result.
+func encodeToBytes(v any) ([]byte, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return append(make([]byte, 0, buf.Len()), buf.Bytes()...), nil
+}
 
 // RegisterProgram must be called (once, at init time) for every concrete
 // Program type that will be checkpointed, so its state can travel through
@@ -42,6 +61,10 @@ type MemImage struct {
 	Regions  []mem.Region
 	PageNums []uint64
 	PageData []byte
+	// PageHashes, when present (Options.Hashes), holds the content hash
+	// of each stored page, parallel to PageNums. It is what lets a store
+	// deduplicate pages without re-reading their contents.
+	PageHashes []mem.PageHash
 }
 
 // AddPage appends one page to the image.
@@ -125,6 +148,11 @@ type Image struct {
 	// BaseSeq (plus full kernel state, which is small).
 	Incremental bool
 	TakenAt     sim.Time
+	// FreshHashes counts the pages whose content hash had to be computed
+	// during this capture (cache misses); pages untouched since the last
+	// hashing capture reuse their cached hash for free. Agents use this
+	// to charge hashing CPU time proportional to fresh bytes only.
+	FreshHashes int
 
 	Net       NetImage
 	NextVPID  int
@@ -137,11 +165,11 @@ type Image struct {
 // Encode serializes the image, returning the byte stream a store writes
 // to disk.
 func (img *Image) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+	b, err := encodeToBytes(img)
+	if err != nil {
 		return nil, fmt.Errorf("ckpt: encode image: %w", err)
 	}
-	return buf.Bytes(), nil
+	return b, nil
 }
 
 // DecodeImage parses an encoded image.
@@ -189,12 +217,27 @@ func Merge(base, inc *Image) (*Image, error) {
 	for i, p := range inc.Processes {
 		merged := p
 		if bp, ok := baseByVPID[p.VPID]; ok {
-			pages := make(map[uint64][]byte, bp.Memory.NumPages()+p.Memory.NumPages())
+			// Hashes survive a merge only when both sides carry them.
+			withHashes := len(bp.Memory.PageHashes) == bp.Memory.NumPages() &&
+				len(p.Memory.PageHashes) == p.Memory.NumPages()
+			type pageSrc struct {
+				data []byte
+				hash mem.PageHash
+			}
+			pages := make(map[uint64]pageSrc, bp.Memory.NumPages()+p.Memory.NumPages())
 			for j, pn := range bp.Memory.PageNums {
-				pages[pn] = bp.Memory.Page(j)
+				src := pageSrc{data: bp.Memory.Page(j)}
+				if withHashes {
+					src.hash = bp.Memory.PageHashes[j]
+				}
+				pages[pn] = src
 			}
 			for j, pn := range p.Memory.PageNums {
-				pages[pn] = p.Memory.Page(j)
+				src := pageSrc{data: p.Memory.Page(j)}
+				if withHashes {
+					src.hash = p.Memory.PageHashes[j]
+				}
+				pages[pn] = src
 			}
 			// Deterministic page order.
 			pns := make([]uint64, 0, len(pages))
@@ -203,9 +246,13 @@ func Merge(base, inc *Image) (*Image, error) {
 			}
 			sortUint64(pns)
 			merged.Memory.PageNums = nil
+			merged.Memory.PageHashes = nil
 			merged.Memory.PageData = make([]byte, 0, len(pns)*mem.PageSize)
 			for _, pn := range pns {
-				merged.Memory.AddPage(pn, pages[pn])
+				merged.Memory.AddPage(pn, pages[pn].data)
+				if withHashes {
+					merged.Memory.PageHashes = append(merged.Memory.PageHashes, pages[pn].hash)
+				}
 			}
 		}
 		out.Processes[i] = merged

@@ -1,0 +1,215 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"cruz/internal/kernel"
+	"cruz/internal/mem"
+	"cruz/internal/sim"
+)
+
+// PageRef names one page of a process by its content hash. The page's
+// bytes live in the store's chunk table, shared by every manifest (and
+// every pod) whose pages have the same contents.
+type PageRef struct {
+	PN   uint64
+	Hash mem.PageHash
+}
+
+// ProcManifest mirrors ProcImage with page contents replaced by hash
+// references. Everything else (program state, descriptors, signals) is
+// small and stays inline.
+type ProcManifest struct {
+	VPID     int
+	Name     string
+	ProgData []byte
+	Regions  []mem.Region
+	Pages    []PageRef
+	FDs      []FDImage
+	Signals  []kernel.Signal
+	CPUTime  sim.Duration
+}
+
+// Manifest is the metadata half of a content-addressed checkpoint: the
+// full kernel/net/process state plus a page-hash list, with the bulk
+// page bytes factored out into the store's deduplicated chunk table.
+// A manifest is a few KB where the equivalent monolithic image is ~100
+// MB, so writing one is nearly free; only chunks the store has never
+// seen cost disk time.
+type Manifest struct {
+	PodName     string
+	Seq         int
+	BaseSeq     int
+	Incremental bool
+	// Synthetic marks a manifest produced by Compact: a full manifest
+	// folded from an incremental chain, replacing that chain.
+	Synthetic bool
+	TakenAt   sim.Time
+
+	Net      NetImage
+	NextVPID int
+	Procs    []ProcManifest
+	Shms     []ShmImage
+	Sems     []SemImage
+	Pipes    []PipeImage
+}
+
+// Encode serializes the manifest (the only part of a deduplicated save
+// that is always written in full).
+func (m *Manifest) Encode() ([]byte, error) {
+	b, err := encodeToBytes(m)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: encode manifest: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeManifest parses an encoded manifest.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("ckpt: decode manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// manifestFromImage splits an image captured with Options.Hashes into
+// its manifest; the caller pairs it with the image's page bytes to
+// populate the chunk table.
+func manifestFromImage(img *Image) (*Manifest, error) {
+	m := &Manifest{
+		PodName:     img.PodName,
+		Seq:         img.Seq,
+		BaseSeq:     img.BaseSeq,
+		Incremental: img.Incremental,
+		TakenAt:     img.TakenAt,
+		Net:         img.Net,
+		NextVPID:    img.NextVPID,
+		Shms:        img.Shms,
+		Sems:        img.Sems,
+		Pipes:       img.Pipes,
+	}
+	m.Procs = make([]ProcManifest, len(img.Processes))
+	for i := range img.Processes {
+		p := &img.Processes[i]
+		if len(p.Memory.PageHashes) != p.Memory.NumPages() {
+			return nil, fmt.Errorf("ckpt: image %s/%d vpid %d captured without page hashes",
+				img.PodName, img.Seq, p.VPID)
+		}
+		pm := ProcManifest{
+			VPID:     p.VPID,
+			Name:     p.Name,
+			ProgData: p.ProgData,
+			Regions:  p.Memory.Regions,
+			FDs:      p.FDs,
+			Signals:  p.Signals,
+			CPUTime:  p.CPUTime,
+		}
+		pm.Pages = make([]PageRef, p.Memory.NumPages())
+		for j, pn := range p.Memory.PageNums {
+			pm.Pages[j] = PageRef{PN: pn, Hash: p.Memory.PageHashes[j]}
+		}
+		m.Procs[i] = pm
+	}
+	return m, nil
+}
+
+// imageFromManifest rebuilds a self-contained image, resolving each page
+// reference through lookup (the store's chunk table).
+func imageFromManifest(m *Manifest, lookup func(mem.PageHash) []byte) (*Image, error) {
+	img := &Image{
+		PodName:     m.PodName,
+		Seq:         m.Seq,
+		BaseSeq:     m.BaseSeq,
+		Incremental: m.Incremental,
+		TakenAt:     m.TakenAt,
+		Net:         m.Net,
+		NextVPID:    m.NextVPID,
+		Shms:        m.Shms,
+		Sems:        m.Sems,
+		Pipes:       m.Pipes,
+	}
+	img.Processes = make([]ProcImage, len(m.Procs))
+	for i := range m.Procs {
+		pm := &m.Procs[i]
+		pi := ProcImage{
+			VPID:     pm.VPID,
+			Name:     pm.Name,
+			ProgData: pm.ProgData,
+			FDs:      pm.FDs,
+			Signals:  pm.Signals,
+			CPUTime:  pm.CPUTime,
+		}
+		pi.Memory.Regions = pm.Regions
+		pi.Memory.PageNums = make([]uint64, len(pm.Pages))
+		pi.Memory.PageHashes = make([]mem.PageHash, len(pm.Pages))
+		pi.Memory.PageData = make([]byte, 0, len(pm.Pages)*mem.PageSize)
+		for j, ref := range pm.Pages {
+			data := lookup(ref.Hash)
+			if data == nil {
+				return nil, fmt.Errorf("ckpt: manifest %s/%d vpid %d page %d: missing chunk",
+					m.PodName, m.Seq, pm.VPID, ref.PN)
+			}
+			pi.Memory.PageNums[j] = ref.PN
+			pi.Memory.PageHashes[j] = ref.Hash
+			pi.Memory.PageData = append(pi.Memory.PageData, data...)
+		}
+		img.Processes[i] = pi
+	}
+	return img, nil
+}
+
+// mergeManifests applies an incremental manifest on top of a (merged)
+// base — the content-addressed analogue of Merge, but touching only
+// metadata: page references merge by number, no page bytes are copied.
+func mergeManifests(base, inc *Manifest) (*Manifest, error) {
+	if !inc.Incremental {
+		return inc, nil
+	}
+	if base == nil || base.PodName != inc.PodName || inc.BaseSeq != base.Seq {
+		return nil, fmt.Errorf("ckpt: increment manifest %s/%d does not apply to base %v",
+			inc.PodName, inc.Seq, base)
+	}
+	out := *inc
+	out.Incremental = false
+	out.BaseSeq = 0
+	out.Procs = make([]ProcManifest, len(inc.Procs))
+	baseByVPID := make(map[int]*ProcManifest)
+	for i := range base.Procs {
+		baseByVPID[base.Procs[i].VPID] = &base.Procs[i]
+	}
+	for i, p := range inc.Procs {
+		merged := p
+		if bp, ok := baseByVPID[p.VPID]; ok {
+			pages := make(map[uint64]mem.PageHash, len(bp.Pages)+len(p.Pages))
+			for _, ref := range bp.Pages {
+				pages[ref.PN] = ref.Hash
+			}
+			for _, ref := range p.Pages {
+				pages[ref.PN] = ref.Hash
+			}
+			pns := make([]uint64, 0, len(pages))
+			for pn := range pages {
+				pns = append(pns, pn)
+			}
+			sortUint64(pns)
+			merged.Pages = make([]PageRef, len(pns))
+			for j, pn := range pns {
+				merged.Pages[j] = PageRef{PN: pn, Hash: pages[pn]}
+			}
+		}
+		out.Procs[i] = merged
+	}
+	return &out, nil
+}
+
+// pageRefBytes is the logical page payload a manifest references.
+func (m *Manifest) pageRefBytes() int64 {
+	var n int64
+	for i := range m.Procs {
+		n += int64(len(m.Procs[i].Pages)) * mem.PageSize
+	}
+	return n
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cruz/internal/kernel"
+	"cruz/internal/mem"
 	"cruz/internal/trace"
 )
 
@@ -23,17 +24,39 @@ type Store struct {
 	blobs  map[string]map[int][]byte
 	images map[string]map[int]*Image // decoded metadata (Seq/BaseSeq chain)
 	latest map[string]int
+
+	// Content-addressed half: manifests (metadata + page-hash lists) and
+	// the refcounted chunk table they reference. A pod's checkpoints use
+	// either the blob form (Save) or the manifest form (SaveDeduped);
+	// Load/LoadMerged resolve whichever form a sequence was stored in.
+	manifests     map[string]map[int]*Manifest
+	manifestBytes map[string]map[int]int64
+	chunks        map[mem.PageHash]*chunkEntry
+	autoCompact   int
+	stats         StoreStats
+}
+
+type chunkEntry struct {
+	data []byte
+	refs int
 }
 
 // NewStore creates a store backed by the given disk.
 func NewStore(disk *kernel.Disk) *Store {
 	return &Store{
-		disk:   disk,
-		blobs:  make(map[string]map[int][]byte),
-		images: make(map[string]map[int]*Image),
-		latest: make(map[string]int),
+		disk:          disk,
+		blobs:         make(map[string]map[int][]byte),
+		images:        make(map[string]map[int]*Image),
+		latest:        make(map[string]int),
+		manifests:     make(map[string]map[int]*Manifest),
+		manifestBytes: make(map[string]map[int]int64),
+		chunks:        make(map[mem.PageHash]*chunkEntry),
 	}
 }
+
+// Disk exposes the backing disk (agents drive pipelined writes through
+// it directly).
+func (s *Store) Disk() *kernel.Disk { return s.disk }
 
 // Save encodes the image and writes it through the disk, invoking done
 // with the encoded size when the write completes. Encoding errors are
@@ -66,19 +89,44 @@ func (s *Store) Save(img *Image, done func(size int64, err error)) {
 	})
 }
 
+// PlanSave encodes and registers the image without writing it, returning
+// a plan whose TotalBytes the caller still owes the disk. Agents use it
+// to drive the write themselves, in pipelined segments; Save remains the
+// one-call encode-and-write form.
+func (s *Store) PlanSave(img *Image) (*SavePlan, error) {
+	blob, err := img.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if s.blobs[img.PodName] == nil {
+		s.blobs[img.PodName] = make(map[int][]byte)
+		s.images[img.PodName] = make(map[int]*Image)
+	}
+	s.blobs[img.PodName][img.Seq] = blob
+	s.images[img.PodName][img.Seq] = img
+	if img.Seq > s.latest[img.PodName] {
+		s.latest[img.PodName] = img.Seq
+	}
+	return &SavePlan{Pod: img.PodName, Seq: img.Seq, TotalBytes: int64(len(blob))}, nil
+}
+
 // LatestSeq returns the highest stored sequence number for a pod.
 func (s *Store) LatestSeq(pod string) (int, bool) {
 	seq, ok := s.latest[pod]
 	return seq, ok
 }
 
-// Size returns the encoded size of one stored image.
+// Size returns the encoded size of one stored image. For a deduplicated
+// checkpoint this is the logical size (manifest plus every referenced
+// page), not the unique bytes it cost to store.
 func (s *Store) Size(pod string, seq int) (int64, error) {
-	blob, ok := s.blobs[pod][seq]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq)
+	if blob, ok := s.blobs[pod][seq]; ok {
+		return int64(len(blob)), nil
 	}
-	return int64(len(blob)), nil
+	if m, ok := s.manifests[pod][seq]; ok {
+		return s.manifestBytes[pod][seq] + m.pageRefBytes(), nil
+	}
+	return 0, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq)
 }
 
 // Load reads and decodes one image through the disk, invoking done when
@@ -87,6 +135,10 @@ func (s *Store) Size(pod string, seq int) (int64, error) {
 func (s *Store) Load(pod string, seq int, done func(*Image, error)) {
 	blob, ok := s.blobs[pod][seq]
 	if !ok {
+		if _, mok := s.manifests[pod][seq]; mok {
+			s.loadManifest(pod, seq, false, done)
+			return
+		}
 		done(nil, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq))
 		return
 	}
@@ -107,6 +159,10 @@ func (s *Store) Load(pod string, seq int, done func(*Image, error)) {
 // image back to its full base, merging them into one self-contained
 // image. The disk read time covers the whole chain.
 func (s *Store) LoadMerged(pod string, seq int, done func(*Image, error)) {
+	if _, ok := s.manifests[pod][seq]; ok {
+		s.loadManifest(pod, seq, true, done)
+		return
+	}
 	metas := s.images[pod]
 	if metas == nil {
 		done(nil, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq))

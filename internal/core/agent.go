@@ -7,6 +7,7 @@ import (
 	"cruz/internal/ckpt"
 	"cruz/internal/ctl"
 	"cruz/internal/kernel"
+	"cruz/internal/mem"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
 	"cruz/internal/trace"
@@ -30,16 +31,46 @@ type AgentParams struct {
 	// structures during the state copy (the short window the paper
 	// holds the network-stack locks for).
 	CaptureCost sim.Duration
+	// CaptureBPS scales the capture window with the bytes copied (the
+	// in-kernel memcpy rate). Zero leaves capture at the flat CaptureCost.
+	CaptureBPS int64
+	// EncodeBPS is the CPU rate at which image bytes are serialized into
+	// the write stream. Zero makes encoding free (pre-pipeline behavior).
+	EncodeBPS int64
+	// HashBPS is the page-content hashing rate charged for pages whose
+	// cached hash was stale at capture (Dedup checkpoints only).
+	HashBPS int64
+	// DedupPerChunk is the chunk-table lookup/refcount cost per captured
+	// page (Dedup checkpoints only).
+	DedupPerChunk sim.Duration
+	// SegmentBytes is the pipelined save's segment size: with the
+	// Pipeline option, segment k is encoded on the CPU while segment k-1
+	// is on the disk. Zero or no Pipeline = one segment (serial
+	// encode-then-write).
+	SegmentBytes int64
 }
 
 // DefaultAgentParams returns costs calibrated for the paper's testbed.
 func DefaultAgentParams() AgentParams {
 	return AgentParams{
-		Port:        DefaultControlPort,
-		MsgCost:     60 * sim.Microsecond,
-		FilterCost:  5 * sim.Microsecond,
-		CaptureCost: 150 * sim.Microsecond,
+		Port:          DefaultControlPort,
+		MsgCost:       60 * sim.Microsecond,
+		FilterCost:    5 * sim.Microsecond,
+		CaptureCost:   150 * sim.Microsecond,
+		CaptureBPS:    4 << 30, // in-kernel copy, memory-bound
+		EncodeBPS:     1 << 30, // serialization touches every byte once
+		HashBPS:       2 << 30, // FNV-style streaming hash
+		DedupPerChunk: 150 * sim.Nanosecond,
+		SegmentBytes:  8 << 20,
 	}
+}
+
+// bytesCost returns the CPU time to process n bytes at bps (0 = free).
+func bytesCost(n int64, bps int64) sim.Duration {
+	if bps <= 0 || n <= 0 {
+		return 0
+	}
+	return sim.Duration(n * int64(sim.Second) / bps)
 }
 
 // Errors surfaced by agents.
@@ -94,6 +125,8 @@ type agentOp struct {
 	phQuiesce trace.Span
 	phDrain   trace.Span
 	phCapture trace.Span
+	phHash    trace.Span
+	phDedup   trace.Span
 	phWrite   trace.Span
 	phCommit  trace.Span
 }
@@ -103,6 +136,8 @@ func (op *agentOp) endSpans(args ...trace.Arg) {
 	op.phQuiesce.End(args...)
 	op.phDrain.End(args...)
 	op.phCapture.End(args...)
+	op.phHash.End(args...)
+	op.phDedup.End(args...)
 	op.phWrite.End(args...)
 	op.phCommit.End(args...)
 	op.span.End(args...)
@@ -231,7 +266,18 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 				op.phDrain = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "drain",
 					trace.Str("pod", m.Pod), trace.Str("mode", "drop"))
 			}
-			a.cpu.Do(a.params.CaptureCost, func() {
+			// The capture window scales with the bytes copied (full:
+			// resident pages; incremental: dirty pages only).
+			var captureBytes int64
+			for _, vpid := range pod.VPIDs() {
+				as := pod.Process(vpid).Mem()
+				if m.Incremental {
+					captureBytes += int64(as.DirtyBytes())
+				} else {
+					captureBytes += int64(as.ResidentBytes())
+				}
+			}
+			a.cpu.Do(a.params.CaptureCost+bytesCost(captureBytes, a.params.CaptureBPS), func() {
 				if op.aborted {
 					return
 				}
@@ -240,7 +286,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 					op.phCapture = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "capture",
 						trace.Str("pod", m.Pod))
 				}
-				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: m.Incremental})
+				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: m.Incremental, Hashes: m.Dedup})
 				if err != nil {
 					a.abortLocal(m.Pod, pod, op)
 					a.fail(c, msgDone, m, err)
@@ -261,45 +307,145 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 					c.send(&wireMsg{Type: msgCommDisabled, Seq: m.Seq, Pod: m.Pod})
 					a.maybeFinishContinue(m.Pod, pod, op)
 				}
-				if a.tr.Enabled() {
-					op.phWrite = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "write",
-						trace.Str("pod", m.Pod))
-				}
-				a.store.Save(img, func(size int64, err error) {
-					if op.aborted {
-						return
-					}
-					if err != nil {
-						a.abortLocal(m.Pod, pod, op)
-						a.fail(c, msgDone, m, err)
-						return
-					}
-					op.saveDone = true
-					op.phWrite.End(trace.Int("bytes", size))
-					// Step 3: send <done>.
-					c.send(&wireMsg{
-						Type:          msgDone,
-						Seq:           m.Seq,
-						Pod:           m.Pod,
-						LocalDuration: a.kern.Engine().Now().Sub(op.t0),
-						ImageBytes:    size,
-					})
-					if op.resumed {
-						// COW: the pod resumed before the write finished;
-						// the operation completes here.
-						op.endSpans()
-						delete(a.ops, m.Pod)
-						return
-					}
-					if !op.phCommit.Active() && a.tr.Enabled() {
-						op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
-							trace.Str("pod", m.Pod))
-					}
-					a.maybeFinishContinue(m.Pod, pod, op)
-				})
+				a.planAndWrite(c, m, pod, op, img)
 			})
 		})
 	})
+}
+
+// planAndWrite turns a captured image into a store plan — monolithic
+// blob, or (Dedup) hash + chunk-table dedup charged as their own phases —
+// and drives the remaining disk bytes through writeImage.
+func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, img *ckpt.Image) {
+	finishPlan := func(plan *ckpt.SavePlan, err error) {
+		if op.aborted {
+			return
+		}
+		if err != nil {
+			a.abortLocal(m.Pod, pod, op)
+			a.fail(c, msgDone, m, err)
+			return
+		}
+		if a.tr.Enabled() {
+			op.phWrite = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "write",
+				trace.Str("pod", m.Pod))
+		}
+		a.writeImage(c, m, pod, op, plan)
+	}
+	if !m.Dedup {
+		plan, err := a.store.PlanSave(img)
+		finishPlan(plan, err)
+		return
+	}
+	// Hash phase: only pages written since the last hashing capture had
+	// a stale cached hash; they alone cost CPU here.
+	if a.tr.Enabled() {
+		op.phHash = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "hash",
+			trace.Str("pod", m.Pod))
+	}
+	a.cpu.Do(bytesCost(int64(img.FreshHashes)*mem.PageSize, a.params.HashBPS), func() {
+		if op.aborted {
+			return
+		}
+		op.phHash.End(trace.Int("fresh_pages", int64(img.FreshHashes)))
+		var pages int64
+		for i := range img.Processes {
+			pages += int64(img.Processes[i].Memory.NumPages())
+		}
+		if a.tr.Enabled() {
+			op.phDedup = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "dedup",
+				trace.Str("pod", m.Pod))
+		}
+		a.cpu.Do(sim.Duration(pages)*a.params.DedupPerChunk, func() {
+			if op.aborted {
+				return
+			}
+			plan, err := a.store.PlanDedupSave(img)
+			if err == nil {
+				op.phDedup.End(
+					trace.Int("new_chunks", int64(plan.Stats.NewChunks)),
+					trace.Int("dup_chunks", int64(plan.Stats.DupChunks)))
+			} else {
+				op.phDedup.End(trace.Str("err", err.Error()))
+			}
+			finishPlan(plan, err)
+		})
+	})
+}
+
+// writeImage writes plan.TotalBytes through the store's disk. Without the
+// Pipeline option the image goes as one segment (serial encode, then
+// write); with it, SegmentBytes-sized segments stream so segment k is
+// encoded on the daemon CPU while segment k-1 is on the disk, and
+// contiguous segments pay the positioning latency once.
+func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, plan *ckpt.SavePlan) {
+	disk := a.store.Disk()
+	total := plan.TotalBytes
+	segSize := total
+	if m.Pipeline && a.params.SegmentBytes > 0 && a.params.SegmentBytes < total {
+		segSize = a.params.SegmentBytes
+	}
+	complete := func() {
+		op.saveDone = true
+		op.phWrite.End(trace.Int("bytes", total))
+		// Step 3: send <done>.
+		c.send(&wireMsg{
+			Type:          msgDone,
+			Seq:           m.Seq,
+			Pod:           m.Pod,
+			LocalDuration: a.kern.Engine().Now().Sub(op.t0),
+			ImageBytes:    total,
+		})
+		if plan.CompactAfter {
+			// GC off the critical path: fold the incremental chain once
+			// the checkpoint is reported.
+			a.store.Compact(m.Pod, nil)
+		}
+		if op.resumed {
+			// COW: the pod resumed before the write finished; the
+			// operation completes here.
+			op.endSpans()
+			delete(a.ops, m.Pod)
+			return
+		}
+		if !op.phCommit.Active() && a.tr.Enabled() {
+			op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+				trace.Str("pod", m.Pod))
+		}
+		a.maybeFinishContinue(m.Pod, pod, op)
+	}
+	if total <= 0 {
+		complete()
+		return
+	}
+	var issued, landed int64
+	var issue func()
+	issue = func() {
+		if op.aborted || issued >= total {
+			return
+		}
+		seg := segSize
+		if total-issued < seg {
+			seg = total - issued
+		}
+		issued += seg
+		a.cpu.Do(bytesCost(seg, a.params.EncodeBPS), func() {
+			if op.aborted {
+				return
+			}
+			disk.WriteContig(seg, func() {
+				if op.aborted {
+					return
+				}
+				landed += seg
+				if landed == total {
+					complete()
+				}
+			})
+			issue()
+		})
+	}
+	issue()
 }
 
 // handleContinue implements Steps 5-7: resume the pod, re-enable its

@@ -59,6 +59,14 @@ type CheckpointOptions struct {
 	// soon as every node has *captured* its state, overlapping the image
 	// writes with application execution.
 	COW bool
+	// Dedup stores the checkpoint content-addressed: a small manifest
+	// plus refcounted page chunks, writing only chunks the store has
+	// never seen. Captures record page hashes (cached; only pages
+	// written since the last hashing capture cost a recompute).
+	Dedup bool
+	// Pipeline splits the agent's image write into segments, encoding
+	// segment k on the CPU while segment k-1 is on the disk.
+	Pipeline bool
 }
 
 // PodReport is one agent's reported local timings.
@@ -324,6 +332,8 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 				Incremental: opts.Incremental,
 				Optimized:   opts.Optimized,
 				COW:         opts.COW,
+				Dedup:       opts.Dedup,
+				Pipeline:    opts.Pipeline,
 			})
 		})
 	}

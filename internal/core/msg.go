@@ -74,6 +74,8 @@ type wireMsg struct {
 	Incremental bool
 	Optimized   bool
 	COW         bool
+	Dedup       bool
+	Pipeline    bool
 }
 
 // ctlConn is a gob-typed control connection.

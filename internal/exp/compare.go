@@ -42,7 +42,7 @@ func MessageComplexity(nodeCounts []int, scale float64) ([]MsgRow, error) {
 		cfg := slmConfig(n, scale)
 		cfg.TotalComputePerStep = 20 * cruz.Millisecond
 		cfg.StepOverhead = 2 * cruz.Millisecond
-		cl, job, workers, err := slmClusterCfg(n, cfg, true, false, nil)
+		cl, job, workers, err := slmClusterCfg(n, cfg, true, false, nil, 0)
 		if err != nil {
 			return nil, err
 		}

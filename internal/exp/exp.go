@@ -57,24 +57,25 @@ func slmConfig(workers int, scale float64) slm.Config {
 // slmCluster builds an n-node cluster running the slm ring, one worker
 // pod per node, and returns it with the job and workers.
 func slmCluster(n int, scale float64, flushToo bool) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
-	return slmClusterCfg(n, slmConfig(n, scale), flushToo, false, nil)
+	return slmClusterCfg(n, slmConfig(n, scale), flushToo, false, nil, 0)
 }
 
 // slmClusterTraced is slmCluster with the tracing subsystem enabled.
 func slmClusterTraced(n int, scale float64) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
-	return slmClusterCfg(n, slmConfig(n, scale), false, true, nil)
+	return slmClusterCfg(n, slmConfig(n, scale), false, true, nil, 0)
 }
 
 // slmClusterSkewed additionally scales worker i's grid by gridMult[i]
 // (nil = homogeneous), used to expose save-time skew in the Fig. 4
 // comparison.
 func slmClusterSkewed(n int, scale float64, flushToo bool, gridMult []float64) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
-	return slmClusterCfg(n, slmConfig(n, scale), flushToo, false, gridMult)
+	return slmClusterCfg(n, slmConfig(n, scale), flushToo, false, gridMult, 0)
 }
 
-// slmClusterCfg is the fully parameterized deployment.
-func slmClusterCfg(n int, cfg slm.Config, flushToo, traced bool, gridMult []float64) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
-	cl, err := cruz.New(cruz.Config{Nodes: n, Seed: int64(n)*101 + 7, FlushBaseline: flushToo, Trace: traced})
+// slmClusterCfg is the fully parameterized deployment. autoCompact > 0
+// enables store chain compaction (deduplicated checkpoints only).
+func slmClusterCfg(n int, cfg slm.Config, flushToo, traced bool, gridMult []float64, autoCompact int) (*cruz.Cluster, *cruz.Job, []*slm.Worker, error) {
+	cl, err := cruz.New(cruz.Config{Nodes: n, Seed: int64(n)*101 + 7, FlushBaseline: flushToo, Trace: traced, AutoCompact: autoCompact})
 	if err != nil {
 		return nil, nil, nil, err
 	}

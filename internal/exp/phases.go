@@ -122,5 +122,71 @@ func JSONBench(nodeCounts []int, ckpts int, scale float64) (*BenchReport, error)
 		rep.Experiments[prefix+"/latency_ms"] = lat.Dist()
 		rep.Experiments[prefix+"/coord_overhead_us"] = ovh.Dist()
 	}
+
+	// Dedup ablation: steady-state (second-and-later) deduplicated
+	// checkpoints at 4 nodes, with and without the pipelined save path.
+	// Compare against checkpoint_n4/latency_ms, the non-dedup full
+	// baseline above.
+	const dn = 4
+	for _, variant := range []struct {
+		key      string
+		pipeline bool
+	}{
+		{"checkpoint_n4_dedup", false},
+		{"checkpoint_n4_dedup_pipe", true},
+	} {
+		cl, job, workers, err := slmCluster(dn, scale, false)
+		if err != nil {
+			return nil, err
+		}
+		var first, steady metrics.Summary
+		for k := 0; k < ckpts; k++ {
+			res, cerr := cl.Checkpoint(job, cruz.CheckpointOptions{Dedup: true, Pipeline: variant.pipeline})
+			if cerr != nil {
+				return nil, fmt.Errorf("exp: jsonbench %s ckpt %d: %w", variant.key, k, cerr)
+			}
+			if k == 0 {
+				first.AddDuration(res.Latency)
+			} else {
+				steady.AddDuration(res.Latency)
+			}
+			cl.Run(500 * cruz.Millisecond)
+		}
+		if err := checkWorkers(workers); err != nil {
+			return nil, err
+		}
+		rep.Experiments[variant.key+"/latency_ms"] = steady.Dist()
+		rep.Experiments[variant.key+"/first_latency_ms"] = first.Dist()
+	}
+
+	// Restore after an 8-incremental deduplicated chain with
+	// auto-compaction folding it en route; compare against
+	// restart_n{max}/latency_ms, the fresh full-image restore above.
+	{
+		cl, job, workers, err := slmClusterCfg(dn, slmConfig(dn, scale), false, false, nil, 4)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < 9; k++ {
+			opts := cruz.CheckpointOptions{Dedup: true, Incremental: k > 0}
+			if _, cerr := cl.Checkpoint(job, opts); cerr != nil {
+				return nil, fmt.Errorf("exp: jsonbench compact chain ckpt %d: %w", k, cerr)
+			}
+			cl.Run(200 * cruz.Millisecond)
+		}
+		if err := checkWorkers(workers); err != nil {
+			return nil, err
+		}
+		for i := 0; i < dn; i++ {
+			cl.Pod(fmt.Sprintf("slm-%d", i)).Destroy()
+		}
+		var lat metrics.Summary
+		res, rerr := cl.Restart(job, 0)
+		if rerr != nil {
+			return nil, fmt.Errorf("exp: jsonbench compact restart: %w", rerr)
+		}
+		lat.AddDuration(res.Latency)
+		rep.Experiments["restart_n4_compact/latency_ms"] = lat.Dist()
+	}
 	return rep, nil
 }

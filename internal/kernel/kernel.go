@@ -411,6 +411,26 @@ func (d *Disk) Write(size int64, done func()) {
 	d.op(xferTime(size, d.writeBPS), done)
 }
 
+// WriteContig schedules a write that continues a sequential stream:
+// positioning latency is charged only if the disk is idle (the head has
+// had time to move away). Back-to-back segments of one checkpoint image
+// thus pay the seek once, matching a single large Write — this is what
+// makes a pipelined segmented save cost the same disk time as a
+// monolithic one.
+func (d *Disk) WriteContig(size int64, done func()) {
+	d.Stats.BytesWritten += uint64(size)
+	d.Stats.Ops++
+	start := d.engine.Now()
+	lat := d.latency
+	if d.freeAt > start {
+		start = d.freeAt
+		lat = 0
+	}
+	end := start.Add(lat + xferTime(size, d.writeBPS))
+	d.freeAt = end
+	d.engine.ScheduleAt(end, done)
+}
+
 // Read schedules an asynchronous read of size bytes.
 func (d *Disk) Read(size int64, done func()) {
 	d.Stats.BytesRead += uint64(size)

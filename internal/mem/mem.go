@@ -26,7 +26,45 @@ type Page struct {
 	Data [PageSize]byte
 	// refs counts address spaces sharing this page under copy-on-write.
 	refs int
+	// hash caches the page's content hash; hashed says whether it is
+	// current. The write path (writablePage) invalidates it, so clean
+	// pages are hashed at most once between writes no matter how many
+	// checkpoints inspect them.
+	hash   PageHash
+	hashed bool
 }
+
+// PageHash is a 128-bit content hash of one page: two independent FNV-1a
+// streams computed in a single pass. It keys the content-addressed
+// checkpoint chunk store; 128 bits makes accidental collisions across any
+// plausible simulation negligible.
+type PageHash struct {
+	Lo, Hi uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// Second stream: same prime, different offset basis (the first
+	// stream's basis mixed with an arbitrary odd constant) so the two
+	// words are decorrelated.
+	fnvOffsetAlt = fnvOffset64 ^ 0x9e3779b97f4a7c15
+)
+
+// hashPage computes the content hash of one page.
+func hashPage(data *[PageSize]byte) PageHash {
+	lo := uint64(fnvOffset64)
+	hi := uint64(fnvOffsetAlt)
+	for _, b := range data {
+		lo = (lo ^ uint64(b)) * fnvPrime64
+		hi = (hi ^ uint64(b<<1|b>>7)) * fnvPrime64
+	}
+	return PageHash{Lo: lo, Hi: hi}
+}
+
+// zeroPageHash is the hash of an all-zero (never-written) page, computed
+// once on demand.
+var zeroPageHash = hashPage(&[PageSize]byte{})
 
 // Errors returned by address-space operations.
 var (
@@ -53,6 +91,12 @@ type AddressSpace struct {
 	dirty   map[uint64]bool  // pages written since last ClearDirty
 	regions []Region
 	next    uint64 // next allocation address (bump allocator)
+
+	// hashComputes counts fresh page-hash computations performed through
+	// this address space (cache misses); checkpoint code uses the delta
+	// across a capture to charge simulated hashing cost for exactly the
+	// pages that were re-hashed.
+	hashComputes uint64
 }
 
 // allocBase mimics the customary base of the heap in a Linux process;
@@ -140,6 +184,9 @@ func (as *AddressSpace) writablePage(pn uint64) *Page {
 		p = np
 	}
 	as.dirty[pn] = true
+	// The caller is about to write: whatever hash was cached no longer
+	// describes the contents.
+	p.hashed = false
 	return p
 }
 
@@ -259,6 +306,29 @@ func (as *AddressSpace) PageData(pn uint64) []byte {
 	}
 	return nil
 }
+
+// PageHash returns the content hash of page pn, computing and caching it
+// if the cached value is stale. Never-written pages hash as the zero page.
+// Because the cache is invalidated only by the write path, a page that
+// stayed clean between two checkpoints is hashed at most once — the
+// property that makes content-addressed checkpointing cheap at steady
+// state.
+func (as *AddressSpace) PageHash(pn uint64) PageHash {
+	p := as.pages[pn]
+	if p == nil {
+		return zeroPageHash
+	}
+	if !p.hashed {
+		p.hash = hashPage(&p.Data)
+		p.hashed = true
+		as.hashComputes++
+	}
+	return p.hash
+}
+
+// HashComputes returns the number of fresh (cache-miss) page-hash
+// computations performed through this address space.
+func (as *AddressSpace) HashComputes() uint64 { return as.hashComputes }
 
 // InstallPage writes a whole page at page-number pn, mapping a covering
 // region if necessary. It is used by restore, which replays pages from a

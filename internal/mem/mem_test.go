@@ -341,3 +341,90 @@ func TestPropertySnapshotImmutability(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPageHashCachesUntilWrite(t *testing.T) {
+	as := NewAddressSpace()
+	base, err := as.Alloc(4*PageSize, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(base, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	pn := base / PageSize
+	h1 := as.PageHash(pn)
+	if got := as.HashComputes(); got != 1 {
+		t.Fatalf("HashComputes = %d, want 1", got)
+	}
+	// Clean page: repeated hashing must hit the cache.
+	for i := 0; i < 10; i++ {
+		if as.PageHash(pn) != h1 {
+			t.Fatal("cached hash changed without a write")
+		}
+	}
+	if got := as.HashComputes(); got != 1 {
+		t.Fatalf("clean page re-hashed: HashComputes = %d, want 1", got)
+	}
+	// A write invalidates exactly that page's cache.
+	if err := as.Write(base, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	h2 := as.PageHash(pn)
+	if h2 == h1 {
+		t.Fatal("hash unchanged after content changed")
+	}
+	if got := as.HashComputes(); got != 2 {
+		t.Fatalf("HashComputes = %d, want 2", got)
+	}
+}
+
+func TestPageHashContentAddressed(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(4*PageSize, "h")
+	payload := []byte("same content on two different pages")
+	as.Write(base, payload)
+	as.Write(base+PageSize, payload)
+	as.Write(base+2*PageSize, []byte("different content"))
+	p0 := as.PageHash(base / PageSize)
+	p1 := as.PageHash(base/PageSize + 1)
+	p2 := as.PageHash(base/PageSize + 2)
+	if p0 != p1 {
+		t.Fatal("identical pages hash differently")
+	}
+	if p0 == p2 {
+		t.Fatal("different pages collide")
+	}
+	// A never-materialized page hashes as the zero page, equal to an
+	// explicitly zeroed one.
+	zeroed := make([]byte, PageSize)
+	as.Write(base+3*PageSize, zeroed)
+	if as.PageHash(base/PageSize+3) != as.PageHash(base/PageSize+100000) {
+		t.Fatal("zeroed page and unmaterialized page hash differently")
+	}
+}
+
+func TestPageHashSurvivesSnapshotSharing(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(PageSize, "h")
+	as.Write(base, []byte{42})
+	pn := base / PageSize
+	orig := as.PageHash(pn)
+
+	snap := as.Snapshot()
+	// Snapshot shares the page object, so its cached hash is free.
+	if snap.PageHash(pn) != orig {
+		t.Fatal("snapshot hash differs from original")
+	}
+	if snap.HashComputes() != 0 {
+		t.Fatal("snapshot recomputed a cached hash")
+	}
+	// COW break: the writer's copy is invalidated, the snapshot keeps the
+	// old contents and the old (still valid) hash.
+	as.Write(base, []byte{43})
+	if snap.PageHash(pn) != orig {
+		t.Fatal("snapshot hash changed after writer's COW break")
+	}
+	if as.PageHash(pn) == orig {
+		t.Fatal("writer hash unchanged after COW write")
+	}
+}

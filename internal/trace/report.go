@@ -13,17 +13,22 @@ import (
 const PhaseCat = "phase"
 
 // Canonical checkpoint phase order (the 2PC lifecycle): quiesce the pod,
-// drain/settle in-flight communication, capture state, write the image,
-// then the commit round-trip back to running. Unknown phases sort after
+// drain/settle in-flight communication, capture state, hash and dedup
+// the captured pages (content-addressed saves only), write the unique
+// bytes, then the commit round-trip back to running; compact is the
+// store's off-critical-path chain fold. Unknown phases sort after
 // these, alphabetically.
 var phaseOrder = map[string]int{
 	"quiesce": 0,
 	"drain":   1,
 	"capture": 2,
-	"write":   3,
-	"commit":  4,
-	"load":    5,
-	"restore": 6,
+	"hash":    3,
+	"dedup":   4,
+	"write":   5,
+	"commit":  6,
+	"compact": 7,
+	"load":    8,
+	"restore": 9,
 }
 
 // PhaseStat aggregates one named phase across all nodes and checkpoints
