@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/trace/... ./internal/metrics/...
+	$(GO) test -race ./internal/trace/... ./internal/metrics/... ./internal/ctl/... ./internal/core/...
 
 # Regenerate the machine-readable benchmark report and fail if the
 # output is not valid BENCH_cruz.json-shaped JSON.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|phases|none]
+//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|recovery|phases|none]
 //	          [-scale 1.0] [-ckpts 3] [-maxnodes 8] [-trace] [-json]
 //	          [-checkjson FILE]
 //
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|phases|none")
+		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|recovery|phases|none")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's ~100 MB pod images)")
 		ckpts     = flag.Int("ckpts", 3, "checkpoints per configuration (fig5)")
 		maxNodes  = flag.Int("maxnodes", 8, "largest node count for sweeps")
@@ -70,6 +70,7 @@ func main() {
 	run("restart", func() error { return restart(*maxNodes, *scale) })
 	run("incremental", func() error { return incremental(*scale) })
 	run("dedup", func() error { return dedup(*jsonCkpts, *scale) })
+	run("recovery", func() error { return recovery(*scale) })
 	if *doTrace || *which == "phases" || *which == "all" {
 		if err := phases(*maxNodes, *ckpts, *scale, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "cruzbench: phases: %v\n", err)
@@ -296,6 +297,28 @@ func dedup(ckpts int, scale float64) error {
 	for _, r := range crows {
 		fmt.Printf("%-14s  %5d   %11.1f   %12d   %9.2f\n",
 			r.Scenario, r.Checkpoints, r.RestoreMs, r.StoreChunks, r.FreedMB)
+	}
+	fmt.Println()
+	return nil
+}
+
+// recovery runs the automatic failure-recovery experiment: kill a node
+// of a replicated job and report the MTTR phase breakdown.
+func recovery(scale float64) error {
+	fmt.Println("== Automatic failure recovery (replicated checkpoints) ==")
+	fmt.Printf("   (4 nodes, kill one mid-run, scale %.2f)\n\n", scale)
+	rows, err := exp.Recovery(4, scale, []exp.RecoveryConfig{
+		{Replicas: 1, Spares: 0},
+		{Replicas: 1, Spares: 1},
+		{Replicas: 3, Spares: 1},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("replicas   spares   detect(ms)   place(ms)   transfer(ms)   restart(ms)   MTTR(ms)   moved(MB)   target")
+	for _, r := range rows {
+		fmt.Printf("%8d   %6d   %10.1f   %9.2f   %12.1f   %11.1f   %8.1f   %9.2f   %s\n",
+			r.Replicas, r.Spares, r.DetectMs, r.PlaceMs, r.TransferMs, r.RestartMs, r.MTTRMs, r.TransferMB, r.Target)
 	}
 	fmt.Println()
 	return nil

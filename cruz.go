@@ -48,6 +48,11 @@ type (
 	CheckpointResult = core.CheckpointResult
 	// RestartResult reports a coordinated restart's measurements.
 	RestartResult = core.RestartResult
+	// RecoveryResult reports one automatic recovery with its MTTR split
+	// into detect/place/transfer/restart phases.
+	RecoveryResult = core.RecoveryResult
+	// RecoveredPod describes where one failed pod was re-homed.
+	RecoveredPod = core.RecoveredPod
 	// Pod is a Zap PrOcess Domain.
 	Pod = zap.Pod
 	// Program is the state-machine interface application code implements.
@@ -94,6 +99,21 @@ type Config struct {
 	// unreferenced chunks) once the chain exceeds this many deduplicated
 	// checkpoints. Only affects Dedup checkpoints.
 	AutoCompact int
+	// Replicas is the default number of peer nodes each committed
+	// checkpoint image is streamed to (CheckpointOptions.Replicas
+	// overrides per call). With at least one replica, a failed node's
+	// pods can restart elsewhere with no manual CopyImages.
+	Replicas int
+	// AutoRecover puts every job defined with DefineJob under the
+	// coordinator's heartbeat/lease failure detector: a detected node
+	// failure automatically restarts affected jobs from the newest
+	// checkpoint with surviving replicas. Results arrive via
+	// Recoveries / AwaitRecovery.
+	AutoRecover bool
+	// Spares adds this many standby nodes that host no pods but are
+	// registered with the coordinator as recovery targets. They follow
+	// the application nodes in Cluster.Nodes.
+	Spares int
 	// FlushBaseline also starts a CoCheck-style flushing agent on every
 	// node and a flushing coordinator, for comparison experiments.
 	FlushBaseline bool
@@ -109,6 +129,7 @@ type Config struct {
 // Node is one simulated machine.
 type Node struct {
 	Index      int
+	Spare      bool // standby recovery target, hosts no pods initially
 	Kernel     *kernel.Kernel
 	NIC        *ether.NIC
 	Agent      *core.Agent
@@ -128,10 +149,13 @@ type Cluster struct {
 	Coordinator      *core.Coordinator
 	FlushCoordinator *flush.Coordinator
 
-	cfg      Config
-	tracer   *trace.Tracer
-	pods     map[string]podRef
-	podCount int
+	cfg          Config
+	tracer       *trace.Tracer
+	pods         map[string]podRef
+	podCount     int
+	nodeByAddr   map[AddrPort]*Node
+	recoveries   []*RecoveryResult
+	recoveryErrs []error
 }
 
 // Trace returns the cluster's tracer, or nil when Config.Trace was false.
@@ -169,9 +193,10 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Coordinator = core.DefaultCoordinatorParams()
 	}
 	cl := &Cluster{
-		Engine: sim.NewEngine(cfg.Seed),
-		cfg:    cfg,
-		pods:   make(map[string]podRef),
+		Engine:     sim.NewEngine(cfg.Seed),
+		cfg:        cfg,
+		pods:       make(map[string]podRef),
+		nodeByAddr: make(map[AddrPort]*Node),
 	}
 	if cfg.Trace {
 		// Attach before any component is built: constructors snapshot the
@@ -194,11 +219,12 @@ func New(cfg Config) (*Cluster, error) {
 		return &Node{Index: i, Kernel: k, NIC: nic, Store: store}, nil
 	}
 
-	for i := 0; i < cfg.Nodes; i++ {
+	for i := 0; i < cfg.Nodes+cfg.Spares; i++ {
 		n, err := mkNode(i)
 		if err != nil {
 			return nil, err
 		}
+		n.Spare = i >= cfg.Nodes
 		agent, err := core.NewAgent(n.Kernel, n.Store, cfg.Agent)
 		if err != nil {
 			return nil, err
@@ -212,13 +238,27 @@ func New(cfg Config) (*Cluster, error) {
 			n.FlushAgent = fa
 		}
 		cl.Nodes = append(cl.Nodes, n)
+		cl.nodeByAddr[agent.Addr()] = n
 	}
-	svc, err := mkNode(cfg.Nodes)
+	// Replication ring over every agent node (spares included): node i
+	// pushes to i+1, i+2, ... — so k replicas survive any k node losses.
+	total := len(cl.Nodes)
+	for i, n := range cl.Nodes {
+		peers := make([]AddrPort, 0, total-1)
+		for j := 1; j < total; j++ {
+			peers = append(peers, cl.Nodes[(i+j)%total].Agent.Addr())
+		}
+		n.Agent.SetPeers(peers)
+	}
+	svc, err := mkNode(cfg.Nodes + cfg.Spares)
 	if err != nil {
 		return nil, err
 	}
 	cl.Service = svc
 	cl.Coordinator = core.NewCoordinator(svc.Kernel.Stack(), cfg.Coordinator)
+	for _, n := range cl.Nodes {
+		cl.Coordinator.RegisterNode(n.Kernel.Name(), n.Agent.Addr(), n.Spare)
+	}
 	if cfg.FlushBaseline {
 		cl.FlushCoordinator = flush.NewCoordinator(svc.Kernel.Stack())
 	}
@@ -319,12 +359,57 @@ func (cl *Cluster) DefineJob(name string, podNames ...string) (*Job, error) {
 	if connectErr != nil {
 		return nil, connectErr
 	}
+	if cl.cfg.AutoRecover {
+		cl.Coordinator.Watch(job, func(res *RecoveryResult, err error) {
+			if err != nil {
+				cl.recoveryErrs = append(cl.recoveryErrs, err)
+				return
+			}
+			// Re-home the facade's pod bookkeeping to the new nodes.
+			for _, rp := range res.Pods {
+				for _, m := range job.Members {
+					if m.Pod != rp.Pod {
+						continue
+					}
+					if n, ok := cl.nodeByAddr[m.Agent]; ok {
+						ref := cl.pods[rp.Pod]
+						ref.node = n
+						cl.pods[rp.Pod] = ref
+					}
+				}
+			}
+			cl.recoveries = append(cl.recoveries, res)
+		})
+	}
 	return job, nil
+}
+
+// Recoveries returns every automatic recovery completed so far.
+func (cl *Cluster) Recoveries() []*RecoveryResult { return cl.recoveries }
+
+// RecoveryErr returns the first automatic-recovery failure, if any.
+func (cl *Cluster) RecoveryErr() error {
+	if len(cl.recoveryErrs) > 0 {
+		return cl.recoveryErrs[0]
+	}
+	return nil
+}
+
+// AwaitRecovery drives the event loop until n automatic recoveries have
+// completed (or one has failed), reporting whether it got there within
+// max virtual time.
+func (cl *Cluster) AwaitRecovery(n int, max Duration) bool {
+	return cl.RunUntil(func() bool {
+		return len(cl.recoveries) >= n || len(cl.recoveryErrs) > 0
+	}, max)
 }
 
 // Checkpoint runs one coordinated checkpoint synchronously (driving the
 // event loop until the protocol completes).
 func (cl *Cluster) Checkpoint(job *Job, opts CheckpointOptions) (*CheckpointResult, error) {
+	if opts.Replicas == 0 {
+		opts.Replicas = cl.cfg.Replicas
+	}
 	var res *CheckpointResult
 	var cerr error
 	fired := false
@@ -393,9 +478,11 @@ func (cl *Cluster) FlushCheckpoint(job *flush.Job) (*flush.Result, error) {
 }
 
 // FailNode simulates a machine failure: its link goes down and every
-// process on it is killed. Pods it hosted can be restarted elsewhere from
-// their last committed checkpoint... once their images are reachable; see
-// CopyImages.
+// process on it is killed. With Config.Replicas ≥ 1 and AutoRecover, the
+// coordinator detects the failure and restarts affected jobs on
+// surviving nodes automatically — no CopyImages or MovePod needed. Without
+// replication, pods it hosted can still be restarted manually elsewhere
+// once their images are reachable; see CopyImages.
 func (cl *Cluster) FailNode(i int) {
 	n := cl.Nodes[i]
 	cl.Switch.SetLinkDown(n.NIC, true)

@@ -1,0 +1,125 @@
+// Recovery: lose a machine and keep the job.
+//
+// Three slm workers run in pods on three nodes, exchanging halo data in
+// a ring. Config{Replicas: 1} makes every committed checkpoint stream
+// each pod's image to a peer node off the critical path, and
+// Config{AutoRecover: true} puts the job under the coordinator's
+// lease-based failure detector. When node 1 dies mid-run, no manual
+// steps follow: the coordinator notices the missed heartbeats, picks a
+// new home that already replicates the lost pod's image, and restarts
+// the whole job from the last checkpoint — the example just waits and
+// prints the MTTR phase breakdown.
+//
+// Run with: go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cruz"
+	"cruz/internal/apps/slm"
+)
+
+func init() {
+	cruz.RegisterProgram(&slm.Worker{})
+}
+
+func main() {
+	const nodes = 3
+	cl, err := cruz.New(cruz.Config{
+		Nodes:       nodes,
+		Replicas:    1,    // each checkpoint keeps one copy on a peer node
+		AutoRecover: true, // watch jobs and restart them on node failure
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One worker pod per node, ring-connected.
+	cfg := slm.DefaultConfig(nodes)
+	cfg.Steps = 0
+	var names []string
+	var ips []cruz.Addr
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("w%d", i)
+		pod, err := cl.NewPod(i, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, name)
+		ips = append(ips, pod.IP())
+	}
+	for i, name := range names {
+		w := slm.NewWorker(cfg, i, ips[(i+1)%nodes])
+		if _, err := cl.Pod(name).Spawn("slm", w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	job, err := cl.DefineJob("ring", names...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	worker := func(i int) *slm.Worker {
+		return cl.Pod(names[i]).Process(1).Program().(*slm.Worker)
+	}
+
+	cl.Run(2 * cruz.Second)
+	fmt.Printf("t=%-8v ring running at step %d\n", cl.Engine.Now(), worker(0).StepsDone)
+
+	// Checkpoint, then let replication finish streaming the images to
+	// their peers (it runs off the checkpoint's critical path).
+	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%-8v checkpoint %d committed (latency %v)\n", cl.Engine.Now(), res.Seq, res.Latency)
+	ok := cl.RunUntil(func() bool {
+		for i := 0; i < nodes; i++ {
+			if cl.Nodes[i].Agent.Stats.Replications < 1 {
+				return false
+			}
+		}
+		return true
+	}, 10*cruz.Second)
+	if !ok {
+		log.Fatal("replication never completed")
+	}
+	fmt.Printf("t=%-8v every pod image replicated to a peer node\n", cl.Engine.Now())
+
+	// Kill node 1: NIC down, kernel halted, pod and agent gone with it.
+	stepAt := worker(0).StepsDone
+	fmt.Printf("t=%-8v node 1 fails (step was %d)\n", cl.Engine.Now(), stepAt)
+	cl.FailNode(1)
+
+	// ...and just wait: detection, placement, and restart are automatic.
+	if !cl.AwaitRecovery(1, 30*cruz.Second) {
+		log.Fatal("automatic recovery never completed")
+	}
+	if err := cl.RecoveryErr(); err != nil {
+		log.Fatal(err)
+	}
+	rec := cl.Recoveries()[0]
+	fmt.Printf("t=%-8v %s declared failed; job restarted from checkpoint %d\n",
+		cl.Engine.Now(), rec.FailedNode, rec.Seq)
+	for _, p := range rec.Pods {
+		how := "no transfer needed, replica already there"
+		if p.Transferred {
+			how = "image fetched from " + p.From
+		}
+		fmt.Printf("           pod %s re-homed to %s (%s)\n", p.Pod, p.To, how)
+	}
+	fmt.Printf("           MTTR %v = detect %v + place %v + transfer %v + restart %v\n",
+		rec.MTTR, rec.Detect, rec.Place, rec.Transfer, rec.Restart)
+
+	// The ring computes again on the survivors.
+	cl.Run(2 * cruz.Second)
+	for i := 0; i < nodes; i++ {
+		if f := worker(i).Fault; f != "" {
+			log.Fatalf("worker %d fault after recovery: %s", i, f)
+		}
+	}
+	fmt.Printf("t=%-8v ring healthy at step %d on %s — no manual recovery steps\n",
+		cl.Engine.Now(), worker(0).StepsDone, cl.PodNode(names[1]).Kernel.Name())
+}

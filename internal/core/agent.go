@@ -48,6 +48,9 @@ type AgentParams struct {
 	// is on the disk. Zero or no Pipeline = one segment (serial
 	// encode-then-write).
 	SegmentBytes int64
+	// ReplTimeout bounds one replication or fetch exchange; an offer is
+	// retried once before the operation fails. Zero disables.
+	ReplTimeout sim.Duration
 }
 
 // DefaultAgentParams returns costs calibrated for the paper's testbed.
@@ -62,6 +65,7 @@ func DefaultAgentParams() AgentParams {
 		HashBPS:       2 << 30, // FNV-style streaming hash
 		DedupPerChunk: 150 * sim.Nanosecond,
 		SegmentBytes:  8 << 20,
+		ReplTimeout:   30 * sim.Second,
 	}
 }
 
@@ -81,7 +85,8 @@ var (
 
 // Agent is the per-node checkpoint daemon. It runs outside any pod (so
 // disabling a pod's communication never cuts the coordinator channel; see
-// the paper's footnote 4) and executes the local steps of Fig. 2.
+// the paper's footnote 4) and executes the local steps of Fig. 2, plus
+// the replication and fetch exchanges of the recovery extension.
 type Agent struct {
 	kern   *kernel.Kernel
 	store  *ckpt.Store
@@ -90,8 +95,17 @@ type Agent struct {
 	tr     *trace.Tracer
 
 	pods     map[string]*zap.Pod
-	ops      map[string]*agentOp
+	table    *ctl.Table
 	listener *tcpip.TCPListener
+
+	// peers is the replication ring: where committed checkpoints stream,
+	// in preference order. peerConns are lazily dialed agent-to-agent
+	// control connections.
+	peers     []tcpip.AddrPort
+	peerConns map[tcpip.AddrPort]*ctlConn
+	// coordConn is the connection the latest coordinated op arrived on —
+	// where replication placement reports go.
+	coordConn *ctlConn
 
 	// Stats counts agent activity.
 	Stats AgentStats
@@ -99,20 +113,25 @@ type Agent struct {
 
 // AgentStats counts agent activity.
 type AgentStats struct {
-	Checkpoints uint64
-	Restores    uint64
-	Aborts      uint64
+	Checkpoints  uint64
+	Restores     uint64
+	Aborts       uint64
+	Replications uint64
+	ReplBytes    int64
+	ReplFailures uint64
+	Fetches      uint64
 }
 
-// agentOp tracks one in-progress checkpoint or restart for a pod.
+// agentOp tracks one in-progress checkpoint or restart for a pod. The
+// lifecycle (busy key, timeout, idempotent teardown) lives in the
+// embedded ctl.Op; only the domain state is here.
 type agentOp struct {
-	seq       int
+	*ctl.Op
 	optimized bool
 	cow       bool
-	t0        sim.Time
 	stoppedAt sim.Time
 	conn      *ctlConn
-	aborted   bool
+	replicas  int
 	captured  bool
 	saveDone  bool
 	contRecvd bool
@@ -148,13 +167,14 @@ func (op *agentOp) endSpans(args ...trace.Arg) {
 // cluster-file-system arrangement the paper assumes).
 func NewAgent(kern *kernel.Kernel, store *ckpt.Store, params AgentParams) (*Agent, error) {
 	a := &Agent{
-		kern:   kern,
-		store:  store,
-		params: params,
-		cpu:    ctl.Serializer{Engine: kern.Engine()},
-		tr:     trace.FromEngine(kern.Engine()),
-		pods:   make(map[string]*zap.Pod),
-		ops:    make(map[string]*agentOp),
+		kern:      kern,
+		store:     store,
+		params:    params,
+		cpu:       ctl.Serializer{Engine: kern.Engine()},
+		tr:        trace.FromEngine(kern.Engine()),
+		pods:      make(map[string]*zap.Pod),
+		table:     ctl.NewTable(kern.Engine()),
+		peerConns: make(map[tcpip.AddrPort]*ctlConn),
 	}
 	addr, ok := kern.Stack().FirstAddr()
 	if !ok {
@@ -185,7 +205,25 @@ func (a *Agent) Manage(pod *zap.Pod) { a.pods[pod.Name()] = pod }
 // Pod returns a managed pod by name, or nil.
 func (a *Agent) Pod(name string) *zap.Pod { return a.pods[name] }
 
-// acceptLoop accepts coordinator connections.
+// SetPeers installs the replication ring: peers receive this agent's
+// committed checkpoints, in order, when a checkpoint requests replicas.
+func (a *Agent) SetPeers(peers []tcpip.AddrPort) { a.peers = peers }
+
+// OpenOps returns the number of in-flight operations — the leak check
+// recovery tests rely on.
+func (a *Agent) OpenOps() int { return a.table.Len() }
+
+// podOp returns the active checkpoint/restart op for a pod, or nil.
+func (a *Agent) podOp(pod string) *agentOp {
+	if o := a.table.Get(pod); o != nil {
+		if op, ok := o.Data.(*agentOp); ok {
+			return op
+		}
+	}
+	return nil
+}
+
+// acceptLoop accepts coordinator and peer-agent connections.
 func (a *Agent) acceptLoop() {
 	for {
 		tc, err := a.listener.Accept()
@@ -196,7 +234,7 @@ func (a *Agent) acceptLoop() {
 	}
 }
 
-// onMsg dispatches a coordinator message.
+// onMsg dispatches a control message.
 func (a *Agent) onMsg(c *ctlConn, m *wireMsg) {
 	a.cpu.Do(a.params.MsgCost, func() {
 		switch m.Type {
@@ -208,13 +246,66 @@ func (a *Agent) onMsg(c *ctlConn, m *wireMsg) {
 			a.startRestart(c, m)
 		case msgAbort:
 			a.handleAbort(m)
+		case msgPing:
+			c.send(&wireMsg{Type: msgPong, Seq: m.Seq, Load: a.liveLoad()})
+		case msgReplOffer:
+			a.handleReplOffer(c, m)
+		case msgReplWant:
+			a.handleReplWant(c, m)
+		case msgReplData:
+			a.handleReplData(c, m)
+		case msgReplDone:
+			a.handleReplDone(c, m)
+		case msgFetch:
+			a.handleFetch(c, m)
+		case msgFetchPull:
+			a.handleFetchPull(c, m)
 		}
 	})
+}
+
+// liveLoad counts live managed pods — the agent's placement load signal.
+func (a *Agent) liveLoad() int {
+	n := 0
+	for _, p := range a.pods {
+		if !p.Destroyed() {
+			n++
+		}
+	}
+	return n
 }
 
 // fail reports an operation failure for a pod.
 func (a *Agent) fail(c *ctlConn, t msgType, m *wireMsg, err error) {
 	c.send(&wireMsg{Type: t, Seq: m.Seq, Pod: m.Pod, Err: err.Error()})
+}
+
+// beginPodOp registers a checkpoint/restart op for the pod with the
+// shared rollback-on-failure hook: remove the filter, resume the pod,
+// close spans. Every failure path (local error, coordinator abort,
+// node-failure teardown) funnels through ctl.Op.Fail exactly once.
+func (a *Agent) beginPodOp(kind string, m *wireMsg, c *ctlConn) (*agentOp, error) {
+	o, err := a.table.Begin(kind, m.Pod, m.Seq)
+	if err != nil {
+		return nil, ErrBusy
+	}
+	op := &agentOp{Op: o, optimized: m.Optimized, cow: m.COW, conn: c, replicas: m.Replicas}
+	o.Data = op
+	name := m.Pod
+	o.OnFail(func(_ *ctl.Op, err error) {
+		a.Stats.Aborts++
+		if op.filterID != 0 {
+			a.kern.Stack().Filter().RemoveRule(op.filterID)
+			op.filterID = 0
+		}
+		// Resolve the pod at failure time: a restart may have replaced it
+		// since the op began.
+		if p := a.pods[name]; p != nil && !p.Destroyed() && p.Stopped() {
+			p.Resume()
+		}
+		op.endSpans(trace.Str("outcome", "aborted"))
+	})
+	return op, nil
 }
 
 // startCheckpoint runs the Agent steps of Fig. 2 (or Fig. 4 when
@@ -226,12 +317,12 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 		a.fail(c, msgDone, m, ErrUnknownPod)
 		return
 	}
-	if _, busy := a.ops[m.Pod]; busy {
-		a.fail(c, msgDone, m, ErrBusy)
+	op, err := a.beginPodOp("checkpoint", m, c)
+	if err != nil {
+		a.fail(c, msgDone, m, err)
 		return
 	}
-	op := &agentOp{seq: m.Seq, optimized: m.Optimized, cow: m.COW, t0: a.kern.Engine().Now(), conn: c}
-	a.ops[m.Pod] = op
+	a.coordConn = c
 	a.Stats.Checkpoints++
 	if a.tr.Enabled() {
 		node := a.kern.Name()
@@ -242,6 +333,9 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 
 	// Step 1: configure the filter to silently drop all pod traffic.
 	a.cpu.Do(a.params.FilterCost, func() {
+		if op.Aborted() {
+			return
+		}
 		op.filterID = a.kern.Stack().Filter().AddDropAddr(pod.IP())
 		if a.tr.Enabled() {
 			a.tr.Instant(a.kern.Name(), "core", "filter.install", trace.Str("pod", m.Pod))
@@ -253,7 +347,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 		}
 		// Step 2: stop the pod's processes and take the local checkpoint.
 		pod.Stop(func() {
-			if op.aborted {
+			if op.Aborted() {
 				return
 			}
 			op.stoppedAt = a.kern.Engine().Now()
@@ -278,7 +372,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 				}
 			}
 			a.cpu.Do(a.params.CaptureCost+bytesCost(captureBytes, a.params.CaptureBPS), func() {
-				if op.aborted {
+				if op.Aborted() {
 					return
 				}
 				op.phDrain.End()
@@ -288,7 +382,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 				}
 				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: m.Incremental, Hashes: m.Dedup})
 				if err != nil {
-					a.abortLocal(m.Pod, pod, op)
+					op.Fail(err)
 					a.fail(c, msgDone, m, err)
 					return
 				}
@@ -318,11 +412,11 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 // and drives the remaining disk bytes through writeImage.
 func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, img *ckpt.Image) {
 	finishPlan := func(plan *ckpt.SavePlan, err error) {
-		if op.aborted {
+		if op.Aborted() {
 			return
 		}
 		if err != nil {
-			a.abortLocal(m.Pod, pod, op)
+			op.Fail(err)
 			a.fail(c, msgDone, m, err)
 			return
 		}
@@ -344,7 +438,7 @@ func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, 
 			trace.Str("pod", m.Pod))
 	}
 	a.cpu.Do(bytesCost(int64(img.FreshHashes)*mem.PageSize, a.params.HashBPS), func() {
-		if op.aborted {
+		if op.Aborted() {
 			return
 		}
 		op.phHash.End(trace.Int("fresh_pages", int64(img.FreshHashes)))
@@ -357,7 +451,7 @@ func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, 
 				trace.Str("pod", m.Pod))
 		}
 		a.cpu.Do(sim.Duration(pages)*a.params.DedupPerChunk, func() {
-			if op.aborted {
+			if op.Aborted() {
 				return
 			}
 			plan, err := a.store.PlanDedupSave(img)
@@ -393,7 +487,7 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 			Type:          msgDone,
 			Seq:           m.Seq,
 			Pod:           m.Pod,
-			LocalDuration: a.kern.Engine().Now().Sub(op.t0),
+			LocalDuration: a.kern.Engine().Now().Sub(op.Started()),
 			ImageBytes:    total,
 		})
 		if plan.CompactAfter {
@@ -401,11 +495,16 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 			// the checkpoint is reported.
 			a.store.Compact(m.Pod, nil)
 		}
+		if op.replicas > 0 {
+			// Stream the committed image to peer replicas, off the
+			// critical path of the coordinated cycle.
+			a.startReplication(m.Pod, m.Seq, op.replicas, c)
+		}
 		if op.resumed {
 			// COW: the pod resumed before the write finished; the
 			// operation completes here.
 			op.endSpans()
-			delete(a.ops, m.Pod)
+			op.Finish()
 			return
 		}
 		if !op.phCommit.Active() && a.tr.Enabled() {
@@ -421,7 +520,7 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 	var issued, landed int64
 	var issue func()
 	issue = func() {
-		if op.aborted || issued >= total {
+		if op.Aborted() || issued >= total {
 			return
 		}
 		seg := segSize
@@ -430,11 +529,11 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 		}
 		issued += seg
 		a.cpu.Do(bytesCost(seg, a.params.EncodeBPS), func() {
-			if op.aborted {
+			if op.Aborted() {
 				return
 			}
 			disk.WriteContig(seg, func() {
-				if op.aborted {
+				if op.Aborted() {
 					return
 				}
 				landed += seg
@@ -454,8 +553,8 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 // moment its own save is done.
 func (a *Agent) handleContinue(c *ctlConn, m *wireMsg) {
 	pod, ok := a.pods[m.Pod]
-	op := a.ops[m.Pod]
-	if !ok || op == nil || op.seq != m.Seq {
+	op := a.podOp(m.Pod)
+	if !ok || op == nil || op.Seq != m.Seq {
 		a.fail(c, msgContinueDone, m, ErrUnknownPod)
 		return
 	}
@@ -468,7 +567,7 @@ func (a *Agent) handleContinue(c *ctlConn, m *wireMsg) {
 // merely captured (the write continues from the snapshot).
 func (a *Agent) maybeFinishContinue(name string, pod *zap.Pod, op *agentOp) {
 	localSafe := op.saveDone || (op.cow && op.captured)
-	if !localSafe || !op.contRecvd || op.resumed || op.aborted {
+	if !localSafe || !op.contRecvd || op.resumed || op.Aborted() {
 		return
 	}
 	op.resumed = true
@@ -476,17 +575,19 @@ func (a *Agent) maybeFinishContinue(name string, pod *zap.Pod, op *agentOp) {
 	a.cpu.Do(a.params.FilterCost, func() {
 		pod.Resume()
 		a.kern.Stack().Filter().RemoveRule(op.filterID)
+		op.filterID = 0
 		if a.tr.Enabled() {
 			a.tr.Instant(a.kern.Name(), "core", "filter.remove", trace.Str("pod", name))
 		}
 		op.phCommit.End()
+		seq := op.Seq
 		if op.saveDone {
 			op.endSpans()
-			delete(a.ops, name)
+			op.Finish()
 		}
 		op.conn.send(&wireMsg{
 			Type:            msgContinueDone,
-			Seq:             op.seq,
+			Seq:             seq,
 			Pod:             name,
 			LocalDuration:   a.kern.Engine().Now().Sub(t0) + a.params.MsgCost,
 			BlockedDuration: a.kern.Engine().Now().Sub(op.stoppedAt),
@@ -496,15 +597,19 @@ func (a *Agent) maybeFinishContinue(name string, pod *zap.Pod, op *agentOp) {
 
 // startRestart performs the local restart: disable communication for the
 // pod's address before restoring (so restored TCP state cannot transmit
-// prematurely, §5), load and restore the image, report done. The pod
+// prematurely, §5), load and restore the image, report done. A pod of the
+// same name still running on this node (recovery restarts the whole job,
+// including survivors) is destroyed only after the image loads, so a
+// missing image leaves the application untouched. The restored pod
 // resumes on <continue>.
 func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
-	if _, busy := a.ops[m.Pod]; busy {
-		a.fail(c, msgRestartDone, m, ErrBusy)
+	op, err := a.beginPodOp("restart", m, c)
+	if err != nil {
+		a.fail(c, msgRestartDone, m, err)
 		return
 	}
-	op := &agentOp{seq: m.Seq, t0: a.kern.Engine().Now(), conn: c, saveDone: true}
-	a.ops[m.Pod] = op
+	a.coordConn = c
+	op.saveDone = true
 	a.Stats.Restores++
 	if a.tr.Enabled() {
 		node := a.kern.Name()
@@ -523,12 +628,11 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 		}
 	}
 	load(func(img *ckpt.Image, err error) {
-		if op.aborted {
+		if op.Aborted() {
 			return
 		}
 		if err != nil {
-			op.endSpans(trace.Str("err", err.Error()))
-			delete(a.ops, m.Pod)
+			op.Fail(err)
 			a.fail(c, msgRestartDone, m, err)
 			return
 		}
@@ -539,20 +643,22 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 		}
 		// Disable communication for the pod's address first.
 		a.cpu.Do(a.params.FilterCost+a.params.CaptureCost, func() {
-			if op.aborted {
+			if op.Aborted() {
 				return
 			}
 			op.filterID = a.kern.Stack().Filter().AddDropAddr(img.Net.IP)
+			// The image is loadable: any live instance of the pod on this
+			// node is superseded by the restore.
+			if old := a.pods[m.Pod]; old != nil && !old.Destroyed() {
+				old.Destroy()
+			}
 			pod, rerr := ckpt.Restore(a.kern, img)
 			if rerr != nil {
-				a.kern.Stack().Filter().RemoveRule(op.filterID)
-				op.endSpans(trace.Str("err", rerr.Error()))
-				delete(a.ops, m.Pod)
+				op.Fail(rerr)
 				a.fail(c, msgRestartDone, m, rerr)
 				return
 			}
 			a.pods[m.Pod] = pod
-			op.seq = m.Seq
 			op.phCapture.End(trace.Int("mem_bytes", img.MemoryBytes()))
 			if a.tr.Enabled() {
 				op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
@@ -562,7 +668,7 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 				Type:          msgRestartDone,
 				Seq:           m.Seq,
 				Pod:           m.Pod,
-				LocalDuration: a.kern.Engine().Now().Sub(op.t0),
+				LocalDuration: a.kern.Engine().Now().Sub(op.Started()),
 				ImageBytes:    img.MemoryBytes(),
 			})
 		})
@@ -573,23 +679,9 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 // resume the pod, forget the op. Any image already written stays in the
 // store but is never committed by the coordinator.
 func (a *Agent) handleAbort(m *wireMsg) {
-	op := a.ops[m.Pod]
+	op := a.podOp(m.Pod)
 	if op == nil {
 		return
 	}
-	pod := a.pods[m.Pod]
-	a.abortLocal(m.Pod, pod, op)
-}
-
-func (a *Agent) abortLocal(name string, pod *zap.Pod, op *agentOp) {
-	op.aborted = true
-	a.Stats.Aborts++
-	if op.filterID != 0 {
-		a.kern.Stack().Filter().RemoveRule(op.filterID)
-	}
-	if pod != nil && pod.Stopped() {
-		pod.Resume()
-	}
-	op.endSpans(trace.Str("outcome", "aborted"))
-	delete(a.ops, name)
+	op.Fail(ErrAborted)
 }

@@ -42,11 +42,38 @@ type CoordinatorParams struct {
 	// Timeout aborts an operation if agents stay silent this long
 	// (0 disables; the failure-handling extension of §5).
 	Timeout sim.Duration
+	// HeartbeatEvery is the membership ping period once a job is
+	// watched (0 = DefaultHeartbeatEvery).
+	HeartbeatEvery sim.Duration
+	// LeaseTimeout declares a node failed after this much pong silence
+	// (0 = DefaultLeaseTimeout).
+	LeaseTimeout sim.Duration
 }
+
+// Default membership timings: the lease spans several heartbeats so one
+// delayed pong never trips failure detection.
+const (
+	DefaultHeartbeatEvery = 100 * sim.Millisecond
+	DefaultLeaseTimeout   = 350 * sim.Millisecond
+)
 
 // DefaultCoordinatorParams returns testbed-calibrated costs.
 func DefaultCoordinatorParams() CoordinatorParams {
 	return CoordinatorParams{MsgCost: 20 * sim.Microsecond}
+}
+
+func (p CoordinatorParams) heartbeatEvery() sim.Duration {
+	if p.HeartbeatEvery > 0 {
+		return p.HeartbeatEvery
+	}
+	return DefaultHeartbeatEvery
+}
+
+func (p CoordinatorParams) leaseTimeout() sim.Duration {
+	if p.LeaseTimeout > 0 {
+		return p.LeaseTimeout
+	}
+	return DefaultLeaseTimeout
 }
 
 // CheckpointOptions selects the protocol variant.
@@ -67,6 +94,10 @@ type CheckpointOptions struct {
 	// Pipeline splits the agent's image write into segments, encoding
 	// segment k on the CPU while segment k-1 is on the disk.
 	Pipeline bool
+	// Replicas streams each committed image to this many peer nodes
+	// after the local save, off the critical path — the recovery
+	// prerequisite that replaces manual image copying.
+	Replicas int
 }
 
 // PodReport is one agent's reported local timings.
@@ -121,9 +152,11 @@ type RestartResult struct {
 	PerPod           []PodReport
 }
 
-// Coordinator drives the global protocol of Fig. 2 / Fig. 4. It runs as
-// a daemon on its own node (distinct from the application nodes, as in
-// the paper's experiments).
+// Coordinator drives the global protocol of Fig. 2 / Fig. 4, plus the
+// membership and recovery extension: heartbeat/lease failure detection
+// over registered nodes and automatic restart of watched jobs. It runs
+// as a daemon on its own node (distinct from the application nodes, as
+// in the paper's experiments).
 type Coordinator struct {
 	stack  *tcpip.Stack
 	params CoordinatorParams
@@ -131,47 +164,54 @@ type Coordinator struct {
 	tr     *trace.Tracer
 
 	conns map[tcpip.AddrPort]*ctlConn
-	op    map[string]*coordOp // job name -> active op
+	table *ctl.Table
 
 	// committed tracks the last globally committed checkpoint per job —
 	// the atomicity record of the two-phase commit.
 	committed map[string]int
 	nextSeq   map[string]int
+
+	// Membership and recovery state (recovery.go).
+	nodes      []*nodeInfo
+	nodeByAddr map[tcpip.AddrPort]*nodeInfo
+	watches    []*watch
+	ticker     *sim.Ticker
+	// holders records which agents hold each committed (pod, seq) image —
+	// fed by commits, <replicated> reports, and completed fetches.
+	holders map[string]map[int]map[tcpip.AddrPort]bool
 }
 
+// coordOp is one coordinated checkpoint or restart: the lifecycle lives
+// in the embedded ctl.Op (wait-sets "done", "disabled", "cont"), the
+// measurements here.
 type coordOp struct {
+	*ctl.Op
 	job        *Job
-	seq        int
 	restart    bool
 	opts       CheckpointOptions
-	t0         sim.Time
 	doneAt     sim.Time
-	pending    map[string]bool // pods with outstanding done
-	disabled   map[string]bool // (optimized) pods with outstanding comm-disabled
-	contPend   map[string]bool
 	maxLocal   sim.Duration
 	maxCont    sim.Duration
 	maxBlocked sim.Duration
 	minBlocked sim.Duration
 	reports    []PodReport
 	msgBase    int
-	timeout    *sim.Event
-	finish     func(*coordOp, error)
-	failed     error
 	span       trace.Span
 }
 
 // NewCoordinator creates a coordinator on the given node's stack.
 func NewCoordinator(stack *tcpip.Stack, params CoordinatorParams) *Coordinator {
 	return &Coordinator{
-		stack:     stack,
-		params:    params,
-		cpu:       ctl.Serializer{Engine: stack.Engine()},
-		tr:        trace.FromEngine(stack.Engine()),
-		conns:     make(map[tcpip.AddrPort]*ctlConn),
-		op:        make(map[string]*coordOp),
-		committed: make(map[string]int),
-		nextSeq:   make(map[string]int),
+		stack:      stack,
+		params:     params,
+		cpu:        ctl.Serializer{Engine: stack.Engine()},
+		tr:         trace.FromEngine(stack.Engine()),
+		conns:      make(map[tcpip.AddrPort]*ctlConn),
+		table:      ctl.NewTable(stack.Engine()),
+		committed:  make(map[string]int),
+		nextSeq:    make(map[string]int),
+		nodeByAddr: make(map[tcpip.AddrPort]*nodeInfo),
+		holders:    make(map[string]map[int]map[tcpip.AddrPort]bool),
 	}
 }
 
@@ -181,9 +221,23 @@ func (c *Coordinator) CommittedSeq(job string) (int, bool) {
 	return seq, ok
 }
 
+// OpenOps returns the number of in-flight coordinated operations — the
+// leak check recovery tests rely on.
+func (c *Coordinator) OpenOps() int { return c.table.Len() }
+
 // Connect establishes control connections to every agent of the job,
 // invoking done when all are up (or with the first dial error).
 func (c *Coordinator) Connect(job *Job, done func(error)) {
+	addrs := make([]tcpip.AddrPort, 0, len(job.Members))
+	for _, m := range job.Members {
+		addrs = append(addrs, m.Agent)
+	}
+	c.connectAddrs(addrs, done)
+}
+
+// connectAddrs dials any not-yet-connected addresses, invoking done when
+// every one is established.
+func (c *Coordinator) connectAddrs(addrs []tcpip.AddrPort, done func(error)) {
 	remaining := 0
 	var failed error
 	check := func() {
@@ -192,14 +246,17 @@ func (c *Coordinator) Connect(job *Job, done func(error)) {
 			done = nil
 		}
 	}
-	for _, m := range job.Members {
-		addr := m.Agent
+	for _, addr := range addrs {
+		addr := addr
 		if _, ok := c.conns[addr]; ok {
 			continue
 		}
 		tc, err := c.stack.DialTCP(tcpip.AddrPort{}, addr)
 		if err != nil {
-			done(err)
+			if done != nil {
+				done(err)
+				done = nil
+			}
 			return
 		}
 		remaining++
@@ -253,51 +310,69 @@ func (c *Coordinator) msgCount(job *Job) int {
 	return n
 }
 
+// beginJobOp registers a coordinated op for the job, rejecting overlap
+// with any other operation on it (including an in-flight recovery —
+// except for the restart that recovery itself drives).
+func (c *Coordinator) beginJobOp(kind string, job *Job, seq int, fromRecovery bool) (*coordOp, error) {
+	if !fromRecovery && c.table.Get(recoveryKey(job.Name)) != nil {
+		return nil, ErrOpInProgress
+	}
+	o, err := c.table.Begin(kind, job.Name, seq)
+	if err != nil {
+		return nil, ErrOpInProgress
+	}
+	op := &coordOp{Op: o, job: job, msgBase: c.msgCount(job)}
+	o.Data = op
+	// Failure fans <abort> out to every member before the finish hook
+	// reports the error.
+	o.OnFail(func(_ *ctl.Op, err error) {
+		for _, m := range job.Members {
+			m := m
+			c.cpu.Do(c.params.MsgCost, func() {
+				if cc, cerr := c.connFor(m); cerr == nil {
+					cc.send(&wireMsg{Type: msgAbort, Seq: seq, Pod: m.Pod})
+				}
+			})
+		}
+	})
+	return op, nil
+}
+
 // Checkpoint runs one coordinated checkpoint of the job, invoking done
 // with the result.
 func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*CheckpointResult, error)) {
-	if _, busy := c.op[job.Name]; busy {
-		done(nil, ErrOpInProgress)
-		return
-	}
 	c.nextSeq[job.Name]++
 	seq := c.nextSeq[job.Name]
-	op := &coordOp{
-		job:      job,
-		seq:      seq,
-		opts:     opts,
-		t0:       c.stack.Engine().Now(),
-		pending:  make(map[string]bool),
-		disabled: make(map[string]bool),
-		contPend: make(map[string]bool),
-		msgBase:  c.msgCount(job),
+	op, err := c.beginJobOp("checkpoint", job, seq, false)
+	if err != nil {
+		c.nextSeq[job.Name]--
+		done(nil, err)
+		return
 	}
+	op.opts = opts
 	if c.tr.Enabled() {
 		op.span = c.tr.Begin(c.stack.Name(), "core", "checkpoint",
 			trace.Str("job", job.Name), trace.Int("seq", int64(seq)),
 			trace.Int("members", int64(len(job.Members))))
 	}
-	op.finish = func(op *coordOp, err error) {
-		delete(c.op, job.Name)
-		if op.timeout != nil {
-			c.stack.Engine().Cancel(op.timeout)
-		}
+	op.OnFinish(func(_ *ctl.Op, err error) {
 		if err != nil {
 			op.span.End(trace.Str("err", err.Error()))
 			done(nil, err)
 			return
 		}
-		c.committed[job.Name] = op.seq
+		c.committed[job.Name] = seq
+		c.recordCommitHolders(job, seq)
 		if c.tr.Enabled() {
 			c.tr.Instant(c.stack.Name(), "core", "commit",
-				trace.Str("job", job.Name), trace.Int("seq", int64(op.seq)))
+				trace.Str("job", job.Name), trace.Int("seq", int64(seq)))
 		}
 		op.span.End()
 		now := c.stack.Engine().Now()
 		res := &CheckpointResult{
-			Seq:                op.seq,
-			Latency:            op.doneAt.Sub(op.t0),
-			CycleLatency:       now.Sub(op.t0),
+			Seq:                seq,
+			Latency:            op.doneAt.Sub(op.Started()),
+			CycleLatency:       now.Sub(op.Started()),
 			MaxLocalCheckpoint: op.maxLocal,
 			MaxLocalContinue:   op.maxCont,
 			MaxBlocked:         op.maxBlocked,
@@ -310,19 +385,18 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 			res.TotalImageBytes += r.ImageBytes
 		}
 		done(res, nil)
-	}
-	c.op[job.Name] = op
+	})
 
 	// Step 1: send <checkpoint> to all agents (serialized daemon CPU).
 	for _, m := range job.Members {
-		op.pending[m.Pod] = true
-		op.disabled[m.Pod] = true
-		op.contPend[m.Pod] = true
+		op.Expect("done", m.Pod)
+		op.Expect("disabled", m.Pod)
+		op.Expect("cont", m.Pod)
 		m := m
 		c.cpu.Do(c.params.MsgCost, func() {
 			cc, err := c.connFor(m)
 			if err != nil {
-				c.abortOp(op, err)
+				op.Fail(err)
 				return
 			}
 			cc.send(&wireMsg{
@@ -334,41 +408,39 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 				COW:         opts.COW,
 				Dedup:       opts.Dedup,
 				Pipeline:    opts.Pipeline,
+				Replicas:    opts.Replicas,
 			})
 		})
 	}
-	c.armTimeout(op)
+	if c.params.Timeout > 0 {
+		op.ArmTimeout(c.params.Timeout, fmt.Errorf("%w: timeout after %v", ErrAborted, c.params.Timeout))
+	}
 }
 
 // Restart runs a coordinated restart of the job from checkpoint seq
 // (0 = latest committed).
 func (c *Coordinator) Restart(job *Job, seq int, done func(*RestartResult, error)) {
-	if _, busy := c.op[job.Name]; busy {
-		done(nil, ErrOpInProgress)
-		return
-	}
+	c.runRestart(job, seq, false, done)
+}
+
+// runRestart is the restart driver; fromRecovery lets an in-flight
+// recovery restart the job past its own table entry.
+func (c *Coordinator) runRestart(job *Job, seq int, fromRecovery bool, done func(*RestartResult, error)) {
 	if seq == 0 {
 		seq = c.committed[job.Name]
 	}
-	op := &coordOp{
-		job:      job,
-		seq:      seq,
-		restart:  true,
-		t0:       c.stack.Engine().Now(),
-		pending:  make(map[string]bool),
-		contPend: make(map[string]bool),
-		msgBase:  c.msgCount(job),
+	op, err := c.beginJobOp("restart", job, seq, fromRecovery)
+	if err != nil {
+		done(nil, err)
+		return
 	}
+	op.restart = true
 	if c.tr.Enabled() {
 		op.span = c.tr.Begin(c.stack.Name(), "core", "restart",
 			trace.Str("job", job.Name), trace.Int("seq", int64(seq)),
 			trace.Int("members", int64(len(job.Members))))
 	}
-	op.finish = func(op *coordOp, err error) {
-		delete(c.op, job.Name)
-		if op.timeout != nil {
-			c.stack.Engine().Cancel(op.timeout)
-		}
+	op.OnFinish(func(_ *ctl.Op, err error) {
 		if err != nil {
 			op.span.End(trace.Str("err", err.Error()))
 			done(nil, err)
@@ -377,9 +449,9 @@ func (c *Coordinator) Restart(job *Job, seq int, done func(*RestartResult, error
 		op.span.End()
 		now := c.stack.Engine().Now()
 		res := &RestartResult{
-			Seq:              op.seq,
-			Latency:          op.doneAt.Sub(op.t0),
-			CycleLatency:     now.Sub(op.t0),
+			Seq:              seq,
+			Latency:          op.doneAt.Sub(op.Started()),
+			CycleLatency:     now.Sub(op.Started()),
 			MaxLocalRestore:  op.maxLocal,
 			MaxLocalContinue: op.maxCont,
 			Messages:         c.msgCount(job) - op.msgBase,
@@ -387,71 +459,61 @@ func (c *Coordinator) Restart(job *Job, seq int, done func(*RestartResult, error
 		}
 		res.Overhead = res.CycleLatency - res.MaxLocalRestore - res.MaxLocalContinue
 		done(res, nil)
-	}
-	c.op[job.Name] = op
+	})
 	for _, m := range job.Members {
-		op.pending[m.Pod] = true
-		op.contPend[m.Pod] = true
+		op.Expect("done", m.Pod)
+		op.Expect("cont", m.Pod)
 		m := m
 		c.cpu.Do(c.params.MsgCost, func() {
 			cc, err := c.connFor(m)
 			if err != nil {
-				c.abortOp(op, err)
+				op.Fail(err)
 				return
 			}
 			cc.send(&wireMsg{Type: msgRestart, Seq: seq, Pod: m.Pod})
 		})
 	}
-	c.armTimeout(op)
+	if c.params.Timeout > 0 {
+		op.ArmTimeout(c.params.Timeout, fmt.Errorf("%w: timeout after %v", ErrAborted, c.params.Timeout))
+	}
 }
 
-// armTimeout schedules the failure-handling abort.
-func (c *Coordinator) armTimeout(op *coordOp) {
-	if c.params.Timeout <= 0 {
-		return
-	}
-	op.timeout = c.stack.Engine().Schedule(c.params.Timeout, func() {
-		if c.op[op.job.Name] == op {
-			c.abortOp(op, fmt.Errorf("%w: timeout after %v", ErrAborted, c.params.Timeout))
-		}
-	})
-}
-
-// abortOp sends <abort> to every agent and fails the operation.
-func (c *Coordinator) abortOp(op *coordOp, err error) {
-	if op.failed != nil {
-		return
-	}
-	op.failed = err
-	for _, m := range op.job.Members {
-		m := m
-		c.cpu.Do(c.params.MsgCost, func() {
-			if cc, cerr := c.connFor(m); cerr == nil {
-				cc.send(&wireMsg{Type: msgAbort, Seq: op.seq, Pod: m.Pod})
-			}
-		})
-	}
-	op.finish(op, err)
-}
-
-// opForPod locates the active operation covering a pod report.
+// opForPod locates the active coordinated operation covering a pod
+// report. Table iteration is key-sorted, so resolution is deterministic.
 func (c *Coordinator) opForPod(pod string, seq int) *coordOp {
-	for _, op := range c.op {
-		if op.seq != seq || op.failed != nil {
-			continue
+	var found *coordOp
+	c.table.Each(func(o *ctl.Op) {
+		if found != nil || o.Seq != seq {
+			return
+		}
+		op, ok := o.Data.(*coordOp)
+		if !ok {
+			return
 		}
 		for _, m := range op.job.Members {
 			if m.Pod == pod {
-				return op
+				found = op
+				return
 			}
 		}
-	}
-	return nil
+	})
+	return found
 }
 
 // onMsg handles agent replies.
-func (c *Coordinator) onMsg(_ *ctlConn, m *wireMsg) {
+func (c *Coordinator) onMsg(cc *ctlConn, m *wireMsg) {
 	c.cpu.Do(c.params.MsgCost, func() {
+		switch m.Type {
+		case msgPong:
+			c.handlePong(cc, m)
+			return
+		case msgReplicated:
+			c.handleReplicated(m)
+			return
+		case msgFetchDone:
+			c.handleFetchDone(m)
+			return
+		}
 		op := c.opForPod(m.Pod, m.Seq)
 		if op == nil {
 			return
@@ -461,23 +523,21 @@ func (c *Coordinator) onMsg(_ *ctlConn, m *wireMsg) {
 				trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
 		}
 		if m.Err != "" {
-			c.abortOp(op, fmt.Errorf("%w: pod %s: %s", ErrAgentFailed, m.Pod, m.Err))
+			op.Fail(fmt.Errorf("%w: pod %s: %s", ErrAgentFailed, m.Pod, m.Err))
 			return
 		}
 		switch m.Type {
 		case msgCommDisabled:
 			// Fig. 4: all communication disabled -> early continue.
-			if op.disabled[m.Pod] {
-				delete(op.disabled, m.Pod)
-				if (op.opts.Optimized || op.opts.COW) && len(op.disabled) == 0 {
+			if op.Arrive("disabled", m.Pod) {
+				if (op.opts.Optimized || op.opts.COW) && op.Cleared("disabled") {
 					c.sendContinue(op)
 				}
 			}
 		case msgDone, msgRestartDone:
-			if !op.pending[m.Pod] {
+			if !op.Arrive("done", m.Pod) {
 				return
 			}
-			delete(op.pending, m.Pod)
 			if m.LocalDuration > op.maxLocal {
 				op.maxLocal = m.LocalDuration
 			}
@@ -486,21 +546,20 @@ func (c *Coordinator) onMsg(_ *ctlConn, m *wireMsg) {
 				LocalDuration: m.LocalDuration,
 				ImageBytes:    m.ImageBytes,
 			})
-			if len(op.pending) == 0 {
+			if op.Cleared("done") {
 				op.doneAt = c.stack.Engine().Now()
 				if (!op.opts.Optimized && !op.opts.COW) || op.restart {
 					c.sendContinue(op)
-				} else if len(op.contPend) == 0 {
+				} else if op.Cleared("cont") {
 					// COW/optimized: continues may have completed before
 					// the last image write finished.
-					op.finish(op, nil)
+					op.Finish()
 				}
 			}
 		case msgContinueDone:
-			if !op.contPend[m.Pod] {
+			if !op.Arrive("cont", m.Pod) {
 				return
 			}
-			delete(op.contPend, m.Pod)
 			if m.LocalDuration > op.maxCont {
 				op.maxCont = m.LocalDuration
 			}
@@ -510,8 +569,8 @@ func (c *Coordinator) onMsg(_ *ctlConn, m *wireMsg) {
 			if op.minBlocked == 0 || m.BlockedDuration < op.minBlocked {
 				op.minBlocked = m.BlockedDuration
 			}
-			if len(op.contPend) == 0 && len(op.pending) == 0 {
-				op.finish(op, nil)
+			if op.Cleared("cont") && op.Cleared("done") {
+				op.Finish()
 			}
 		}
 	})
@@ -523,7 +582,7 @@ func (c *Coordinator) sendContinue(op *coordOp) {
 		m := m
 		c.cpu.Do(c.params.MsgCost, func() {
 			if cc, err := c.connFor(m); err == nil {
-				cc.send(&wireMsg{Type: msgContinue, Seq: op.seq, Pod: m.Pod})
+				cc.send(&wireMsg{Type: msgContinue, Seq: op.Seq, Pod: m.Pod})
 			}
 		})
 	}

@@ -158,6 +158,7 @@ type cluster struct {
 	sw      *ether.Switch
 	kernels []*kernel.Kernel
 	agents  []*Agent
+	stores  []*ckpt.Store
 	pods    []*zap.Pod
 	workers []*ringWorker
 	coord   *Coordinator
@@ -185,6 +186,7 @@ func newCluster(t *testing.T, n int, compute sim.Duration) *cluster {
 		k := mkNode(i)
 		cl.kernels = append(cl.kernels, k)
 		store := ckpt.NewStore(k.Disk())
+		cl.stores = append(cl.stores, store)
 		ag, err := NewAgent(k, store, DefaultAgentParams())
 		if err != nil {
 			t.Fatal(err)

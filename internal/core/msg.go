@@ -18,7 +18,9 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"cruz/internal/ckpt"
 	"cruz/internal/ctl"
+	"cruz/internal/mem"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
 )
@@ -36,6 +38,23 @@ const (
 	msgRestart
 	msgRestartDone
 	msgAbort
+
+	// Membership: coordinator-driven heartbeats.
+	msgPing
+	msgPong
+
+	// Replication: agent-to-agent checkpoint streaming (offer/want/data
+	// delta exchange) and the agent-to-coordinator placement report.
+	msgReplOffer
+	msgReplWant
+	msgReplData
+	msgReplDone
+	msgReplicated
+
+	// Recovery: coordinator-directed image fetch onto a new home node.
+	msgFetch
+	msgFetchPull
+	msgFetchDone
 )
 
 var msgNames = map[msgType]string{
@@ -47,6 +66,16 @@ var msgNames = map[msgType]string{
 	msgRestart:      "restart",
 	msgRestartDone:  "restart-done",
 	msgAbort:        "abort",
+	msgPing:         "ping",
+	msgPong:         "pong",
+	msgReplOffer:    "repl-offer",
+	msgReplWant:     "repl-want",
+	msgReplData:     "repl-data",
+	msgReplDone:     "repl-done",
+	msgReplicated:   "replicated",
+	msgFetch:        "fetch",
+	msgFetchPull:    "fetch-pull",
+	msgFetchDone:    "fetch-done",
 }
 
 func (t msgType) String() string {
@@ -76,6 +105,38 @@ type wireMsg struct {
 	COW         bool
 	Dedup       bool
 	Pipeline    bool
+	// Replicas asks the agent to stream the committed image to this many
+	// peer nodes after its local save.
+	Replicas int
+
+	// Load (on pong) is how many live pods the agent hosts — the
+	// coordinator's placement signal.
+	Load int
+
+	// Repl carries the replication/fetch payload when present.
+	Repl *replPayload
+}
+
+// replPayload is the bulk half of replication and fetch messages. Only
+// the fields the message type needs are populated.
+type replPayload struct {
+	// Offer: the chain and (dedup) chunk hashes available.
+	Chain  []int
+	Dedup  bool
+	Hashes []mem.PageHash
+	// Want: the delta the replica is missing.
+	NeedSeqs   []int
+	NeedHashes []mem.PageHash
+	// Data: the delta itself (encoded images / manifests / chunks).
+	Blobs     map[int][]byte
+	Manifests map[int][]byte
+	Chunks    []ckpt.ChunkData
+	// Done / fetch-done / replicated bookkeeping.
+	Bytes int64
+	// Fetch: the source agent to pull from; replicated: the peer that
+	// now holds the image.
+	PeerIP   tcpip.Addr
+	PeerPort uint16
 }
 
 // ctlConn is a gob-typed control connection.

@@ -1,0 +1,531 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cruz/internal/ctl"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+	"cruz/internal/trace"
+)
+
+// Membership and automatic recovery (the coordinator side of the
+// failure-handling extension of §5, taken to completion). The
+// coordinator pings every registered node on a virtual-time ticker;
+// lease expiry declares the node failed, aborts anything in flight that
+// touches it, and — for watched jobs — drives recovery end to end:
+// place the failed pods on surviving or spare nodes, fetch any image the
+// new home does not already replicate, and restart the whole job from
+// the newest checkpoint every failed pod still has a living holder for.
+
+// Errors surfaced by recovery.
+var (
+	ErrNodeFailed = errors.New("core: node failed")
+	ErrNoReplica  = errors.New("core: no surviving replica of a committed checkpoint")
+	ErrNoTarget   = errors.New("core: no surviving node can host the pod")
+)
+
+// nodeInfo is one registered agent node.
+type nodeInfo struct {
+	name     string
+	addr     tcpip.AddrPort
+	spare    bool
+	index    int // registration order: the deterministic tiebreak
+	alive    bool
+	lastPong sim.Time
+	load     int // live pods reported by the latest pong
+}
+
+// watch is one job under automatic recovery.
+type watch struct {
+	job        *Job
+	onRecovery func(*RecoveryResult, error)
+}
+
+// RecoveredPod describes where one failed pod went.
+type RecoveredPod struct {
+	Pod string
+	// From is the surviving replica the image came from; To the new home
+	// node. Transferred is false when the new home already held the
+	// image (replication made the fetch free).
+	From        string
+	To          string
+	Transferred bool
+}
+
+// RecoveryResult reports one automatic recovery, with MTTR split into
+// the phases the evaluation tables break out.
+type RecoveryResult struct {
+	Job        string
+	FailedNode string
+	// Seq is the checkpoint the job restarted from: the newest committed
+	// sequence every failed pod still had a living holder for.
+	Seq  int
+	Pods []RecoveredPod
+	// Phase durations: Detect spans last proof of life to lease expiry;
+	// Place is the placement decision; Transfer the image fetches
+	// (zero when replicas already sit on the new homes); Restart the
+	// coordinated restart. MTTR is their sum.
+	Detect   sim.Duration
+	Place    sim.Duration
+	Transfer sim.Duration
+	Restart  sim.Duration
+	MTTR     sim.Duration
+	// TransferBytes is what the fetches actually moved.
+	TransferBytes int64
+	// RestartResult is the underlying coordinated restart's report.
+	RestartResult *RestartResult
+}
+
+// recoveryOp tracks one in-flight recovery.
+type recoveryOp struct {
+	*ctl.Op
+	job        *Job
+	w          *watch
+	failedNode *nodeInfo
+	seq        int
+	assign     map[string]tcpip.AddrPort // failed pod -> new home agent
+	pods       []RecoveredPod
+
+	detect        sim.Duration
+	placeStart    sim.Time
+	place         sim.Duration
+	transferStart sim.Time
+	transfer      sim.Duration
+	restartStart  sim.Time
+	transferBytes int64
+
+	span       trace.Span
+	phPlace    trace.Span
+	phTransfer trace.Span
+	phRestart  trace.Span
+}
+
+func (rec *recoveryOp) endSpans(args ...trace.Arg) {
+	rec.phPlace.End(args...)
+	rec.phTransfer.End(args...)
+	rec.phRestart.End(args...)
+	rec.span.End(args...)
+}
+
+// involves reports whether the recovery depends on the given node.
+func (rec *recoveryOp) involves(addr tcpip.AddrPort) bool {
+	for _, m := range rec.job.Members {
+		if m.Agent == addr {
+			return true
+		}
+	}
+	for _, a := range rec.assign {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func recoveryKey(job string) string { return "recovery/" + job }
+
+// RegisterNode makes a node's agent known to the membership layer. Spare
+// nodes host no pods initially and exist to absorb recovered ones.
+func (c *Coordinator) RegisterNode(name string, addr tcpip.AddrPort, spare bool) {
+	if c.nodeByAddr[addr] != nil {
+		return
+	}
+	n := &nodeInfo{name: name, addr: addr, spare: spare, index: len(c.nodes), alive: true}
+	c.nodes = append(c.nodes, n)
+	c.nodeByAddr[addr] = n
+}
+
+// Watch puts a job under automatic recovery: heartbeats start (if not
+// already running), and a detected failure of any member's node triggers
+// recovery, reported through onRecovery.
+func (c *Coordinator) Watch(job *Job, onRecovery func(*RecoveryResult, error)) {
+	c.watches = append(c.watches, &watch{job: job, onRecovery: onRecovery})
+	now := c.stack.Engine().Now()
+	addrs := make([]tcpip.AddrPort, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		n.lastPong = now
+		addrs = append(addrs, n.addr)
+	}
+	c.connectAddrs(addrs, nil)
+	if c.ticker == nil {
+		c.ticker = c.stack.Engine().NewTicker(c.params.heartbeatEvery(), c.heartbeatTick)
+	}
+}
+
+// heartbeatTick expires leases, then pings every live node.
+func (c *Coordinator) heartbeatTick() {
+	now := c.stack.Engine().Now()
+	lease := c.params.leaseTimeout()
+	for _, n := range c.nodes {
+		if !n.alive {
+			continue
+		}
+		if now.Sub(n.lastPong) > lease {
+			c.declareFailed(n)
+			continue
+		}
+		cc, ok := c.conns[n.addr]
+		if !ok || !cc.TCP().Established() {
+			continue
+		}
+		conn := cc
+		c.cpu.Do(c.params.MsgCost, func() { conn.send(&wireMsg{Type: msgPing}) })
+	}
+}
+
+// handlePong refreshes a node's lease and load.
+func (c *Coordinator) handlePong(cc *ctlConn, m *wireMsg) {
+	n := c.nodeByAddr[cc.TCP().RemoteAddr()]
+	if n == nil || !n.alive {
+		return
+	}
+	n.lastPong = c.stack.Engine().Now()
+	n.load = m.Load
+}
+
+// declareFailed marks the node dead, fails every in-flight operation
+// that depends on it (the agents roll back via <abort> fan-out), and
+// starts recovery for each watched job with a member there.
+func (c *Coordinator) declareFailed(n *nodeInfo) {
+	n.alive = false
+	if c.tr.Enabled() {
+		c.tr.Instant(c.stack.Name(), "core", "node.failed", trace.Str("node", n.name))
+	}
+	var victims []*ctl.Op
+	c.table.Each(func(o *ctl.Op) {
+		switch d := o.Data.(type) {
+		case *coordOp:
+			for _, m := range d.job.Members {
+				if m.Agent == n.addr {
+					victims = append(victims, o)
+					break
+				}
+			}
+		case *recoveryOp:
+			if d.involves(n.addr) {
+				victims = append(victims, o)
+			}
+		}
+	})
+	for _, o := range victims {
+		o.Fail(fmt.Errorf("%w: %s", ErrNodeFailed, n.name))
+	}
+	for _, w := range c.watches {
+		for _, m := range w.job.Members {
+			if m.Agent == n.addr {
+				c.startRecovery(w, n)
+				break
+			}
+		}
+	}
+}
+
+// startRecovery begins the detect->place->transfer->restart pipeline.
+func (c *Coordinator) startRecovery(w *watch, failed *nodeInfo) {
+	o, err := c.table.Begin("recovery", recoveryKey(w.job.Name), 0)
+	if err != nil {
+		return // recovery for this job already in flight
+	}
+	now := c.stack.Engine().Now()
+	rec := &recoveryOp{
+		Op: o, job: w.job, w: w, failedNode: failed,
+		assign: make(map[string]tcpip.AddrPort),
+		detect: now.Sub(failed.lastPong),
+	}
+	o.Data = rec
+	if c.tr.Enabled() {
+		rec.span = c.tr.Begin(c.stack.Name(), "core", "recovery",
+			trace.Str("job", w.job.Name), trace.Str("failed", failed.name))
+		rec.phPlace = c.tr.Begin(c.stack.Name(), trace.PhaseCat, "recovery.place",
+			trace.Str("job", w.job.Name))
+	}
+	o.OnFail(func(_ *ctl.Op, err error) {
+		rec.endSpans(trace.Str("err", err.Error()))
+		if rec.w.onRecovery != nil {
+			rec.w.onRecovery(nil, err)
+		}
+	})
+	rec.placeStart = now
+	c.cpu.Do(c.params.MsgCost, func() { c.placeRecovery(rec) })
+}
+
+// holderNodes returns the live registered nodes holding (pod, seq), in
+// registration order (deterministic; the holder set is a map).
+func (c *Coordinator) holderNodes(pod string, seq int) []*nodeInfo {
+	set := c.holders[pod][seq]
+	if len(set) == 0 {
+		return nil
+	}
+	var out []*nodeInfo
+	for _, n := range c.nodes {
+		if n.alive && set[n.addr] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// addHolder records that addr holds the image chain for (pod, seq).
+func (c *Coordinator) addHolder(pod string, seq int, addr tcpip.AddrPort) {
+	if c.holders[pod] == nil {
+		c.holders[pod] = make(map[int]map[tcpip.AddrPort]bool)
+	}
+	if c.holders[pod][seq] == nil {
+		c.holders[pod][seq] = make(map[tcpip.AddrPort]bool)
+	}
+	c.holders[pod][seq][addr] = true
+}
+
+// recordCommitHolders marks each member's own agent as a holder of the
+// freshly committed checkpoint.
+func (c *Coordinator) recordCommitHolders(job *Job, seq int) {
+	for _, m := range job.Members {
+		c.addHolder(m.Pod, seq, m.Agent)
+	}
+}
+
+// handleReplicated feeds an agent's placement report into the holder
+// registry: a peer now holds the image chain.
+func (c *Coordinator) handleReplicated(m *wireMsg) {
+	if m.Repl == nil {
+		return
+	}
+	c.addHolder(m.Pod, m.Seq, tcpip.AddrPort{Addr: m.Repl.PeerIP, Port: m.Repl.PeerPort})
+	if c.tr.Enabled() {
+		c.tr.Instant(c.stack.Name(), "core", "replicated",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
+	}
+}
+
+// placeRecovery decides the restore sequence and the new home (and
+// source replica) for every failed pod.
+func (c *Coordinator) placeRecovery(rec *recoveryOp) {
+	if !rec.Active() {
+		return
+	}
+	job := rec.job
+	var failedPods []string
+	for _, m := range job.Members {
+		if m.Agent == rec.failedNode.addr {
+			failedPods = append(failedPods, m.Pod)
+		}
+	}
+	// seq*: the newest committed checkpoint every failed pod still has a
+	// living holder for.
+	seqStar := 0
+	for s := c.committed[job.Name]; s >= 1 && seqStar == 0; s-- {
+		ok := true
+		for _, p := range failedPods {
+			if len(c.holderNodes(p, s)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			seqStar = s
+		}
+	}
+	if seqStar == 0 {
+		rec.Fail(fmt.Errorf("%w: job %s", ErrNoReplica, job.Name))
+		return
+	}
+	rec.seq = seqStar
+
+	// Place each failed pod: spread across nodes hosting the fewest pods
+	// of this job, prefer a node already holding the image (free
+	// transfer), then the lightest load, then registration order.
+	jobPodsOn := func(addr tcpip.AddrPort) int {
+		n := 0
+		for _, m := range job.Members {
+			a := m.Agent
+			if t, ok := rec.assign[m.Pod]; ok {
+				a = t
+			}
+			if a == addr {
+				n++
+			}
+		}
+		return n
+	}
+	for _, p := range failedPods {
+		var target *nodeInfo
+		var tScore [3]int
+		for _, n := range c.nodes {
+			if !n.alive {
+				continue
+			}
+			holds := 0
+			if !c.holders[p][seqStar][n.addr] {
+				holds = 1 // needs a transfer
+			}
+			score := [3]int{jobPodsOn(n.addr), holds, n.load}
+			if target == nil || score[0] < tScore[0] ||
+				(score[0] == tScore[0] && (score[1] < tScore[1] ||
+					(score[1] == tScore[1] && score[2] < tScore[2]))) {
+				target, tScore = n, score
+			}
+		}
+		if target == nil {
+			rec.Fail(fmt.Errorf("%w: pod %s", ErrNoTarget, p))
+			return
+		}
+		rec.assign[p] = target.addr
+		// Source: the lightest-loaded surviving holder (registration
+		// order breaks ties); irrelevant when the target already holds.
+		holders := c.holderNodes(p, seqStar)
+		src := holders[0]
+		for _, h := range holders[1:] {
+			if h.load < src.load {
+				src = h
+			}
+		}
+		rec.pods = append(rec.pods, RecoveredPod{
+			Pod: p, From: src.name, To: target.name,
+			Transferred: !c.holders[p][seqStar][target.addr],
+		})
+		if c.tr.Enabled() {
+			c.tr.Instant(c.stack.Name(), "core", "recovery.placed",
+				trace.Str("pod", p), trace.Str("to", target.name), trace.Str("from", src.name))
+		}
+	}
+	now := c.stack.Engine().Now()
+	rec.place = now.Sub(rec.placeStart)
+	rec.phPlace.End()
+	rec.transferStart = now
+	if c.tr.Enabled() {
+		rec.phTransfer = c.tr.Begin(c.stack.Name(), trace.PhaseCat, "recovery.transfer",
+			trace.Str("job", job.Name))
+	}
+
+	// Transfer phase: fetch images onto new homes that lack them.
+	fetches := 0
+	for i, rp := range rec.pods {
+		if !rec.pods[i].Transferred {
+			continue
+		}
+		fetches++
+		rec.Expect("fetch", rp.Pod)
+	}
+	if fetches == 0 {
+		c.startRecoveryRestart(rec)
+		return
+	}
+	for _, rp := range rec.pods {
+		if !rp.Transferred {
+			continue
+		}
+		rp := rp
+		c.cpu.Do(c.params.MsgCost, func() {
+			if !rec.Active() {
+				return
+			}
+			target := rec.assign[rp.Pod]
+			cc, ok := c.conns[target]
+			if !ok || !cc.TCP().Established() {
+				rec.Fail(fmt.Errorf("%w: %s", ErrNotConnected, target))
+				return
+			}
+			var src *nodeInfo
+			for _, n := range c.nodes {
+				if n.name == rp.From {
+					src = n
+					break
+				}
+			}
+			cc.send(&wireMsg{Type: msgFetch, Seq: rec.seq, Pod: rp.Pod, Repl: &replPayload{
+				PeerIP: src.addr.Addr, PeerPort: src.addr.Port,
+			}})
+		})
+	}
+}
+
+// handleFetchDone advances the recovery transfer barrier.
+func (c *Coordinator) handleFetchDone(m *wireMsg) {
+	var rec *recoveryOp
+	c.table.Each(func(o *ctl.Op) {
+		if rec != nil {
+			return
+		}
+		if r, ok := o.Data.(*recoveryOp); ok && r.seq == m.Seq {
+			if _, mine := r.assign[m.Pod]; mine {
+				rec = r
+			}
+		}
+	})
+	if rec == nil {
+		return
+	}
+	if m.Err != "" {
+		rec.Fail(fmt.Errorf("%w: fetch %s: %s", ErrNodeFailed, m.Pod, m.Err))
+		return
+	}
+	if !rec.Arrive("fetch", m.Pod) {
+		return
+	}
+	c.addHolder(m.Pod, m.Seq, rec.assign[m.Pod])
+	if m.Repl != nil {
+		rec.transferBytes += m.Repl.Bytes
+	}
+	if rec.Cleared("fetch") {
+		c.startRecoveryRestart(rec)
+	}
+}
+
+// startRecoveryRestart re-homes the failed members and restarts the
+// whole job from seq*.
+func (c *Coordinator) startRecoveryRestart(rec *recoveryOp) {
+	now := c.stack.Engine().Now()
+	rec.transfer = now.Sub(rec.transferStart)
+	rec.phTransfer.End(trace.Int("bytes", rec.transferBytes))
+	rec.restartStart = now
+	if c.tr.Enabled() {
+		rec.phRestart = c.tr.Begin(c.stack.Name(), trace.PhaseCat, "recovery.restart",
+			trace.Str("job", rec.job.Name), trace.Int("seq", int64(rec.seq)))
+	}
+	job := rec.job
+	for i := range job.Members {
+		if addr, ok := rec.assign[job.Members[i].Pod]; ok {
+			job.Members[i].Agent = addr
+		}
+	}
+	// The restart rolls the whole job back to seq*; later checkpoints
+	// (if any) have no surviving copy for the failed pods.
+	if rec.seq < c.committed[job.Name] {
+		c.committed[job.Name] = rec.seq
+	}
+	c.Connect(job, func(err error) {
+		if err != nil {
+			rec.Fail(err)
+			return
+		}
+		c.runRestart(job, rec.seq, true, func(res *RestartResult, err error) {
+			if err != nil {
+				rec.Fail(err)
+				return
+			}
+			end := c.stack.Engine().Now()
+			restartDur := end.Sub(rec.restartStart)
+			result := &RecoveryResult{
+				Job:           job.Name,
+				FailedNode:    rec.failedNode.name,
+				Seq:           rec.seq,
+				Pods:          rec.pods,
+				Detect:        rec.detect,
+				Place:         rec.place,
+				Transfer:      rec.transfer,
+				Restart:       restartDur,
+				MTTR:          rec.detect + rec.place + rec.transfer + restartDur,
+				TransferBytes: rec.transferBytes,
+				RestartResult: res,
+			}
+			rec.phRestart.End()
+			rec.span.End(trace.Int("mttr_us", int64(result.MTTR/sim.Microsecond)))
+			rec.Finish()
+			if rec.w.onRecovery != nil {
+				rec.w.onRecovery(result, nil)
+			}
+		})
+	})
+}

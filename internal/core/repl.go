@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"cruz/internal/ckpt"
+	"cruz/internal/ctl"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+	"cruz/internal/trace"
+)
+
+// Replication (agent side). After a checkpoint's local save commits, the
+// agent streams the image to k peer agents over the simulated network.
+// The exchange is delta-aware: an offer describes the chain and its
+// distinct chunk hashes, the replica answers with what it is missing, and
+// only that delta travels — so steady-state replication of a dedup chain
+// costs little more than the manifest. The same exchange serves recovery
+// fetches, with the coordinator telling the new home node which surviving
+// replica to pull from.
+
+// ErrReplTimeout marks a replication or fetch exchange that went silent.
+var ErrReplTimeout = errors.New("core: replication timed out")
+
+// replOp is the initiator side of one replication exchange (this agent
+// pushing one checkpoint to one peer connection).
+type replOp struct {
+	*ctl.Op
+	pod  string
+	peer tcpip.AddrPort // peer's listener endpoint (zero when serving a fetch pull)
+	conn *ctlConn
+	// coord, when set, receives the <replicated> placement report the
+	// coordinator's holder registry feeds on.
+	coord *ctlConn
+	span  trace.Span
+}
+
+// fetchOp is the target side of a coordinator-directed fetch: this agent
+// pulling a checkpoint it does not hold from a surviving replica.
+type fetchOp struct {
+	*ctl.Op
+	conn *ctlConn // coordinator connection to report <fetch-done> on
+	span trace.Span
+}
+
+func addrKey(ap tcpip.AddrPort) string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d", ap.Addr[0], ap.Addr[1], ap.Addr[2], ap.Addr[3], ap.Port)
+}
+
+func replKey(pod string, seq int, remote tcpip.AddrPort) string {
+	return "repl/" + pod + "/" + strconv.Itoa(seq) + "/" + addrKey(remote)
+}
+
+// peerConn returns a live agent-to-agent connection to addr, dialing one
+// if needed. Frames queue until the handshake completes, so callers may
+// send immediately.
+func (a *Agent) peerConn(addr tcpip.AddrPort) (*ctlConn, error) {
+	if cc, ok := a.peerConns[addr]; ok && cc.TCP().Err() == nil {
+		return cc, nil
+	}
+	tc, err := a.kern.Stack().DialTCP(tcpip.AddrPort{}, addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := newCtlConn(tc, a.onMsg, func(c *ctlConn, _ error) {
+		if a.peerConns[addr] == c {
+			delete(a.peerConns, addr)
+		}
+	})
+	a.peerConns[addr] = cc
+	return cc, nil
+}
+
+// startReplication pushes the committed checkpoint to the first k ring
+// peers. Runs off the coordinated cycle's critical path.
+func (a *Agent) startReplication(pod string, seq, replicas int, coord *ctlConn) {
+	n := replicas
+	if n > len(a.peers) {
+		n = len(a.peers)
+	}
+	for i := 0; i < n; i++ {
+		peer := a.peers[i]
+		cc, err := a.peerConn(peer)
+		if err != nil {
+			a.Stats.ReplFailures++
+			continue
+		}
+		a.replicateOn(cc, pod, seq, peer, coord)
+	}
+}
+
+// replicateOn runs one offer/want/data exchange for (pod, seq) over cc.
+func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord *ctlConn) {
+	o, err := a.table.Begin("replicate", replKey(pod, seq, cc.TCP().RemoteAddr()), seq)
+	if err != nil {
+		return // this exchange is already in flight
+	}
+	op := &replOp{Op: o, pod: pod, peer: peer, conn: cc, coord: coord}
+	o.Data = op
+	if a.tr.Enabled() {
+		op.span = a.tr.Begin(a.kern.Name(), "core", "agent.replicate",
+			trace.Str("pod", pod), trace.Int("seq", int64(seq)))
+	}
+	o.OnFail(func(_ *ctl.Op, err error) {
+		a.Stats.ReplFailures++
+		op.span.End(trace.Str("err", err.Error()))
+	})
+	offer, oerr := a.store.ExportOffer(pod, seq)
+	if oerr != nil {
+		o.Fail(oerr)
+		return
+	}
+	send := func() {
+		cc.send(&wireMsg{Type: msgReplOffer, Seq: seq, Pod: pod, Repl: &replPayload{
+			Chain: offer.Chain, Dedup: offer.Dedup, Hashes: offer.Hashes,
+		}})
+	}
+	o.ArmRetries(a.params.ReplTimeout, 1, func(*ctl.Op) { send() }, ErrReplTimeout)
+	send()
+}
+
+// replOpFor locates the initiator-side op a reply on cc belongs to.
+func (a *Agent) replOpFor(pod string, seq int, cc *ctlConn) *replOp {
+	if o := a.table.Get(replKey(pod, seq, cc.TCP().RemoteAddr())); o != nil {
+		if op, ok := o.Data.(*replOp); ok {
+			return op
+		}
+	}
+	return nil
+}
+
+// handleReplOffer is the replica side: answer with the missing delta.
+// The chunk-set comparison costs DedupPerChunk per offered hash.
+func (a *Agent) handleReplOffer(c *ctlConn, m *wireMsg) {
+	if m.Err != "" {
+		a.failFetch(m.Pod, m.Seq, fmt.Errorf("%s", m.Err))
+		return
+	}
+	if m.Repl == nil {
+		return
+	}
+	offer := &ckpt.Offer{Pod: m.Pod, Seq: m.Seq, Chain: m.Repl.Chain, Dedup: m.Repl.Dedup, Hashes: m.Repl.Hashes}
+	a.cpu.Do(a.params.DedupPerChunk*sim.Duration(len(offer.Hashes)), func() {
+		needSeqs, needHashes := a.store.MissingFor(offer)
+		c.send(&wireMsg{Type: msgReplWant, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{
+			NeedSeqs: needSeqs, NeedHashes: needHashes,
+		}})
+	})
+}
+
+// handleReplWant is the initiator side: build and ship the delta.
+func (a *Agent) handleReplWant(c *ctlConn, m *wireMsg) {
+	op := a.replOpFor(m.Pod, m.Seq, c)
+	if op == nil || m.Repl == nil {
+		return
+	}
+	tx, err := a.store.BuildTransfer(m.Pod, m.Seq, m.Repl.NeedSeqs, m.Repl.NeedHashes)
+	if err != nil {
+		op.Fail(err)
+		return
+	}
+	// The offer reached the peer; from here a plain timeout guards the
+	// bulk transfer (re-offering would duplicate adopted state).
+	op.ArmTimeout(a.params.ReplTimeout, ErrReplTimeout)
+	a.cpu.Do(bytesCost(tx.TotalBytes, a.params.EncodeBPS), func() {
+		if !op.Active() {
+			return
+		}
+		op.conn.send(&wireMsg{Type: msgReplData, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{
+			Blobs: tx.Blobs, Manifests: tx.Manifests, Chunks: tx.Chunks, Bytes: tx.TotalBytes,
+		}})
+	})
+}
+
+// handleReplData is the replica side: adopt the delta into the local
+// store (decode CPU, then the disk write), acknowledge, and complete any
+// fetch waiting on it.
+func (a *Agent) handleReplData(c *ctlConn, m *wireMsg) {
+	if m.Repl == nil {
+		return
+	}
+	tx := &ckpt.Transfer{
+		Pod: m.Pod, Seq: m.Seq,
+		Blobs: m.Repl.Blobs, Manifests: m.Repl.Manifests, Chunks: m.Repl.Chunks,
+		TotalBytes: m.Repl.Bytes,
+	}
+	a.cpu.Do(bytesCost(tx.TotalBytes, a.params.EncodeBPS), func() {
+		a.store.Adopt(tx, func(n int64, err error) {
+			if err != nil {
+				a.fail(c, msgReplDone, m, err)
+				a.failFetch(m.Pod, m.Seq, err)
+				return
+			}
+			c.send(&wireMsg{Type: msgReplDone, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{Bytes: tx.TotalBytes}})
+			a.finishFetch(m.Pod, m.Seq, tx.TotalBytes)
+		})
+	})
+}
+
+// handleReplDone is the initiator side: the replica holds the image.
+func (a *Agent) handleReplDone(c *ctlConn, m *wireMsg) {
+	op := a.replOpFor(m.Pod, m.Seq, c)
+	if op == nil {
+		return
+	}
+	if m.Err != "" {
+		op.Fail(fmt.Errorf("core: replica: %s", m.Err))
+		return
+	}
+	var n int64
+	if m.Repl != nil {
+		n = m.Repl.Bytes
+	}
+	a.Stats.Replications++
+	a.Stats.ReplBytes += n
+	op.span.End(trace.Int("bytes", n))
+	if op.coord != nil && op.peer.Port != 0 {
+		op.coord.send(&wireMsg{Type: msgReplicated, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{
+			Bytes: n, PeerIP: op.peer.Addr, PeerPort: op.peer.Port,
+		}})
+	}
+	op.Finish()
+}
+
+// handleFetch is the recovery pull, target side: the coordinator directs
+// this agent to fetch (pod, seq) from a surviving replica before the
+// restart lands here.
+func (a *Agent) handleFetch(c *ctlConn, m *wireMsg) {
+	if a.store.HasSeq(m.Pod, m.Seq) {
+		// Already a replica — transfer cost is zero.
+		c.send(&wireMsg{Type: msgFetchDone, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{Bytes: 0}})
+		return
+	}
+	if m.Repl == nil {
+		a.fail(c, msgFetchDone, m, ErrUnknownPod)
+		return
+	}
+	o, err := a.table.Begin("fetch", "fetch/"+m.Pod, m.Seq)
+	if err != nil {
+		a.fail(c, msgFetchDone, m, ErrBusy)
+		return
+	}
+	op := &fetchOp{Op: o, conn: c}
+	o.Data = op
+	if a.tr.Enabled() {
+		op.span = a.tr.Begin(a.kern.Name(), "core", "agent.fetch",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
+	}
+	o.OnFail(func(_ *ctl.Op, err error) {
+		op.span.End(trace.Str("err", err.Error()))
+		a.fail(c, msgFetchDone, m, err)
+	})
+	o.ArmTimeout(a.params.ReplTimeout, ErrReplTimeout)
+	src := tcpip.AddrPort{Addr: m.Repl.PeerIP, Port: m.Repl.PeerPort}
+	cc, cerr := a.peerConn(src)
+	if cerr != nil {
+		o.Fail(cerr)
+		return
+	}
+	cc.send(&wireMsg{Type: msgFetchPull, Seq: m.Seq, Pod: m.Pod})
+}
+
+// handleFetchPull is the recovery pull, source side: a peer that needs
+// one of our checkpoints; serve it with the normal replication exchange
+// over the inbound connection.
+func (a *Agent) handleFetchPull(c *ctlConn, m *wireMsg) {
+	if !a.store.HasSeq(m.Pod, m.Seq) {
+		a.fail(c, msgReplOffer, m, ckpt.ErrNoImage)
+		return
+	}
+	a.replicateOn(c, m.Pod, m.Seq, tcpip.AddrPort{}, nil)
+}
+
+// finishFetch completes a pending fetch after the adopted transfer lands.
+func (a *Agent) finishFetch(pod string, seq int, n int64) {
+	o := a.table.Get("fetch/" + pod)
+	if o == nil || o.Seq != seq {
+		return
+	}
+	op, ok := o.Data.(*fetchOp)
+	if !ok {
+		return
+	}
+	a.Stats.Fetches++
+	op.span.End(trace.Int("bytes", n))
+	op.conn.send(&wireMsg{Type: msgFetchDone, Seq: seq, Pod: pod, Repl: &replPayload{Bytes: n}})
+	o.Finish()
+}
+
+// failFetch fails a pending fetch for (pod, seq), if any.
+func (a *Agent) failFetch(pod string, seq int, err error) {
+	o := a.table.Get("fetch/" + pod)
+	if o == nil || o.Seq != seq {
+		return
+	}
+	if _, ok := o.Data.(*fetchOp); !ok {
+		return
+	}
+	o.Fail(err)
+}

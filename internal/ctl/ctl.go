@@ -1,7 +1,8 @@
 // Package ctl provides the control-plane plumbing shared by the Cruz
 // coordinator/agents and the flushing baseline: length-prefixed message
-// framing over simulated TCP connections, and a serializer modeling a
-// single-threaded daemon's CPU.
+// framing over simulated TCP connections, a serializer modeling a
+// single-threaded daemon's CPU, and the op-lifecycle state machine
+// (Table/Op) every distributed operation runs on.
 package ctl
 
 import (
@@ -14,18 +15,22 @@ import (
 
 // Conn frames byte payloads over a TCP connection: 4-byte big-endian
 // length followed by the payload. Incoming frames are delivered to the
-// OnFrame callback; writes are expected to fit in the send buffer
-// (control messages are tiny), and a full buffer is treated as a protocol
-// failure.
+// OnFrame callback. Writes are backpressure-aware: frames that do not
+// fit in the send buffer (bulk data such as checkpoint replication) are
+// queued and drained as TCP acknowledgments open window space, so a full
+// buffer slows the sender down instead of failing the protocol.
 type Conn struct {
 	tc      *tcpip.TCPConn
 	rbuf    []byte
-	wqueue  [][]byte // frames waiting for the handshake to finish
+	wqueue  [][]byte // output queue; head may be partially written
 	onFrame func(*Conn, []byte)
 	onErr   func(*Conn, error)
 
 	// Sent and Received count frames, for message-complexity accounting.
 	Sent, Received int
+	// Blocked counts the times a send had to wait for buffer space —
+	// the backpressure events a hard-error path would have failed on.
+	Blocked int
 }
 
 // NewConn wraps tc. It takes over the connection's notify callback.
@@ -38,37 +43,60 @@ func NewConn(tc *tcpip.TCPConn, onFrame func(*Conn, []byte), onErr func(*Conn, e
 // TCP returns the underlying connection.
 func (c *Conn) TCP() *tcpip.TCPConn { return c.tc }
 
-// Send transmits one frame. Frames sent before the connection finishes
-// its handshake are queued and flushed on establishment.
+// Send transmits one frame. Frames queue until the handshake finishes
+// and while the send buffer is full; Send only errors on a dead
+// connection.
 func (c *Conn) Send(payload []byte) error {
+	if err := c.tc.Err(); err != nil {
+		return fmt.Errorf("ctl: send on dead conn: %w", err)
+	}
 	frame := make([]byte, 4+len(payload))
 	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
 	copy(frame[4:], payload)
 	c.Sent++
-	if !c.tc.Established() || len(c.wqueue) > 0 {
-		if err := c.tc.Err(); err != nil {
-			return fmt.Errorf("ctl: send on dead conn: %w", err)
-		}
-		c.wqueue = append(c.wqueue, frame)
-		return nil
-	}
-	return c.write(frame)
-}
-
-func (c *Conn) write(frame []byte) error {
-	n, err := c.tc.Send(frame)
-	if err != nil {
-		return fmt.Errorf("ctl: send: %w", err)
-	}
-	if n != len(frame) {
-		return fmt.Errorf("ctl: short write %d/%d", n, len(frame))
+	c.wqueue = append(c.wqueue, frame)
+	if c.tc.Established() {
+		c.drain()
 	}
 	return nil
 }
 
-// Pump drains readable bytes and dispatches complete frames. It is the
-// connection's notify handler; wrappers that need their own notification
-// chain may call it directly.
+// QueuedBytes returns the bytes waiting for send-buffer space.
+func (c *Conn) QueuedBytes() int {
+	n := 0
+	for _, f := range c.wqueue {
+		n += len(f)
+	}
+	return n
+}
+
+// drain pushes queued frames into the TCP send buffer until it fills.
+// The remainder goes out from Pump as acknowledgments free space.
+func (c *Conn) drain() {
+	for len(c.wqueue) > 0 {
+		frame := c.wqueue[0]
+		n, err := c.tc.Send(frame)
+		if err == tcpip.ErrWouldBlock {
+			c.Blocked++
+			return
+		}
+		if err != nil {
+			// Terminal errors surface through Pump's Err path.
+			return
+		}
+		if n < len(frame) {
+			c.wqueue[0] = frame[n:]
+			c.Blocked++
+			return
+		}
+		c.wqueue = c.wqueue[1:]
+	}
+}
+
+// Pump drains readable bytes, dispatches complete frames, and flushes
+// queued writes as window space opens. It is the connection's notify
+// handler; wrappers that need their own notification chain may call it
+// directly.
 func (c *Conn) Pump() {
 	if err := c.tc.Err(); err != nil {
 		if c.onErr != nil {
@@ -77,13 +105,7 @@ func (c *Conn) Pump() {
 		return
 	}
 	if c.tc.Established() && len(c.wqueue) > 0 {
-		q := c.wqueue
-		c.wqueue = nil
-		for _, frame := range q {
-			if err := c.write(frame); err != nil {
-				break
-			}
-		}
+		c.drain()
 	}
 	buf := make([]byte, 4096)
 	for {

@@ -116,6 +116,44 @@ func TestQueueBeforeEstablishment(t *testing.T) {
 	}
 }
 
+func TestBulkSendBackpressure(t *testing.T) {
+	// A frame several times the TCP send buffer (64 KB) must queue and
+	// drain as acknowledgments open window space — the path checkpoint
+	// replication streams bulk data through. The old behavior treated a
+	// full buffer as a protocol failure ("short write").
+	r := newRig(t)
+	var got [][]byte
+	NewConn(r.b, func(_ *Conn, payload []byte) {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		got = append(got, cp)
+	}, nil)
+	ca := NewConn(r.a, func(*Conn, []byte) {}, nil)
+
+	bulk := bytes.Repeat([]byte{0xAB}, 300<<10)
+	msgs := [][]byte{bulk, []byte("after-1"), bytes.Repeat([]byte{0xCD}, 100<<10), []byte("after-2")}
+	for _, m := range msgs {
+		if err := ca.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ca.Blocked == 0 {
+		t.Fatal("bulk send never hit backpressure — test is not exercising the queue")
+	}
+	r.engine.RunFor(2 * sim.Second)
+	if len(got) != len(msgs) {
+		t.Fatalf("received %d frames, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("frame %d mismatch: %d vs %d bytes", i, len(got[i]), len(msgs[i]))
+		}
+	}
+	if ca.QueuedBytes() != 0 {
+		t.Fatalf("queue not drained: %d bytes left", ca.QueuedBytes())
+	}
+}
+
 func TestSendOnDeadConn(t *testing.T) {
 	r := newRig(t)
 	ca := NewConn(r.a, func(*Conn, []byte) {}, nil)

@@ -159,6 +159,55 @@ func TestIncrementalAblationShape(t *testing.T) {
 	}
 }
 
+func TestRecoveryShape(t *testing.T) {
+	rows, err := Recovery(3, 0.05, []RecoveryConfig{
+		{Replicas: 1, Spares: 0},
+		{Replicas: 1, Spares: 1},
+		{Replicas: 2, Spares: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DetectMs <= 0 || r.PlaceMs <= 0 || r.RestartMs <= 0 || r.MTTRMs <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// Detection is lease-bound regardless of replication or spare
+		// configuration: no earlier than the 350 ms lease timeout, no
+		// later than one extra 100 ms heartbeat period.
+		if r.DetectMs < 350 || r.DetectMs > 460 {
+			t.Fatalf("detection not lease-bound: %+v", r)
+		}
+	}
+	// No spare: a replica-holding survivor doubles up, so the transfer
+	// phase is free.
+	if rows[0].TransferMs != 0 || rows[0].TransferMB != 0 {
+		t.Fatalf("survivor recovery moved bytes: %+v", rows[0])
+	}
+	// A spare takes the pod when present, but with only one replica (on
+	// the ring survivor) it has to fetch the image first.
+	if rows[1].Target == rows[0].Target {
+		t.Fatalf("spare not preferred: both recoveries targeted %s", rows[0].Target)
+	}
+	if rows[1].TransferMs <= 0 || rows[1].TransferMB <= 0 {
+		t.Fatalf("spare recovery with k=1 should pay a transfer: %+v", rows[1])
+	}
+	// With a second replica the spare already holds the image: same
+	// target, transfer free again — strictly lower MTTR.
+	if rows[2].Target != rows[1].Target {
+		t.Fatalf("k=2 target %s differs from k=1 spare target %s", rows[2].Target, rows[1].Target)
+	}
+	if rows[2].TransferMs != 0 || rows[2].TransferMB != 0 {
+		t.Fatalf("k=2 spare recovery moved bytes: %+v", rows[2])
+	}
+	if rows[2].MTTRMs >= rows[1].MTTRMs {
+		t.Fatalf("extra replica did not cut MTTR: %.1f vs %.1f", rows[2].MTTRMs, rows[1].MTTRMs)
+	}
+}
+
 // TestExperimentsDeterministic re-runs an experiment end to end and
 // demands bit-identical results — the property that makes EXPERIMENTS.md
 // reproducible.

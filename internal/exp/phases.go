@@ -188,5 +188,28 @@ func JSONBench(nodeCounts []int, ckpts int, scale float64) (*BenchReport, error)
 		lat.AddDuration(res.Latency)
 		rep.Experiments["restart_n4_compact/latency_ms"] = lat.Dist()
 	}
+
+	// Automatic failure recovery: kill a node of a replicated 4-node job
+	// and report the MTTR phase split, without and with a spare standby
+	// node as the restart target.
+	for _, rc := range []RecoveryConfig{{Replicas: 1, Spares: 0}, {Replicas: 1, Spares: 1}} {
+		rows, err := Recovery(4, scale, []RecoveryConfig{rc})
+		if err != nil {
+			return nil, fmt.Errorf("exp: jsonbench recovery k=%d s=%d: %w", rc.Replicas, rc.Spares, err)
+		}
+		r := rows[0]
+		var mttr, detect, place, transfer, restart metrics.Summary
+		mttr.Add(r.MTTRMs)
+		detect.Add(r.DetectMs)
+		place.Add(r.PlaceMs)
+		transfer.Add(r.TransferMs)
+		restart.Add(r.RestartMs)
+		prefix := fmt.Sprintf("recovery_n4_k%d_s%d", rc.Replicas, rc.Spares)
+		rep.Experiments[prefix+"/mttr_ms"] = mttr.Dist()
+		rep.Experiments[prefix+"/detect_ms"] = detect.Dist()
+		rep.Experiments[prefix+"/place_ms"] = place.Dist()
+		rep.Experiments[prefix+"/transfer_ms"] = transfer.Dist()
+		rep.Experiments[prefix+"/restart_ms"] = restart.Dist()
+	}
 	return rep, nil
 }

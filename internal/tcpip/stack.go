@@ -24,6 +24,10 @@ var (
 	ErrUnknownIface = errors.New("tcpip: no such interface")
 )
 
+// LoopbackLatency is the delivery delay for packets whose destination is
+// an interface on the sending stack (pod-to-pod traffic on one node).
+const LoopbackLatency = 10 * sim.Microsecond
+
 // Interface is a network interface: an IP address bound to a MAC, sending
 // and receiving through a NIC. A physical interface and any number of
 // virtual interfaces (pod VIFs, §4.2) may share one NIC; VIFs with their
@@ -216,6 +220,16 @@ func (s *Stack) sendIP(p *Packet) error {
 	s.Stats.IPSent++
 	if p.Dst.IsBroadcast() {
 		iface.nic.Send(ether.Frame{Src: iface.MAC, Dst: ether.Broadcast, Type: ether.TypeIPv4, Payload: p})
+		return nil
+	}
+	if s.ifaceByIP(p.Dst) != nil {
+		// Local delivery: both endpoints live on this stack (e.g. two pods
+		// co-located on one node after recovery re-homes one). A switch
+		// never hairpins a frame back out its ingress port, so loop the
+		// packet back here, below the output hook and above the input hook
+		// — the same place a real kernel's loopback sits, which keeps a
+		// checkpoint's comm-disable rules effective for co-located pods.
+		s.engine.Schedule(LoopbackLatency, func() { s.rxPacket(p) })
 		return nil
 	}
 	if mac, ok := s.arp.lookup(p.Dst); ok {

@@ -1,0 +1,204 @@
+package cruz_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cruz"
+	"cruz/internal/apps/slm"
+	"cruz/internal/core"
+)
+
+// replicatedCluster builds an auto-recovering ring cluster and takes one
+// fully replicated checkpoint.
+func replicatedCluster(t *testing.T, cfg cruz.Config, n int) (*cruz.Cluster, []string, *cruz.Job) {
+	t.Helper()
+	cl, err := cruz.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, job := deployRing(t, cl, n)
+	cl.Run(200 * cruz.Millisecond)
+	if _, err := cl.Checkpoint(job, cruz.CheckpointOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Replication runs off the critical path; wait for every agent to
+	// finish streaming its pod's image before pulling the plug.
+	ok := cl.RunUntil(func() bool {
+		for i := 0; i < n; i++ {
+			if cl.Nodes[i].Agent.Stats.Replications < uint64(cfg.Replicas) {
+				return false
+			}
+		}
+		return true
+	}, 10*cruz.Second)
+	if !ok {
+		t.Fatal("replication never completed")
+	}
+	return cl, names, job
+}
+
+// runRecoveryScenario is one full kill-and-recover pass; the returned
+// summary string captures everything determinism should preserve.
+func runRecoveryScenario(t *testing.T, seed int64) string {
+	t.Helper()
+	cl, names, _ := replicatedCluster(t, cruz.Config{
+		Nodes: 3, Seed: seed, Replicas: 1, AutoRecover: true,
+	}, 3)
+	stepsAt := cl.Pod(names[0]).Process(1).Program().(*slm.Worker).StepsDone
+
+	cl.FailNode(1)
+	if !cl.AwaitRecovery(1, 10*cruz.Second) {
+		t.Fatal("automatic recovery never completed")
+	}
+	if err := cl.RecoveryErr(); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	res := cl.Recoveries()[0]
+	if res.FailedNode != "node1" || res.Seq != 1 {
+		t.Fatalf("recovered from %s seq %d, want node1 seq 1", res.FailedNode, res.Seq)
+	}
+	if res.Detect <= 0 || res.Place <= 0 || res.Restart <= 0 || res.MTTR <= 0 {
+		t.Fatalf("phases not reported: %+v", res)
+	}
+	if res.MTTR != res.Detect+res.Place+res.Transfer+res.Restart {
+		t.Fatalf("MTTR %v is not the sum of its phases", res.MTTR)
+	}
+	// The next ring peer already replicates the failed pod's image, so
+	// recovery needs no image transfer at all.
+	if res.Transfer != 0 || res.TransferBytes != 0 {
+		t.Fatalf("expected zero-transfer recovery, got %v / %d bytes", res.Transfer, res.TransferBytes)
+	}
+	if len(res.Pods) != 1 || res.Pods[0].Pod != names[1] || res.Pods[0].Transferred {
+		t.Fatalf("recovered pods: %+v", res.Pods)
+	}
+	// The pod was re-homed off the failed node with no manual
+	// CopyImages/MovePod.
+	if n := cl.PodNode(names[1]); n == cl.Nodes[1] {
+		t.Fatal("failed pod still assigned to the dead node")
+	}
+
+	// The whole job rolled back to seq 1 and must make progress again.
+	cl.Run(500 * cruz.Millisecond)
+	for _, name := range names {
+		w := cl.Pod(name).Process(1).Program().(*slm.Worker)
+		if w.Fault != "" {
+			t.Fatalf("pod %s fault after recovery: %q", name, w.Fault)
+		}
+		if w.StepsDone <= stepsAt {
+			t.Fatalf("pod %s stuck after recovery: steps %d <= %d", name, w.StepsDone, stepsAt)
+		}
+	}
+	// No leaked operations anywhere that survived.
+	if n := cl.Coordinator.OpenOps(); n != 0 {
+		t.Fatalf("coordinator leaked %d ops", n)
+	}
+	for i, node := range cl.Nodes {
+		if i == 1 {
+			continue // the dead node's agent is unreachable, not cleaned
+		}
+		if n := node.Agent.OpenOps(); n != 0 {
+			t.Fatalf("agent %d leaked %d ops", i, n)
+		}
+	}
+	return fmt.Sprintf("mttr=%v detect=%v place=%v transfer=%v restart=%v to=%s",
+		res.MTTR, res.Detect, res.Place, res.Transfer, res.Restart, res.Pods[0].To)
+}
+
+// TestAutoRecoveryAfterNodeFailure is the end-to-end tentpole check:
+// kill a node mid-run and the job resumes on survivors automatically,
+// identically for the same seed, across two different seeds.
+func TestAutoRecoveryAfterNodeFailure(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		a := runRecoveryScenario(t, seed)
+		b := runRecoveryScenario(t, seed)
+		if a != b {
+			t.Fatalf("seed %d diverged:\n  %s\n  %s", seed, a, b)
+		}
+	}
+}
+
+// TestFailNodeMidCheckpointAborts: a node failure during the two-phase
+// exchange aborts the checkpoint cleanly — survivors resume, no ops leak,
+// and after automatic recovery the next checkpoint succeeds.
+func TestFailNodeMidCheckpointAborts(t *testing.T) {
+	cl, names, job := replicatedCluster(t, cruz.Config{
+		Nodes: 3, Seed: 11, Replicas: 1, AutoRecover: true,
+	}, 3)
+
+	var cpErr error
+	cpDone := false
+	cl.Coordinator.Checkpoint(job, cruz.CheckpointOptions{}, func(_ *cruz.CheckpointResult, err error) {
+		cpErr, cpDone = err, true
+	})
+	cl.FailNode(1)
+	if !cl.RunUntil(func() bool { return cpDone }, 10*cruz.Second) {
+		t.Fatal("in-flight checkpoint never resolved after node failure")
+	}
+	if !errors.Is(cpErr, core.ErrNodeFailed) {
+		t.Fatalf("checkpoint error = %v, want ErrNodeFailed", cpErr)
+	}
+	if !cl.AwaitRecovery(1, 10*cruz.Second) {
+		t.Fatal("recovery never completed")
+	}
+	if err := cl.RecoveryErr(); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	// The aborted attempt left nothing behind on any survivor.
+	if n := cl.Coordinator.OpenOps(); n != 0 {
+		t.Fatalf("coordinator leaked %d ops", n)
+	}
+	for _, i := range []int{0, 2} {
+		if n := cl.Nodes[i].Agent.OpenOps(); n != 0 {
+			t.Fatalf("agent %d leaked %d ops", i, n)
+		}
+	}
+	cl.Run(100 * cruz.Millisecond)
+	// The next checkpoint of the re-homed job succeeds.
+	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	if err != nil {
+		t.Fatalf("post-recovery checkpoint: %v", err)
+	}
+	if res.Seq <= 1 {
+		t.Fatalf("post-recovery checkpoint seq = %d", res.Seq)
+	}
+	cl.Run(200 * cruz.Millisecond)
+	for _, name := range names {
+		w := cl.Pod(name).Process(1).Program().(*slm.Worker)
+		if w.Fault != "" {
+			t.Fatalf("pod %s fault: %q", name, w.Fault)
+		}
+	}
+}
+
+// TestRecoveryDeterministicTrace: two identical recovery runs produce
+// identical virtual-time traces, event for event.
+func TestRecoveryDeterministicTrace(t *testing.T) {
+	run := func() []string {
+		cl, names, _ := replicatedCluster(t, cruz.Config{
+			Nodes: 3, Seed: 17, Replicas: 1, AutoRecover: true, Trace: true,
+		}, 3)
+		_ = names
+		cl.FailNode(2)
+		if !cl.AwaitRecovery(1, 10*cruz.Second) {
+			t.Fatal("recovery never completed")
+		}
+		cl.Run(100 * cruz.Millisecond)
+		evs := cl.Trace().Events()
+		out := make([]string, len(evs))
+		for i, e := range evs {
+			out[i] = fmt.Sprintf("%d %d %s %s %s", int64(e.At), e.Kind, e.Node, e.Cat, e.Name)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at event %d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}
