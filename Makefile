@@ -4,12 +4,20 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench gobench trace-demo
+.PHONY: check build test vet race cruzvet bench gobench trace-demo
 
-check: vet build test race
+check: vet cruzvet build test race
 
 vet:
 	$(GO) vet ./...
+
+# cruzvet is the in-tree determinism-and-invariant lint suite
+# (internal/analysis, driven by cmd/cruzvet): no wall-clock/ambient
+# entropy in sim-side packages, no map-order leaking into sim-visible
+# state, spans ended on every path, no lock-order cycles. The build
+# fails on any unsuppressed finding; see DESIGN.md "Determinism rules".
+cruzvet:
+	$(GO) run ./cmd/cruzvet ./...
 
 build:
 	$(GO) build ./...
@@ -18,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/trace/... ./internal/metrics/... ./internal/ctl/... ./internal/core/...
+	$(GO) test -race ./internal/trace/... ./internal/metrics/... ./internal/ctl/... ./internal/core/... ./internal/tcpip/... ./internal/ckpt/...
 
 # Regenerate the machine-readable benchmark report and fail if the
 # output is not valid BENCH_cruz.json-shaped JSON.

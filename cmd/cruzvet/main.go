@@ -1,0 +1,105 @@
+// Command cruzvet runs the Cruz determinism-and-invariant analyzer
+// suite (internal/analysis) over the tree.
+//
+// Usage:
+//
+//	cruzvet [-stats] [-run name,name] [packages]
+//
+// With no package arguments it analyzes ./... . The exit status is 1
+// if any unsuppressed finding (or malformed //cruzvet:allow
+// directive) is reported, so `make check` and CI can gate on it.
+//
+// Findings are silenced with a //cruzvet:allow <analyzer> <reason>
+// comment on the offending line or the line above; -stats reports how
+// many findings each analyzer produced and how many were suppressed,
+// and lists stale (unused) allow directives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cruz/internal/analysis"
+)
+
+func main() {
+	var (
+		stats   = flag.Bool("stats", false, "print per-analyzer finding/suppression counts and stale allow directives")
+		run     = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list available analyzers and exit")
+		simside = flag.String("simside", "", "comma-separated import-path prefixes to treat as sim-side, in addition to the defaults")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cruzvet [-stats] [-run name,name] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := []*analysis.Analyzer{
+		analysis.NoDeterminism,
+		analysis.MapOrder,
+		analysis.SpanLeak,
+		analysis.LockOrder,
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	selected := all
+	if *run != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cruzvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cruzvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := analysis.Config{}
+	if *simside != "" {
+		cfg.SimSide = append(append([]string(nil), analysis.DefaultSimSide...), strings.Split(*simside, ",")...)
+	}
+	suite := analysis.NewSuite(cfg, selected...)
+	res := suite.Run(pkgs)
+
+	for _, d := range res.Diags {
+		fmt.Println(d)
+	}
+	if *stats {
+		fmt.Printf("cruzvet: %d packages, %d findings, %d suppressed\n",
+			res.Packages, len(res.Diags), len(res.Suppressed))
+		for _, st := range suite.Stats(res) {
+			fmt.Printf("  %-16s %d findings, %d suppressed\n", st.Analyzer, st.Findings, st.Suppressed)
+		}
+		for _, sup := range res.Suppressed {
+			fmt.Printf("  allowed %s: [%s] %s (reason: %s)\n", sup.Pos, sup.Analyzer, sup.Message, sup.Reason)
+		}
+		for _, u := range res.Unused {
+			fmt.Printf("  stale //cruzvet:allow %s at %s (suppresses nothing)\n", u.Analyzer, u.Pos)
+		}
+	}
+	if len(res.Diags) > 0 {
+		os.Exit(1)
+	}
+}

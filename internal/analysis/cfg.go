@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// cfgNode is one statement in a function's control-flow graph.
+// Compound statements (if/for/switch/select) get a node for their
+// header (init/cond/tag); their bodies are separate nodes.
+type cfgNode struct {
+	stmt  ast.Stmt
+	succs []*cfgNode
+}
+
+// cfg is a minimal intra-function control-flow graph: just enough to
+// ask "does every path from node A to function exit pass through a
+// node in set B". Function literals are opaque (their bodies are
+// analyzed as separate functions).
+type cfg struct {
+	exit   *cfgNode // synthetic: reached by returns and by falling off the end
+	byStmt map[ast.Stmt]*cfgNode
+	// ok is false if the function uses control flow the builder does
+	// not model (goto); callers should then skip path analysis rather
+	// than risk false reports.
+	ok bool
+}
+
+type cfgBuilder struct {
+	g *cfg
+	// break/continue targets for the innermost enclosing constructs.
+	breaks    []*cfgNode
+	continues []*cfgNode
+	// labeled break/continue targets.
+	labelBreak    map[string]*cfgNode
+	labelContinue map[string]*cfgNode
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels.
+	pendingLabel string
+}
+
+// buildCFG constructs the graph for a function body and returns it
+// with the entry node. cfg.ok is false if unsupported control flow
+// (goto) was found.
+func buildCFG(body *ast.BlockStmt) (*cfg, *cfgNode) {
+	g := &cfg{
+		exit:   &cfgNode{},
+		byStmt: make(map[ast.Stmt]*cfgNode),
+		ok:     true,
+	}
+	b := &cfgBuilder{
+		g:             g,
+		labelBreak:    make(map[string]*cfgNode),
+		labelContinue: make(map[string]*cfgNode),
+	}
+	entry := b.buildList(body.List, g.exit)
+	return g, entry
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s}
+	b.g.byStmt[s] = n
+	return n
+}
+
+// buildList wires a statement list so that control falls through to
+// follow, returning the entry node of the list (follow if empty).
+func (b *cfgBuilder) buildList(stmts []ast.Stmt, follow *cfgNode) *cfgNode {
+	next := follow
+	for i := len(stmts) - 1; i >= 0; i-- {
+		next = b.buildStmt(stmts[i], next)
+	}
+	return next
+}
+
+func (b *cfgBuilder) buildStmt(s ast.Stmt, follow *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.buildList(s.List, follow)
+
+	case *ast.IfStmt:
+		n := b.node(s)
+		thenE := b.buildList(s.Body.List, follow)
+		elseE := follow
+		if s.Else != nil {
+			elseE = b.buildStmt(s.Else, follow)
+		}
+		n.succs = []*cfgNode{thenE, elseE}
+		return n
+
+	case *ast.ForStmt:
+		n := b.node(s)
+		b.registerLabel(n, follow)
+		b.breaks = append(b.breaks, follow)
+		b.continues = append(b.continues, n)
+		bodyE := b.buildList(s.Body.List, n)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		n.succs = []*cfgNode{bodyE}
+		if s.Cond != nil {
+			// `for {}` only exits via break; with a condition the loop
+			// may also terminate normally.
+			n.succs = append(n.succs, follow)
+		}
+		return n
+
+	case *ast.RangeStmt:
+		n := b.node(s)
+		b.registerLabel(n, follow)
+		b.breaks = append(b.breaks, follow)
+		b.continues = append(b.continues, n)
+		bodyE := b.buildList(s.Body.List, n)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		n.succs = []*cfgNode{bodyE, follow}
+		return n
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var clauses []ast.Stmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			clauses = sw.Body.List
+		} else {
+			clauses = s.(*ast.TypeSwitchStmt).Body.List
+		}
+		n := b.node(s)
+		b.registerLabel(n, follow)
+		b.breaks = append(b.breaks, follow)
+		hasDefault := false
+		// Build clauses last-to-first so fallthrough can target the
+		// next clause's entry.
+		next := follow // entry of the following clause, for fallthrough
+		entries := make([]*cfgNode, 0, len(clauses))
+		for i := len(clauses) - 1; i >= 0; i-- {
+			cc := clauses[i].(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			e := b.buildCaseBody(cc.Body, follow, next)
+			entries = append(entries, e)
+			next = e
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		n.succs = entries
+		if !hasDefault {
+			n.succs = append(n.succs, follow)
+		}
+		return n
+
+	case *ast.SelectStmt:
+		n := b.node(s)
+		b.registerLabel(n, follow)
+		b.breaks = append(b.breaks, follow)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			n.succs = append(n.succs, b.buildList(cc.Body, follow))
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(n.succs) == 0 {
+			// select{} blocks forever: no successors.
+		}
+		return n
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.succs = []*cfgNode{b.g.exit}
+		return n
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch s.Tok.String() {
+		case "break":
+			if t := b.branchTarget(s, b.breaks, b.labelBreak); t != nil {
+				n.succs = []*cfgNode{t}
+			} else {
+				b.g.ok = false
+			}
+		case "continue":
+			if t := b.branchTarget(s, b.continues, b.labelContinue); t != nil {
+				n.succs = []*cfgNode{t}
+			} else {
+				b.g.ok = false
+			}
+		case "fallthrough":
+			// Handled in buildCaseBody; a bare one here (invalid Go)
+			// falls through to follow.
+			n.succs = []*cfgNode{follow}
+		default: // goto: not modeled
+			b.g.ok = false
+		}
+		return n
+
+	case *ast.LabeledStmt:
+		saved := b.pendingLabel
+		b.pendingLabel = s.Label.Name
+		e := b.buildStmt(s.Stmt, follow)
+		b.pendingLabel = saved
+		return e
+
+	default:
+		// Simple statements: expr, assign, decl, defer, go, send,
+		// inc/dec, empty.
+		n := b.node(s)
+		if isTerminalCall(s) {
+			// panic() and similar never fall through; giving them no
+			// successor keeps "must do X before exit" checks from
+			// flagging paths that die.
+			return n
+		}
+		n.succs = []*cfgNode{follow}
+		return n
+	}
+}
+
+// buildCaseBody builds one case clause body where a trailing
+// fallthrough jumps to nextClause instead of follow.
+func (b *cfgBuilder) buildCaseBody(body []ast.Stmt, follow, nextClause *cfgNode) *cfgNode {
+	if n := len(body); n > 0 {
+		if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			fallNode := b.node(br)
+			fallNode.succs = []*cfgNode{nextClause}
+			return b.buildList(body[:n-1], fallNode)
+		}
+	}
+	return b.buildList(body, follow)
+}
+
+func (b *cfgBuilder) registerLabel(continueTarget, breakTarget *cfgNode) {
+	if b.pendingLabel != "" {
+		b.labelContinue[b.pendingLabel] = continueTarget
+		b.labelBreak[b.pendingLabel] = breakTarget
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, stack []*cfgNode, labeled map[string]*cfgNode) *cfgNode {
+	if s.Label != nil {
+		return labeled[s.Label.Name]
+	}
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// isTerminalCall reports whether the statement is a call that never
+// returns (panic).
+func isTerminalCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// pathMissing reports whether some path from start's successors to
+// g.exit avoids every node for which stop returns true. Nodes where
+// stop is true are not traversed past.
+func (g *cfg) pathMissing(start *cfgNode, stop func(*cfgNode) bool) bool {
+	seen := make(map[*cfgNode]bool)
+	var dfs func(n *cfgNode) bool
+	dfs = func(n *cfgNode) bool {
+		if n == g.exit {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		if stop(n) {
+			return false
+		}
+		for _, s := range n.succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range start.succs {
+		if dfs(s) {
+			return true
+		}
+	}
+	return false
+}

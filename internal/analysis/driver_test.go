@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestCruzvetStatsOutput drives the actual cmd/cruzvet binary over the
+// allowok fixture end to end: exit status 0 (everything suppressed),
+// suppression counts in -stats output, and the stale directive
+// surfaced.
+func TestCruzvetStatsOutput(t *testing.T) {
+	cmd := exec.Command("go", "run", "../../cmd/cruzvet",
+		"-stats",
+		"-simside", fixtureImport+"allowok",
+		"./testdata/src/allowok")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cruzvet exited non-zero: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, re := range []string{
+		`(?m)^cruzvet: 1 packages, 0 findings, 3 suppressed$`,
+		`(?m)^\s+nodeterminism\s+0 findings, 2 suppressed$`,
+		`(?m)^\s+maporder\s+0 findings, 1 suppressed$`,
+		`(?m)allowed .*allowok\.go.*reason: host timestamp`,
+		`(?m)stale //cruzvet:allow spanleak`,
+	} {
+		if !regexp.MustCompile(re).MatchString(s) {
+			t.Errorf("cruzvet -stats output missing %q:\n%s", re, s)
+		}
+	}
+}
+
+// TestCruzvetExitCode proves the gate actually gates: an unsuppressed
+// finding makes the driver exit 1 and print it.
+func TestCruzvetExitCode(t *testing.T) {
+	cmd := exec.Command("go", "run", "../../cmd/cruzvet", "./testdata/src/allowbad")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("cruzvet exited zero on a package with findings:\n%s", out)
+	}
+	if !strings.Contains(string(out), "[maporder]") {
+		t.Errorf("cruzvet output did not print the maporder finding:\n%s", out)
+	}
+}

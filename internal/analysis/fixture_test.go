@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureImport is the module path prefix of the fixture packages.
+const fixtureImport = "cruz/internal/analysis/testdata/src/"
+
+// loadFixture loads one testdata/src package. The go command excludes
+// testdata directories from wildcard patterns, so fixtures never leak
+// into `cruzvet ./...` runs, but explicit paths load fine.
+func loadFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	pkgs, err := Load("", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs
+}
+
+// want is one expectation: a regexp that must match a diagnostic
+// reported on its line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+var wantPatRE = regexp.MustCompile("`([^`]*)`")
+
+// collectWants parses `// want ...` comments (one or more backquoted
+// regexps per line) from every .go file of a fixture.
+func collectWants(t *testing.T, name string) []want {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats := wantPatRE.FindAllStringSubmatch(m[1], -1)
+			if len(pats) == 0 {
+				t.Fatalf("%s:%d: `// want` with no backquoted pattern", path, i+1)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, p[1], err)
+				}
+				wants = append(wants, want{file: abs, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs the given analyzers over a fixture and checks the
+// unsuppressed diagnostics against the fixture's want comments, both
+// ways: every want must be hit (the analyzer is not weakened) and
+// every diagnostic must be wanted (no false positives).
+func runFixture(t *testing.T, name string, cfg Config, analyzers ...*Analyzer) *Result {
+	t.Helper()
+	pkgs := loadFixture(t, name)
+	suite := NewSuite(cfg, analyzers...)
+	res := suite.Run(pkgs)
+	checkWants(t, name, res)
+	return res
+}
+
+func checkWants(t *testing.T, name string, res *Result) {
+	t.Helper()
+	wants := collectWants(t, name)
+	matched := make([]bool, len(wants))
+	for _, d := range res.Diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", name, d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: no diagnostic matched want %q at %s:%d", name, w.re, w.file, w.line)
+		}
+	}
+}
+
+func TestNoDeterminismFixture(t *testing.T) {
+	runFixture(t, "nodet",
+		Config{SimSide: []string{fixtureImport + "nodet"}}, NoDeterminism)
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, "mapord", Config{}, MapOrder)
+}
+
+func TestSpanLeakFixture(t *testing.T) {
+	runFixture(t, "spanleakfix", Config{}, SpanLeak)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, "lockorderfix", Config{}, LockOrder)
+}
+
+// TestAllowFixture proves the //cruzvet:allow escape hatch: annotated
+// findings are silenced, counted as suppressions, and stale
+// directives are surfaced as unused.
+func TestAllowFixture(t *testing.T) {
+	cfg := Config{SimSide: []string{fixtureImport + "allowok"}}
+	pkgs := loadFixture(t, "allowok")
+	suite := NewSuite(cfg, NoDeterminism, MapOrder, SpanLeak)
+	res := suite.Run(pkgs)
+	if len(res.Diags) != 0 {
+		t.Errorf("allowok: want 0 unsuppressed findings, got %d:", len(res.Diags))
+		for _, d := range res.Diags {
+			t.Errorf("  %s", d)
+		}
+	}
+	if len(res.Suppressed) != 3 {
+		t.Errorf("allowok: want 3 suppressed findings, got %d", len(res.Suppressed))
+	}
+	for _, sup := range res.Suppressed {
+		if sup.Reason == "" {
+			t.Errorf("allowok: suppression at %s lost its reason", sup.Pos)
+		}
+	}
+	if len(res.Unused) != 1 || res.Unused[0].Analyzer != "spanleak" {
+		t.Errorf("allowok: want exactly the stale spanleak directive flagged unused, got %+v", res.Unused)
+	}
+	stats := suite.Stats(res)
+	counts := make(map[string]Stats)
+	for _, st := range stats {
+		counts[st.Analyzer] = st
+	}
+	if got := counts["nodeterminism"]; got.Findings != 0 || got.Suppressed != 2 {
+		t.Errorf("allowok: nodeterminism stats = %+v, want 0 findings / 2 suppressed", got)
+	}
+	if got := counts["maporder"]; got.Findings != 0 || got.Suppressed != 1 {
+		t.Errorf("allowok: maporder stats = %+v, want 0 findings / 1 suppressed", got)
+	}
+}
+
+// TestAllowBadFixture proves malformed or misdirected directives
+// cannot silence findings and are themselves reported.
+func TestAllowBadFixture(t *testing.T) {
+	pkgs := loadFixture(t, "allowbad")
+	suite := NewSuite(Config{}, NoDeterminism, MapOrder, SpanLeak)
+	res := suite.Run(pkgs)
+	var malformed, unknown, maporder int
+	for _, d := range res.Diags {
+		switch {
+		case strings.Contains(d.Message, "malformed //cruzvet:allow"):
+			malformed++
+		case strings.Contains(d.Message, "unknown analyzer"):
+			unknown++
+		case d.Analyzer == "maporder":
+			maporder++
+		default:
+			t.Errorf("allowbad: unexpected diagnostic: %s", d)
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("allowbad: want 2 malformed-directive findings, got %d", malformed)
+	}
+	if unknown != 1 {
+		t.Errorf("allowbad: want 1 unknown-analyzer finding, got %d", unknown)
+	}
+	if maporder != 1 {
+		t.Errorf("allowbad: the misdirected allow must not suppress the maporder finding (got %d findings)", maporder)
+	}
+	if len(res.Suppressed) != 0 {
+		t.Errorf("allowbad: nothing should be suppressed, got %d", len(res.Suppressed))
+	}
+	if len(res.Unused) != 1 {
+		t.Errorf("allowbad: the misdirected spanleak allow should be unused, got %+v", res.Unused)
+	}
+}
+
+// TestCleanTree is the enforcement test: the whole module must be free
+// of unsuppressed findings. It is the same invocation `make check`
+// gates on, so a regression fails both.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole tree")
+	}
+	pkgs, err := Load("", "cruz/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := NewSuite(Config{}, NoDeterminism, MapOrder, SpanLeak, LockOrder)
+	res := suite.Run(pkgs)
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
+	}
+	if res.Packages < 20 {
+		t.Errorf("suspiciously few packages analyzed: %d", res.Packages)
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load enumerates, parses, and type-checks the packages matching
+// patterns (relative to dir; empty dir means the current directory).
+//
+// It shells out to `go list -export -json -deps`, which makes the go
+// command do the heavy lifting of module resolution and of compiling
+// dependency export data into the build cache; dependencies are then
+// imported from that export data while the matched packages themselves
+// are type-checked from source with full syntax trees. This mirrors
+// what a go/analysis unitchecker driver receives from `go vet`,
+// without depending on the x/tools module.
+//
+// Test files are excluded (as in `go build`), so fixture and test code
+// is never linted.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPkg)
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		byPath[lp.ImportPath] = lp
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, byPath)
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := &types.Config{
+		Importer: &mappedImporter{imp: imp, importMap: lp.ImportMap},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// newExportImporter builds a types.Importer that resolves import paths
+// through the `go list` universe and reads compiler export data from
+// the build cache paths go list reported.
+func newExportImporter(fset *token.FileSet, byPath map[string]*listPkg) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		lp, ok := byPath[path]
+		if !ok {
+			return nil, fmt.Errorf("cruzvet: import %q not in go list output", path)
+		}
+		if lp.Export == "" {
+			return nil, fmt.Errorf("cruzvet: no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// mappedImporter applies a package's ImportMap (vendoring, test
+// variants) before delegating to the shared export-data importer.
+type mappedImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.imp.Import(path)
+}

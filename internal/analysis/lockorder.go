@@ -1,0 +1,407 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder derives the tree's mutex acquisition graph from static
+// call facts and reports ordering hazards:
+//
+//   - cycles in the lock-order graph (lock A held while taking B in
+//     one function, B held while taking A in another — the classic
+//     cross-daemon deadlock shape from the paper's coordinator/agent
+//     split);
+//   - the same lock acquired again while already held;
+//   - locks held across blocking scheduler yields (sim.Engine.Run /
+//     RunUntil / RunFor / Step, or any function that transitively
+//     reaches one): holding a mutex while the discrete-event engine
+//     dispatches arbitrary events invites both deadlock and
+//     event-order-dependent critical sections.
+//
+// Lock identity is structural: a field lock is keyed by its declaring
+// struct type and field name (all instances alias), a package-level
+// lock by its qualified name, a local lock by its defining function.
+// Held sets are tracked in source order within each function
+// (straight-line approximation, Unlock anywhere ends the hold; defer
+// Unlock holds to function end), and propagated across the static
+// call graph by a whole-program fixpoint in the Finish phase.
+var LockOrder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "report mutex acquisition cycles and locks held across blocking scheduler yields",
+	Run:    runLockOrder,
+	Finish: finishLockOrder,
+}
+
+// yieldFuncs are the blocking scheduler entry points: calling one with
+// a lock held means the lock is held across arbitrary event dispatch.
+var yieldFuncs = map[string]bool{
+	"cruz/internal/sim.(Engine).Run":      true,
+	"cruz/internal/sim.(Engine).RunUntil": true,
+	"cruz/internal/sim.(Engine).RunFor":   true,
+	"cruz/internal/sim.(Engine).Step":     true,
+}
+
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+}
+
+type lockCall struct {
+	held   []string // lock keys held at the call site (may be empty)
+	callee string   // funcKey of a statically resolved callee
+	name   string   // display name of the callee
+	pos    token.Position
+}
+
+type lockFuncInfo struct {
+	acquires map[string]token.Position // locks taken directly in this function
+	edges    []lockEdge
+	calls    []lockCall
+	yields   bool // calls a yield function directly
+}
+
+// lockFacts is the per-package fact exported for Finish.
+type lockFacts struct {
+	funcs map[string]*lockFuncInfo // funcKey → info
+}
+
+func runLockOrder(pass *Pass) {
+	facts := &lockFacts{funcs: make(map[string]*lockFuncInfo)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			info := analyzeLockFunc(pass, fn, fd.Body)
+			if info != nil {
+				facts.funcs[funcKey(fn)] = info
+			}
+		}
+	}
+	if len(facts.funcs) > 0 {
+		pass.ExportFact(facts)
+	}
+}
+
+// syncLockMethod classifies a call as a lock-table operation on a
+// sync.Mutex/RWMutex (including embedded ones), returning the method
+// name and the expression denoting the lock, or "".
+func syncLockMethod(pass *Pass, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || pkgPathOf(fn) != "sync" {
+		return "", nil
+	}
+	rpkg, rname := recvTypeName(fn)
+	if rpkg != "sync" || (rname != "Mutex" && rname != "RWMutex") {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+		return fn.Name(), lockExprOf(pass, sel.X)
+	}
+	return "", nil
+}
+
+// lockExprOf peels `x.mu` down to the expression that denotes the
+// mutex itself; for a receiver that embeds the mutex it is the
+// receiver.
+func lockExprOf(_ *Pass, x ast.Expr) ast.Expr { return ast.Unparen(x) }
+
+// lockKeyOf names a lock structurally. Two expressions that reach the
+// same struct field get the same key.
+func lockKeyOf(pass *Pass, owner *types.Func, x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if fv, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && fv.IsField() {
+			// Key by the declaring struct type of the field.
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok {
+				t := tv.Type
+				if p, ok := t.Underlying().(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					return pkgPathOf(named.Obj()) + "." + named.Obj().Name() + "." + fv.Name()
+				}
+			}
+			return pkgPathOf(fv) + ".?." + fv.Name()
+		}
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return pkgPathOf(v) + "." + v.Name()
+		}
+	case *ast.Ident:
+		obj, _ := pass.TypesInfo.Uses[x].(*types.Var)
+		if obj == nil {
+			break
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return pkgPathOf(obj) + "." + obj.Name() // package-level lock
+		}
+		// Local or receiver-bound lock: scope it to the function.
+		return funcKey(owner) + "/" + obj.Name()
+	}
+	return funcKey(owner) + "/expr" // opaque expression: per-site key
+}
+
+func analyzeLockFunc(pass *Pass, fn *types.Func, body *ast.BlockStmt) *lockFuncInfo {
+	info := &lockFuncInfo{acquires: make(map[string]token.Position)}
+	var held []string // in acquisition order
+	heldSet := func(k string) bool {
+		for _, h := range held {
+			if h == k {
+				return true
+			}
+		}
+		return false
+	}
+	drop := func(k string) {
+		for i, h := range held {
+			if h == k {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	// Source-order walk. Function literals are included: their bodies
+	// execute with whatever the enclosing code holds (a straight-line
+	// approximation; see the analyzer doc).
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, lockX := syncLockMethod(pass, call); op != "" {
+			key := lockKeyOf(pass, fn, lockX)
+			pos := pass.Fset.Position(call.Pos())
+			switch op {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				if heldSet(key) {
+					pass.Reportf(call.Pos(), "lock %s acquired while already held (self-deadlock or missing unlock)", shortLockKey(key))
+				}
+				for _, h := range held {
+					info.edges = append(info.edges, lockEdge{from: h, to: key, pos: pos})
+				}
+				if _, ok := info.acquires[key]; !ok {
+					info.acquires[key] = pos
+				}
+				held = append(held, key)
+			case "Unlock", "RUnlock":
+				// A deferred unlock holds to function end; an inline
+				// unlock ends the hold here.
+				if !isDeferredCall(body, call) {
+					drop(key)
+				}
+			}
+			return true
+		}
+		callee := calleeOf(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		key := funcKey(callee)
+		if yieldFuncs[key] || callee.Name() == "Yield" {
+			info.yields = true
+			if len(held) > 0 {
+				pass.Reportf(call.Pos(), "lock %s held across blocking scheduler yield %s", shortLockKey(held[len(held)-1]), calleeName(pass, call))
+			}
+			return true
+		}
+		if len(held) > 0 || callee.Pkg() != nil {
+			info.calls = append(info.calls, lockCall{
+				held:   append([]string(nil), held...),
+				callee: key,
+				name:   calleeName(pass, call),
+				pos:    pass.Fset.Position(call.Pos()),
+			})
+		}
+		return true
+	})
+	if len(info.acquires) == 0 && len(info.calls) == 0 && !info.yields {
+		return nil
+	}
+	return info
+}
+
+// isDeferredCall reports whether call is the immediate call of a defer
+// statement in body.
+func isDeferredCall(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	deferred := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call == call {
+			deferred = true
+		}
+		return !deferred
+	})
+	return deferred
+}
+
+func shortLockKey(k string) string {
+	if i := strings.LastIndex(k, "/"); i >= 0 {
+		k = k[i+1:]
+	}
+	parts := strings.Split(k, ".")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, ".")
+}
+
+func finishLockOrder(s *Suite) {
+	// Merge per-package facts into one function table.
+	funcs := make(map[string]*lockFuncInfo)
+	for _, v := range s.Facts("lockorder") {
+		for k, info := range v.(*lockFacts).funcs {
+			funcs[k] = info
+		}
+	}
+	if len(funcs) == 0 {
+		return
+	}
+
+	// Fixpoint: transitive acquires and yield-reachability over the
+	// static call graph.
+	acqT := make(map[string]map[string]bool, len(funcs))
+	yieldT := make(map[string]bool, len(funcs))
+	for k, info := range funcs {
+		set := make(map[string]bool, len(info.acquires))
+		for a := range info.acquires {
+			set[a] = true
+		}
+		acqT[k] = set
+		yieldT[k] = info.yields
+	}
+	for changed := true; changed; {
+		changed = false
+		for k, info := range funcs {
+			for _, c := range info.calls {
+				if yieldFuncs[c.callee] || yieldT[c.callee] {
+					if !yieldT[k] {
+						yieldT[k] = true
+						changed = true
+					}
+				}
+				for a := range acqT[c.callee] {
+					if !acqT[k][a] {
+						acqT[k][a] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble the global edge set: direct edges plus held-set ×
+	// transitive-acquires of callees; flag held-across-yield calls.
+	type edgeKey struct{ from, to string }
+	edges := make(map[edgeKey]token.Position)
+	addEdge := func(from, to string, pos token.Position) {
+		k := edgeKey{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = pos
+		}
+	}
+	for _, info := range funcs {
+		for _, e := range info.edges {
+			addEdge(e.from, e.to, e.pos)
+		}
+		for _, c := range info.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			if yieldFuncs[c.callee] || yieldT[c.callee] {
+				s.ReportFinish("lockorder", c.pos, "lock %s held across call to %s, which blocks on the scheduler", shortLockKey(c.held[len(c.held)-1]), c.name)
+			}
+			for _, h := range c.held {
+				for a := range acqT[c.callee] {
+					addEdge(h, a, c.pos)
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the lock graph.
+	adj := make(map[string][]string)
+	for e := range edges {
+		if e.from == e.to {
+			continue // self-acquisition is reported at the site during Run
+		}
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, ts := range adj {
+		sort.Strings(ts)
+	}
+	for _, cyc := range lockCycles(adj) {
+		parts := make([]string, len(cyc))
+		for i, k := range cyc {
+			parts[i] = shortLockKey(k)
+		}
+		pos := edges[edgeKey{cyc[len(cyc)-1], cyc[0]}]
+		if pos.Line == 0 {
+			pos = edges[edgeKey{cyc[0], cyc[1%len(cyc)]}]
+		}
+		s.ReportFinish("lockorder", pos, "lock-order cycle: %s -> %s (deadlock risk)", strings.Join(parts, " -> "), parts[0])
+	}
+}
+
+// lockCycles returns the elementary cycles found by DFS over adj, each
+// normalized to start at its lexicographically smallest node, deduped.
+func lockCycles(adj map[string][]string) [][]string {
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	seen := make(map[string]bool)
+	var out [][]string
+	var stack []string
+	onStack := make(map[string]int)
+	var dfs func(n string)
+	dfs = func(n string) {
+		if depth, ok := onStack[n]; ok {
+			cyc := append([]string(nil), stack[depth:]...)
+			cyc = normalizeCycle(cyc)
+			key := strings.Join(cyc, "\x00")
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, cyc)
+			}
+			return
+		}
+		onStack[n] = len(stack)
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			dfs(m)
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, n)
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+	return out
+}
+
+func normalizeCycle(cyc []string) []string {
+	min := 0
+	for i, s := range cyc {
+		if s < cyc[min] {
+			min = i
+		}
+	}
+	out := make([]string, 0, len(cyc))
+	out = append(out, cyc[min:]...)
+	out = append(out, cyc[:min]...)
+	return out
+}

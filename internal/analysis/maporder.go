@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` over a map whose loop body reaches
+// sim-visible state.
+//
+// Go randomizes map iteration order, so anything order-sensitive done
+// per entry — emitting trace events, scheduling engine events, sending
+// on the control plane or the simulated network, writing or encoding
+// bytes — makes the run's observable output differ between two
+// executions of the same seed. The fix is to iterate a sorted key
+// slice (a sortedKeys-style helper) instead of the map itself;
+// genuinely order-insensitive loops can be annotated
+// //cruzvet:allow maporder <reason>.
+//
+// The check is a lightweight taint walk over the loop body (function
+// literals included): it looks for calls that emit — by qualified name
+// for the trace and sim packages, and by method-name prefix (Send*,
+// Write*, Encode*, Emit*, Print*/Fprint*) elsewhere — and for calls to
+// same-package helpers whose own body directly emits. Pure
+// accumulation (sums, sets, collect-then-sort) is not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body reaches order-sensitive (sim-visible) sinks",
+	Run:  runMapOrder,
+}
+
+// sinkMethodPrefixes are method/function name prefixes treated as
+// order-sensitive emission regardless of receiver: network and
+// control-plane sends, byte-stream writes (io.Writer, bytes.Buffer,
+// strings.Builder, hash.Hash), encoders, trace emitters, and printing.
+var sinkMethodPrefixes = []string{"Send", "Write", "Encode", "Emit", "Print", "Fprint"}
+
+// qualifiedSinks maps funcKey identifiers to a short description, for
+// sinks whose names do not match the prefix heuristic.
+var qualifiedSinks = map[string]string{
+	"cruz/internal/trace.(Tracer).Instant": "emits a trace event",
+	"cruz/internal/trace.(Tracer).Counter": "emits a trace event",
+	"cruz/internal/trace.(Tracer).Begin":   "emits a trace event",
+	"cruz/internal/trace.(Span).End":       "emits a trace event",
+	"cruz/internal/sim.(Engine).Schedule":   "enqueues a scheduler event",
+	"cruz/internal/sim.(Engine).ScheduleAt": "enqueues a scheduler event",
+	"cruz/internal/sim.(Engine).NewTicker":  "enqueues a scheduler event",
+}
+
+func runMapOrder(pass *Pass) {
+	// sinkyLocals: same-package functions whose body directly contains
+	// a sink call, for one level of taint through helpers.
+	sinkyLocals := make(map[*types.Func]string)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if _, why := findDirectSink(pass, fd.Body, nil); why != "" {
+				sinkyLocals[fn] = why
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok || !isMapType(tv.Type) {
+				return true
+			}
+			if call, why := findDirectSink(pass, rng.Body, sinkyLocals); call != nil {
+				pass.Reportf(rng.Pos(), "map iteration order reaches a sim-visible sink: %s %s; iterate sorted keys instead", calleeName(pass, call), why)
+			}
+			return true
+		})
+	}
+}
+
+// findDirectSink walks body (descending into function literals) and
+// returns the first order-sensitive sink call, with a description of
+// why it is a sink. sinkyLocals, if non-nil, extends the walk one
+// level into same-package helpers.
+func findDirectSink(pass *Pass, body ast.Node, sinkyLocals map[*types.Func]string) (*ast.CallExpr, string) {
+	var found *ast.CallExpr
+	var why string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if w := sinkWhy(fn); w != "" {
+			found, why = call, w
+			return false
+		}
+		if w, ok := sinkyLocals[fn]; ok {
+			found, why = call, "calls a helper that "+w
+			return false
+		}
+		return true
+	})
+	return found, why
+}
+
+// sinkWhy classifies fn as an order-sensitive sink, returning a short
+// reason or "".
+func sinkWhy(fn *types.Func) string {
+	if why, ok := qualifiedSinks[funcKey(fn)]; ok {
+		return why
+	}
+	name := fn.Name()
+	// Sprint*/Sprintf are pure: they build a value rather than emit.
+	if strings.HasPrefix(name, "Sprint") {
+		return ""
+	}
+	for _, p := range sinkMethodPrefixes {
+		if strings.HasPrefix(name, p) {
+			return "emits in iteration order (" + name + ")"
+		}
+	}
+	return ""
+}
+
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil {
+		return "call"
+	}
+	if _, rname := recvTypeName(fn); rname != "" {
+		return rname + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

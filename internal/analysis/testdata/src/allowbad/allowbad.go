@@ -1,0 +1,23 @@
+// Package allowbad is a cruzvet fixture: malformed or misdirected
+// //cruzvet:allow directives must not silence anything and must
+// themselves be reported.
+package allowbad
+
+import "fmt"
+
+//cruzvet:allow
+func bareDirective() {}
+
+//cruzvet:allow maporder
+func missingReason() {}
+
+//cruzvet:allow nosuchanalyzer because reasons
+func unknownAnalyzer() {}
+
+// A directive naming the wrong analyzer does not suppress the finding.
+func WrongName(m map[string]int) {
+	//cruzvet:allow spanleak wrong analyzer for this finding
+	for k := range m {
+		fmt.Println(k)
+	}
+}

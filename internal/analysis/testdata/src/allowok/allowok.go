@@ -1,0 +1,31 @@
+// Package allowok is a cruzvet fixture: real findings, each silenced
+// by a //cruzvet:allow directive, plus one stale directive. The suite
+// must report zero unsuppressed findings here, count every suppression
+// for -stats, and surface the stale allow as unused.
+package allowok
+
+import (
+	"fmt"
+	"time"
+)
+
+// UnixStamp is nondeterministic on purpose; the annotation keeps the
+// analyzer honest about it.
+func UnixStamp() int64 {
+	//cruzvet:allow nodeterminism host timestamp feeds only the artifact file name, never sim state
+	return time.Now().UnixNano()
+}
+
+func Sleepy() {
+	time.Sleep(time.Millisecond) //cruzvet:allow nodeterminism same-line form of the escape hatch
+}
+
+func DebugDump(m map[string]int) {
+	//cruzvet:allow maporder debug dump read by humans, order never observed by tests
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+//cruzvet:allow spanleak stale directive: there is no span here, the suite must flag it as unused
+func Quiet() {}

@@ -1,0 +1,109 @@
+// Package lockorderfix is a cruzvet fixture for the lockorder
+// analyzer: acquisition cycles (direct and through calls), double
+// acquisition, and locks held across blocking scheduler yields.
+package lockorderfix
+
+import (
+	"sync"
+
+	"cruz/internal/sim"
+)
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// Direct cycle: ab locks A then B, ba locks B then A.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-order cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Transitive cycle: the opposing acquisition happens inside callees,
+// so only the whole-program fixpoint can see it.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func cThenD(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockD(d)
+}
+
+func dThenC(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockC(c) // want `lock-order cycle`
+}
+
+func doubleAcquire(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `already held`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func heldAcrossYield(e *sim.Engine, a *A) {
+	a.mu.Lock()
+	e.Step() // want `held across blocking scheduler yield`
+	a.mu.Unlock()
+}
+
+func runEngine(e *sim.Engine) {
+	_ = e.RunFor(sim.Millisecond)
+}
+
+func heldAcrossYieldTransitively(e *sim.Engine, a *A) {
+	a.mu.Lock()
+	runEngine(e) // want `blocks on the scheduler`
+	a.mu.Unlock()
+}
+
+// Consistent ordering and sequential (non-nested) use are fine.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func efOne(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+func efTwo(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func sequential(e *E, f *F) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func yieldUnlocked(e *sim.Engine, a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	e.Step()
+}

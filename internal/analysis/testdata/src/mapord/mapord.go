@@ -1,0 +1,79 @@
+// Package mapord is a cruzvet fixture for the maporder analyzer: map
+// iterations whose body emits must be flagged; pure accumulation and
+// the collect-then-sort idiom must not.
+package mapord
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"cruz/internal/trace"
+)
+
+func printsInMapOrder(m map[string]int) {
+	for k := range m { // want `sim-visible sink`
+		fmt.Println(k)
+	}
+}
+
+func encodesInMapOrder(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m { // want `sim-visible sink`
+		fmt.Fprintf(buf, "%s=%d", k, v)
+	}
+}
+
+func writesInMapOrder(m map[string][]byte, buf *bytes.Buffer) {
+	for _, v := range m { // want `sim-visible sink`
+		buf.Write(v)
+	}
+}
+
+func tracesInMapOrder(tr *trace.Tracer, m map[string]int) {
+	for k := range m { // want `sim-visible sink`
+		tr.Instant("n", "c", k)
+	}
+}
+
+func closureSink(m map[string]int) {
+	for k := range m { // want `sim-visible sink`
+		func() { fmt.Println(k) }()
+	}
+}
+
+func helperSink(m map[string]int) {
+	for k := range m { // want `calls a helper`
+		emit(k)
+	}
+}
+
+func emit(k string) { fmt.Println(k) }
+
+// collect-then-sort is the sanctioned pattern.
+func sortedDump(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// commutative accumulation does not observe order.
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

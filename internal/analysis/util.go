@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeOf resolves the called function/method object of a call
+// expression, seeing through parentheses. It returns nil for calls of
+// function-typed values, builtins, and type conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the import path of the package declaring obj, or
+// "" for builtins and universe-scope objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// recvTypeName returns (pkgpath, typename) of a method's receiver base
+// type, or ("", "") if fn is not a method. Pointer receivers are
+// unwrapped.
+func recvTypeName(fn *types.Func) (string, string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	return pkgPathOf(obj), obj.Name()
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// funcKey returns a stable cross-package identifier for a function or
+// method: "pkg.Func" or "pkg.(Type).Method".
+func funcKey(fn *types.Func) string {
+	pkg := pkgPathOf(fn)
+	if rpkg, rname := recvTypeName(fn); rname != "" {
+		return rpkg + ".(" + rname + ")." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}

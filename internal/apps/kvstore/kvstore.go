@@ -14,6 +14,7 @@ package kvstore
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"cruz/internal/kernel"
 	"cruz/internal/sim"
@@ -86,8 +87,17 @@ func (s *Server) Step(ctx *kernel.ProcContext) kernel.StepResult {
 		s.Clients[fd] = &Session{FD: fd}
 		progress = true
 	}
-	// Serve each session.
-	for fd, sess := range s.Clients {
+	// Serve each session in ascending FD order. The sweep order is
+	// wire-visible (it decides the order of Recv/Send syscalls and so
+	// of every downstream TCP event), so ranging over the Clients map
+	// directly would make runs of the same seed diverge.
+	fds := make([]int, 0, len(s.Clients))
+	for fd := range s.Clients {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	for _, fd := range fds {
+		sess := s.Clients[fd]
 		buf := make([]byte, 4096)
 		n, err := ctx.Recv(fd, buf, false)
 		if err == kernel.ErrWouldBlock {

@@ -1,0 +1,75 @@
+package cruz_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cruz"
+	"cruz/internal/apps/kvstore"
+	"cruz/internal/trace"
+)
+
+// multiClientKV runs one kvstore server pod with several concurrent
+// clients and returns the timeline export plus per-client op counts.
+//
+// Regression test for a maporder finding: Server.Step used to sweep
+// its Clients map with a raw range, so the order of Recv/Send syscalls
+// — and therefore every downstream TCP event and trace record — could
+// differ between two runs of the same seed once more than one client
+// was connected. The sweep now iterates FDs in sorted order.
+func multiClientKV(t *testing.T, seed int64, nclients int) ([]byte, []uint64) {
+	t.Helper()
+	cl, err := cruz.New(cruz.Config{Nodes: 2, Seed: seed, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pod, err := cl.NewPod(0, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pod.Spawn("kvd", kvstore.NewServer(0))
+	clients := make([]*kvstore.Client, nclients)
+	for i := range clients {
+		c := kvstore.NewClient(cruz.AddrPort{Addr: pod.IP(), Port: kvstore.DefaultPort})
+		// Distinct think times keep the sessions interleaved rather
+		// than lock-stepped, which is what exposed the map-order bug.
+		c.Think = cruz.Duration(50+17*i) * cruz.Microsecond
+		clients[i] = c
+		cl.Service.Kernel.Spawn("kvc", c, 0)
+	}
+	cl.Run(200 * cruz.Millisecond)
+
+	done := make([]uint64, nclients)
+	total := uint64(0)
+	for i, c := range clients {
+		if c.Fault != "" {
+			t.Fatalf("client %d faulted: %s", i, c.Fault)
+		}
+		done[i] = c.Done
+		total += c.Done
+	}
+	if total == 0 {
+		t.Fatal("no client completed any ops; the scenario is vacuous")
+	}
+	var tb bytes.Buffer
+	if err := trace.WriteTimeline(&tb, cl.Trace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), done
+}
+
+// TestKVStoreMultiClientDeterminism asserts that the multi-client
+// kvstore path is a pure function of the seed: byte-identical traces
+// and identical per-client progress across two runs.
+func TestKVStoreMultiClientDeterminism(t *testing.T) {
+	t1, d1 := multiClientKV(t, 7, 3)
+	t2, d2 := multiClientKV(t, 7, 3)
+	if !bytes.Equal(t1, t2) {
+		t.Error("same-seed multi-client kvstore runs produced different timelines")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Errorf("client %d completed %d ops in run 1 but %d in run 2", i, d1[i], d2[i])
+		}
+	}
+}
