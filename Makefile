@@ -35,9 +35,14 @@ bench:
 	$(GO) run ./cmd/cruzbench -checkjson bench.tmp.json
 	rm -f bench.tmp.json
 
-# Tracer overhead guard: trace=false must match the pre-tracing baseline.
+# Micro-benchmark smoke: the tracer-overhead guard (trace=false must
+# match the pre-tracing baseline) plus one iteration each of the hot-path
+# micro-benchmarks (dirty-page tracking, event scheduling) so CI notices
+# when a benchmark rots. No thresholds — timings are informational.
 gobench:
 	$(GO) test -run XXX -bench=BenchmarkCheckpoint -benchmem .
+	$(GO) test -run XXX -bench=BenchmarkDirtyTracking -benchtime=1x -benchmem ./internal/mem/
+	$(GO) test -run XXX -bench=BenchmarkEngineSchedule -benchtime=1x -benchmem ./internal/sim/
 
 # Worked example from README: quickstart scenario with a Chrome trace.
 trace-demo:

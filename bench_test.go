@@ -185,3 +185,23 @@ func BenchmarkIncrementalCheckpoint(b *testing.B) {
 		b.ReportMetric(rows[1].LatencyMs, "vms/incremental")
 	}
 }
+
+// BenchmarkPrecopyDowntime is ablation A7: checkpoint downtime (the
+// slowest pod's freeze window) under stop-and-copy versus pre-copy
+// rounds with copy-on-write capture, at the workload's native write
+// rate.
+func BenchmarkPrecopyDowntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.PrecopyAblation(3, 2, benchScale, []float64{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName := map[string]exp.PrecopyRow{}
+		for _, r := range rows {
+			byName[r.Variant] = r
+		}
+		b.ReportMetric(byName["stop-and-copy"].DowntimeMs, "vms/stopcopy")
+		b.ReportMetric(byName["precopy"].DowntimeMs, "vms/precopy")
+		b.ReportMetric(byName["precopy"].LatencyMs, "vms/precopy-latency")
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|recovery|phases|none]
+//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|recovery|phases|none]
 //	          [-scale 1.0] [-ckpts 3] [-maxnodes 8] [-trace] [-json]
 //	          [-checkjson FILE]
 //
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|recovery|phases|none")
+		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|recovery|phases|none")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's ~100 MB pod images)")
 		ckpts     = flag.Int("ckpts", 3, "checkpoints per configuration (fig5)")
 		maxNodes  = flag.Int("maxnodes", 8, "largest node count for sweeps")
@@ -70,6 +70,7 @@ func main() {
 	run("restart", func() error { return restart(*maxNodes, *scale) })
 	run("incremental", func() error { return incremental(*scale) })
 	run("dedup", func() error { return dedup(*jsonCkpts, *scale) })
+	run("precopy", func() error { return precopy(*ckpts, *scale) })
 	run("recovery", func() error { return recovery(*scale) })
 	if *doTrace || *which == "phases" || *which == "all" {
 		if err := phases(*maxNodes, *ckpts, *scale, *traceOut); err != nil {
@@ -297,6 +298,24 @@ func dedup(ckpts int, scale float64) error {
 	for _, r := range crows {
 		fmt.Printf("%-14s  %5d   %11.1f   %12d   %9.2f\n",
 			r.Scenario, r.Checkpoints, r.RestoreMs, r.StoreChunks, r.FreedMB)
+	}
+	fmt.Println()
+	return nil
+}
+
+// precopy runs ablation A7: checkpoint downtime versus application write
+// rate for stop-and-copy, the pipelined save, and pre-copy rounds.
+func precopy(ckpts int, scale float64) error {
+	fmt.Println("== Ablation A7: pre-copy rounds — downtime vs write rate ==")
+	fmt.Printf("   (4 nodes, %d checkpoints per cell, scale %.2f; downtime = slowest pod's freeze)\n\n", ckpts, scale)
+	rows, err := exp.PrecopyAblation(4, ckpts, scale, []float64{0.5, 1, 2, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Println("dirty pages/step   variant          downtime(ms)   latency(ms)   frozen-copy(MB)")
+	for _, r := range rows {
+		fmt.Printf("%16d   %-14s   %12.1f   %11.1f   %15.2f\n",
+			r.DirtyPagesPerStep, r.Variant, r.DowntimeMs, r.LatencyMs, r.FrozenMB)
 	}
 	fmt.Println()
 	return nil

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cruzsim -scenario quickstart|migrate|failover|periodic [-nodes 4] [-seed 1]
-//	        [-trace out.json] [-v]
+//	        [-precopy] [-trace out.json] [-v]
 //
 // Scenarios:
 //
@@ -19,6 +19,11 @@
 //	            spare node, printing the MTTR phase breakdown.
 //	periodic    An slm job checkpoints every 2s using the Fig. 4 optimized
 //	            protocol; prints per-checkpoint latencies and overheads.
+//
+// -precopy makes the periodic scenario stream each image over pre-copy
+// rounds while the pods keep running, freezing them only for the
+// residual dirty set — compare the "blocked" column against a run
+// without the flag.
 //
 // -trace out.json enables the deterministic tracer and writes a Chrome
 // trace-event file (load it in Perfetto / chrome://tracing); -v prints
@@ -57,6 +62,7 @@ func main() {
 		nodes    = flag.Int("nodes", 4, "application nodes")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		dedup    = flag.Bool("dedup", false, "periodic: store checkpoints content-addressed with the pipelined save path")
+		precopy  = flag.Bool("precopy", false, "periodic: pre-copy rounds — stream live, freeze only the residual dirty set")
 	)
 	flag.StringVar(&traceOut, "trace", "", "write Chrome trace-event JSON to this file")
 	flag.BoolVar(&verbose, "v", false, "print the trace as a timeline on stdout")
@@ -71,7 +77,7 @@ func main() {
 	case "failover":
 		err = failover(*nodes, *seed)
 	case "periodic":
-		err = periodic(*nodes, *seed, *dedup)
+		err = periodic(*nodes, *seed, *dedup, *precopy)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -333,7 +339,7 @@ func failover(nodes int, seed int64) error {
 	return emitTrace(cl)
 }
 
-func periodic(nodes int, seed int64, dedup bool) error {
+func periodic(nodes int, seed int64, dedup, precopy bool) error {
 	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed, Trace: tracing(), AutoCompact: 4})
 	if err != nil {
 		return err
@@ -348,6 +354,9 @@ func periodic(nodes int, seed int64, dedup bool) error {
 		if dedup {
 			opts.Dedup = true
 			opts.Pipeline = true
+		}
+		if precopy {
+			opts.Precopy = cruz.PrecopyConfig{MaxRounds: 3, DirtyThresholdPages: 16, MinRoundGain: 0.2}
 		}
 		res, cerr := cl.Checkpoint(job, opts)
 		if cerr != nil {
@@ -366,6 +375,9 @@ func periodic(nodes int, seed int64, dedup bool) error {
 	mode := "optimized"
 	if dedup {
 		mode = "optimized dedup+pipeline"
+	}
+	if precopy {
+		mode += " precopy"
 	}
 	stamp(cl, "5 %s checkpoints, application undisturbed", mode)
 	return emitTrace(cl)

@@ -44,6 +44,10 @@ type (
 	Member = core.Member
 	// CheckpointOptions selects the protocol variant.
 	CheckpointOptions = core.CheckpointOptions
+	// PrecopyConfig enables pre-copy rounds (CheckpointOptions.Precopy):
+	// the image streams while the pod runs; only the residual dirty set
+	// is saved under SIGSTOP.
+	PrecopyConfig = core.PrecopyConfig
 	// CheckpointResult reports a coordinated checkpoint's measurements.
 	CheckpointResult = core.CheckpointResult
 	// RestartResult reports a coordinated restart's measurements.

@@ -25,6 +25,12 @@ type Options struct {
 	// cached on clean pages, so only pages written since the last
 	// hashing capture cost a recompute (counted in Image.FreshHashes).
 	Hashes bool
+	// BaseSeq, when non-zero, overrides the sequence an Incremental
+	// image declares as its base (the default is seq-1). Pre-copy uses
+	// it to chain each round onto the previous round's sequence and the
+	// residual onto the last round, so a chain stays well-formed even
+	// when sequence numbers are strided or an epoch was aborted.
+	BaseSeq int
 }
 
 // Capture copies a stopped pod's complete state into an Image. The copy
@@ -54,6 +60,9 @@ func Capture(pod *zap.Pod, seq int, opts Options) (*Image, error) {
 	}
 	if opts.Incremental {
 		img.BaseSeq = seq - 1
+		if opts.BaseSeq != 0 {
+			img.BaseSeq = opts.BaseSeq
+		}
 	}
 
 	// Pipes are shared objects; assign stable ids as we encounter them.

@@ -292,9 +292,10 @@ func normalizeImage(t *testing.T, img *Image) *Image {
 }
 
 func TestRestorePathsEquivalent(t *testing.T) {
-	// Property: the same checkpoint chain restored four ways — in-memory
-	// image merge, blob store, deduplicated manifests, and deduplicated
-	// manifests after Compact — yields byte-identical memory and
+	// Property: the same checkpoint chain restored five ways — in-memory
+	// image merge, blob store, deduplicated manifests, deduplicated
+	// manifests after Compact, and a pre-copy chain of live COW rounds
+	// topped by a stopped residual — yields byte-identical memory and
 	// identical TCP state. Exercised against a pod with a live
 	// mid-stream TCP connection plus a memory-churning worker.
 	r := newRig(t, 3)
@@ -346,6 +347,51 @@ func TestRestorePathsEquivalent(t *testing.T) {
 		pump(5)
 		imgs = append(imgs, r.stopAndCapture(pod, seq, Options{Hashes: true, Incremental: true}))
 	}
+
+	saveDeduped := func(s *Store, img *Image) {
+		t.Helper()
+		done := false
+		s.SaveDeduped(img, func(_ *SavePlan, err error) {
+			if err != nil {
+				t.Errorf("SaveDeduped: %v", err)
+			}
+			done = true
+		})
+		r.run(10 * sim.Second)
+		if !done {
+			t.Fatal("dedup save never completed")
+		}
+	}
+
+	// Route E: pre-copy. Unlike routes A-D this chain is built while the
+	// pod RUNS — three live COW rounds captured concurrently with the
+	// echo stream and the heap churn, topped by a residual captured
+	// stopped. Its ground truth is a direct full capture taken at the
+	// residual stop: byte equality proves no post-snapshot write leaked
+	// into any round and no dirtied page was lost between rounds.
+	pre := NewStore(r.kernels[0].Disk())
+	pod.Resume()
+	baseSeq := 0
+	for round := 0; round < 3; round++ {
+		pump(3) // live TCP traffic + heap writes before the snapshot
+		lc, err := CaptureLive(pod, 4+round, Options{Incremental: round > 0, Hashes: true, BaseSeq: baseSeq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Writes landing after the snapshot instant take COW breaks and
+		// must stay out of this round's image (they reappear dirty in
+		// the next round or the residual).
+		pump(2)
+		saveDeduped(pre, lc.Image)
+		lc.Release()
+		baseSeq = 4 + round
+	}
+	resid := r.stopAndCapture(pod, 7, Options{Incremental: true, Hashes: true, BaseSeq: baseSeq})
+	preTruth, err := Capture(pod, 7, Options{Hashes: true}) // same stopped instant
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveDeduped(pre, resid)
 	pod.Destroy()
 
 	// Route A: plain in-memory merge of the chain — the ground truth.
@@ -356,11 +402,11 @@ func TestRestorePathsEquivalent(t *testing.T) {
 		}
 	}
 
-	// Routes B/C/D store the chain and read it back merged.
-	load := func(s *Store) *Image {
+	// Routes B/C/D/E store the chain and read it back merged.
+	load := func(s *Store, seq int) *Image {
 		t.Helper()
 		var img *Image
-		s.LoadMerged("eq", 3, func(i *Image, err error) {
+		s.LoadMerged("eq", seq, func(i *Image, err error) {
 			if err != nil {
 				t.Errorf("LoadMerged: %v", err)
 			}
@@ -383,28 +429,18 @@ func TestRestorePathsEquivalent(t *testing.T) {
 			t.Fatal("blob save never completed")
 		}
 	}
-	routes["blob"] = load(blobStore)
+	routes["blob"] = load(blobStore, 3)
 
 	for name, compact := range map[string]bool{"dedup": false, "dedup+compact": true} {
 		s := NewStore(r.kernels[0].Disk())
 		for _, img := range imgs {
-			done := false
-			s.SaveDeduped(img, func(_ *SavePlan, err error) {
-				if err != nil {
-					t.Errorf("SaveDeduped: %v", err)
-				}
-				done = true
-			})
-			r.run(10 * sim.Second)
-			if !done {
-				t.Fatal("dedup save never completed")
-			}
+			saveDeduped(s, img)
 		}
 		if compact {
 			s.Compact("eq", nil)
 			r.run(10 * sim.Second)
 		}
-		routes[name] = load(s)
+		routes[name] = load(s, 3)
 	}
 
 	wantNorm := normalizeImage(t, want)
@@ -424,9 +460,28 @@ func TestRestorePathsEquivalent(t *testing.T) {
 		}
 	}
 
-	// And the compacted route really restores: finish the echo stream
-	// through the revived pod on a third node.
-	pod2, err := Restore(r.kernels[2], routes["dedup+compact"])
+	// Route E compares against its own ground truth (the pod ran on past
+	// the seq-3 state while its rounds streamed).
+	preMerged := load(pre, 7)
+	preNorm, truthNorm := normalizeImage(t, preMerged), normalizeImage(t, preTruth)
+	for i := range truthNorm.Processes {
+		wp, gp := &truthNorm.Processes[i], &preNorm.Processes[i]
+		if !reflect.DeepEqual(wp.Memory, gp.Memory) {
+			t.Fatalf("precopy route: vpid %d memory differs from stopped capture", wp.VPID)
+		}
+		if !reflect.DeepEqual(wp.FDs, gp.FDs) {
+			t.Fatalf("precopy route: vpid %d descriptor/TCP state differs", wp.VPID)
+		}
+	}
+	if !reflect.DeepEqual(truthNorm, preNorm) {
+		t.Fatal("precopy route: merged chain differs from stopped capture")
+	}
+
+	// And the pre-copy chain really restores: finish the echo stream
+	// through the revived pod on a third node. (The client advanced past
+	// the seq-3 state during the rounds, so the pre-copy image is the
+	// only one consistent with its TCP peer.)
+	pod2, err := Restore(r.kernels[2], preMerged)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,133 @@
+package ckpt
+
+import (
+	"cruz/internal/mem"
+	"cruz/internal/trace"
+	"cruz/internal/zap"
+)
+
+// LiveCapture is one pre-copy round's worth of memory, captured from a
+// RUNNING pod (§5.2's copy-on-write checkpointing). The image holds the
+// page contents as of the snapshot instant; the snapshots behind it stay
+// armed until Release, so every application write to a captured page in
+// the meantime takes a COW break — the kernel's fault hook charges that
+// as the runtime cost of checkpointing concurrently with execution.
+//
+// The caller owns the capture's lifecycle:
+//
+//   - Release once the round's image is durably written (or on abort),
+//     returning pages to sole ownership so writes stop faulting.
+//   - Redirty on abort, after Release: the round cleared dirty tracking
+//     when it captured, so the pages it held must be re-marked dirty or
+//     the next capture would silently miss them.
+type LiveCapture struct {
+	Image  *Image
+	spaces []*mem.AddressSpace // live spaces, parallel to snaps
+	snaps  []*mem.AddressSpace
+	pages  [][]uint64 // per-process captured page numbers
+}
+
+// CaptureLive captures a round image from a running pod. The copy is
+// atomic in virtual time (snapshotting write-protects every page in one
+// event; no application write can interleave), and — unlike Capture —
+// does not require the pod to be stopped.
+//
+// Round images are memory-only: kernel state (program values, file
+// descriptors, signals, IPC) is deliberately absent, because Merge and
+// mergeManifests take kernel state wholly from the newest image in a
+// chain and the chain is always topped by a residual captured under
+// Capture with the pod stopped. A round image is therefore not
+// restorable by itself; it only exists as a link in a pre-copy chain.
+//
+// Each process's dirty tracking is cleared as it is captured, so the
+// next round saves exactly the pages written after this round's
+// snapshot instant.
+func CaptureLive(pod *zap.Pod, seq int, opts Options) (*LiveCapture, error) {
+	kern := pod.Kernel()
+	img := &Image{
+		PodName:     pod.Name(),
+		Seq:         seq,
+		Incremental: opts.Incremental,
+		TakenAt:     kern.Engine().Now(),
+		NextVPID:    pod.NextVPID(),
+		Net: NetImage{
+			IP:        pod.IP(),
+			MAC:       pod.Config().MAC,
+			FakeMAC:   pod.Config().FakeMAC,
+			SharedMAC: pod.SharedMAC(),
+		},
+	}
+	if opts.Incremental {
+		img.BaseSeq = seq - 1
+		if opts.BaseSeq != 0 {
+			img.BaseSeq = opts.BaseSeq
+		}
+	}
+	lc := &LiveCapture{Image: img}
+	for _, vpid := range pod.VPIDs() {
+		proc := pod.Process(vpid)
+		as := proc.Mem()
+		snap := as.Snapshot()
+		pns := as.PageNumbers(opts.Incremental)
+		as.ClearDirty()
+
+		pi := ProcImage{VPID: vpid, Name: proc.Name()}
+		pi.Memory.Regions = snap.Regions()
+		pi.Memory.PageNums = pns
+		pi.Memory.PageData = make([]byte, 0, len(pns)*mem.PageSize)
+		for _, pn := range pns {
+			pi.Memory.PageData = append(pi.Memory.PageData, snap.PageData(pn)...)
+		}
+		if opts.Hashes {
+			pi.Memory.PageHashes = make([]mem.PageHash, 0, len(pns))
+			before := snap.HashComputes()
+			for _, pn := range pns {
+				pi.Memory.PageHashes = append(pi.Memory.PageHashes, snap.PageHash(pn))
+			}
+			img.FreshHashes += int(snap.HashComputes() - before)
+		}
+		img.Processes = append(img.Processes, pi)
+		lc.spaces = append(lc.spaces, as)
+		lc.snaps = append(lc.snaps, snap)
+		lc.pages = append(lc.pages, pns)
+	}
+	if tr := trace.FromEngine(kern.Engine()); tr.Enabled() {
+		tr.Instant(kern.Name(), "ckpt", "capture-live",
+			trace.Str("pod", pod.Name()),
+			trace.Int("seq", int64(seq)),
+			trace.Int("procs", int64(len(img.Processes))),
+			trace.Int("mem_bytes", img.MemoryBytes()))
+	}
+	return lc, nil
+}
+
+// Pages returns the total number of pages the round captured.
+func (lc *LiveCapture) Pages() int {
+	n := 0
+	for _, pns := range lc.pages {
+		n += len(pns)
+	}
+	return n
+}
+
+// Release drops the COW sharing behind the capture. Live writes to the
+// captured pages stop taking faults; the capture's Image is unaffected
+// (its bytes were copied at snapshot time).
+func (lc *LiveCapture) Release() {
+	for _, snap := range lc.snaps {
+		snap.Release()
+	}
+	lc.snaps = nil
+}
+
+// Redirty re-marks every captured page dirty in its live address space.
+// The abort path calls it when the round's image is being discarded:
+// those pages' only saved copy is going away, so the next capture must
+// treat them as unsaved again.
+func (lc *LiveCapture) Redirty() {
+	for i, as := range lc.spaces {
+		for _, pn := range lc.pages[i] {
+			as.MarkDirty(pn)
+		}
+	}
+}

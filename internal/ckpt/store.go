@@ -110,6 +110,52 @@ func (s *Store) PlanSave(img *Image) (*SavePlan, error) {
 	return &SavePlan{Pod: img.PodName, Seq: img.Seq, TotalBytes: int64(len(blob))}, nil
 }
 
+// Discard removes stored checkpoints that were registered but never
+// committed — the pre-copy rounds of an aborted epoch. Manifest-form
+// entries release their chunk references (chunks nothing else references
+// are freed); blob-form entries are simply dropped. Discarding a
+// sequence that was never stored is a no-op, so an abort handler can
+// pass every sequence it planned without tracking which rounds landed.
+func (s *Store) Discard(pod string, seqs ...int) {
+	for _, seq := range seqs {
+		delete(s.blobs[pod], seq)
+		delete(s.images[pod], seq)
+		if m, ok := s.manifests[pod][seq]; ok {
+			for i := range m.Procs {
+				for _, ref := range m.Procs[i].Pages {
+					if e := s.chunks[ref.Hash]; e != nil {
+						e.refs--
+						if e.refs == 0 {
+							delete(s.chunks, ref.Hash)
+							s.stats.FreedChunks++
+							s.stats.FreedBytes += mem.PageSize
+						}
+					}
+				}
+			}
+			delete(s.manifests[pod], seq)
+			delete(s.manifestBytes[pod], seq)
+		}
+	}
+	// Recompute the pod's latest sequence (max is order-insensitive).
+	maxSeq, found := 0, false
+	for seq := range s.images[pod] {
+		if !found || seq > maxSeq {
+			maxSeq, found = seq, true
+		}
+	}
+	for seq := range s.manifests[pod] {
+		if !found || seq > maxSeq {
+			maxSeq, found = seq, true
+		}
+	}
+	if found {
+		s.latest[pod] = maxSeq
+	} else {
+		delete(s.latest, pod)
+	}
+}
+
 // LatestSeq returns the highest stored sequence number for a pod.
 func (s *Store) LatestSeq(pod string) (int, bool) {
 	seq, ok := s.latest[pod]

@@ -129,6 +129,7 @@ type agentOp struct {
 	*ctl.Op
 	optimized bool
 	cow       bool
+	precopy   bool
 	stoppedAt sim.Time
 	conn      *ctlConn
 	replicas  int
@@ -138,9 +139,19 @@ type agentOp struct {
 	resumed   bool
 	filterID  int
 
+	// Pre-copy bookkeeping. The live rounds are abortable background
+	// work: if the epoch fails mid-round, rounds' snapshots release,
+	// redirty re-marks every page whose only saved copy lived in the
+	// discarded epoch, and roundSeqs are struck from the store — as if
+	// the epoch never happened.
+	rounds    []*ckpt.LiveCapture
+	redirty   []func()
+	roundSeqs []int
+
 	// Trace spans for the op and its lifecycle phases. Zero values are
 	// inert, so paths that never begin a phase may End it freely.
 	span      trace.Span
+	phRound   trace.Span
 	phQuiesce trace.Span
 	phDrain   trace.Span
 	phCapture trace.Span
@@ -152,6 +163,7 @@ type agentOp struct {
 
 // endSpans closes everything still open on the op (abort/failure paths).
 func (op *agentOp) endSpans(args ...trace.Arg) {
+	op.phRound.End(args...)
 	op.phQuiesce.End(args...)
 	op.phDrain.End(args...)
 	op.phCapture.End(args...)
@@ -298,6 +310,19 @@ func (a *Agent) beginPodOp(kind string, m *wireMsg, c *ctlConn) (*agentOp, error
 			a.kern.Stack().Filter().RemoveRule(op.filterID)
 			op.filterID = 0
 		}
+		// Discard the partial pre-copy epoch: release the rounds' COW
+		// snapshots (writes stop faulting), re-mark the pages whose only
+		// saved copy is being thrown away, and strike the uncommitted
+		// round images from the store.
+		for _, lc := range op.rounds {
+			lc.Release()
+		}
+		for _, fn := range op.redirty {
+			fn()
+		}
+		if len(op.roundSeqs) > 0 {
+			a.store.Discard(name, op.roundSeqs...)
+		}
 		// Resolve the pod at failure time: a restart may have replaced it
 		// since the op began.
 		if p := a.pods[name]; p != nil && !p.Destroyed() && p.Stopped() {
@@ -310,7 +335,8 @@ func (a *Agent) beginPodOp(kind string, m *wireMsg, c *ctlConn) (*agentOp, error
 
 // startCheckpoint runs the Agent steps of Fig. 2 (or Fig. 4 when
 // optimized): disable communication, stop the pod, save its state, report
-// done.
+// done. With PrecopyRounds the stop is preceded by live pre-copy rounds
+// that shrink the stopped work to the residual dirty set.
 func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 	pod, ok := a.pods[m.Pod]
 	if !ok || pod.Destroyed() {
@@ -322,13 +348,113 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 		a.fail(c, msgDone, m, err)
 		return
 	}
+	op.precopy = m.PrecopyRounds > 0
 	a.coordConn = c
 	a.Stats.Checkpoints++
 	if a.tr.Enabled() {
-		node := a.kern.Name()
-		op.span = a.tr.Begin(node, "core", "agent.checkpoint",
+		op.span = a.tr.Begin(a.kern.Name(), "core", "agent.checkpoint",
 			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
-		op.phQuiesce = a.tr.Begin(node, trace.PhaseCat, "quiesce", trace.Str("pod", m.Pod))
+	}
+	if op.precopy {
+		a.runPrecopy(c, m, pod, op, 0, 0, 0)
+		return
+	}
+	a.runStopAndCopy(c, m, pod, op, 0)
+}
+
+// runPrecopy drives one live pre-copy round (round-numbered from 0) and
+// recurses, or hands off to the residual stop-and-copy once the policy
+// says another round is not worth taking. The pod runs — and keeps
+// communicating — throughout; each round captures a COW snapshot of the
+// pages dirtied since the previous round and streams it to the store as
+// an incremental image chained on baseSeq (0 = this round is the full
+// base of a fresh chain).
+func (a *Agent) runPrecopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, round, prevPages, baseSeq int) {
+	if op.Aborted() {
+		return
+	}
+	if round == 0 && m.Incremental {
+		// Chain round 0 onto the newest stored checkpoint, if any: the
+		// dirty bits are relative to the last capture, which is exactly
+		// what the store last registered.
+		if s, ok := a.store.LatestSeq(m.Pod); ok {
+			baseSeq = s
+		}
+	}
+	full := baseSeq == 0
+	candidate := pod.DirtyPages()
+	if full {
+		candidate = pod.ResidentPages()
+	}
+	converged := round >= m.PrecopyRounds ||
+		(m.PrecopyThresholdPages > 0 && candidate <= m.PrecopyThresholdPages) ||
+		(m.PrecopyMinGain > 0 && round > 0 &&
+			float64(candidate) > (1-m.PrecopyMinGain)*float64(prevPages))
+	if converged {
+		a.runStopAndCopy(c, m, pod, op, baseSeq)
+		return
+	}
+
+	// Rounds occupy the sequence block below the residual's m.Seq.
+	seqR := m.Seq - m.PrecopyRounds + round
+	if a.tr.Enabled() {
+		op.phRound = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "precopy-round",
+			trace.Str("pod", m.Pod), trace.Int("round", int64(round)),
+			trace.Int("pages", int64(candidate)))
+	}
+	lc, err := ckpt.CaptureLive(pod, seqR, ckpt.Options{Incremental: !full, Hashes: m.Dedup, BaseSeq: baseSeq})
+	if err != nil {
+		op.Fail(err)
+		a.fail(c, msgDone, m, err)
+		return
+	}
+	op.rounds = append(op.rounds, lc)
+	op.redirty = append(op.redirty, lc.Redirty)
+	captureBytes := int64(lc.Pages()) * mem.PageSize
+	// The snapshot is instant; the copy out of it costs CPU while the
+	// pod runs (writes to not-yet-released pages take COW faults — the
+	// concurrency overhead of §5.2, charged by the kernel).
+	a.cpu.Do(a.params.CaptureCost+bytesCost(captureBytes, a.params.CaptureBPS), func() {
+		if op.Aborted() {
+			return
+		}
+		a.planImage(m, op, lc.Image, func(plan *ckpt.SavePlan, err error) {
+			if op.Aborted() {
+				return
+			}
+			if err != nil {
+				op.Fail(err)
+				a.fail(c, msgDone, m, err)
+				return
+			}
+			op.roundSeqs = append(op.roundSeqs, seqR)
+			a.streamPlan(m.Pipeline, op, plan.TotalBytes, func() {
+				lc.Release()
+				op.phRound.End(trace.Int("bytes", plan.TotalBytes))
+				a.runPrecopy(c, m, pod, op, round+1, candidate, seqR)
+			})
+		})
+	})
+}
+
+// runStopAndCopy is the classic freeze-and-save: disable communication,
+// stop the pod, capture, plan, write, report done. Under a pre-copy
+// epoch it saves only the residual dirty set, chained on the last round
+// at baseSeq.
+func (a *Agent) runStopAndCopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, baseSeq int) {
+	incremental := m.Incremental
+	if op.precopy {
+		// The residual is incremental on the last round (or on the
+		// stored base when the policy skipped every round); a fresh
+		// chain whose round 0 never ran stays a full save.
+		incremental = baseSeq > 0
+	}
+	if a.tr.Enabled() {
+		name := "quiesce"
+		if op.precopy {
+			name = "residual-stop"
+		}
+		op.phQuiesce = a.tr.Begin(a.kern.Name(), trace.PhaseCat, name, trace.Str("pod", m.Pod))
 	}
 
 	// Step 1: configure the filter to silently drop all pod traffic.
@@ -365,7 +491,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 			var captureBytes int64
 			for _, vpid := range pod.VPIDs() {
 				as := pod.Process(vpid).Mem()
-				if m.Incremental {
+				if incremental {
 					captureBytes += int64(as.DirtyBytes())
 				} else {
 					captureBytes += int64(as.ResidentBytes())
@@ -380,7 +506,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 					op.phCapture = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "capture",
 						trace.Str("pod", m.Pod))
 				}
-				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: m.Incremental, Hashes: m.Dedup})
+				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: incremental, Hashes: m.Dedup, BaseSeq: baseSeq})
 				if err != nil {
 					op.Fail(err)
 					a.fail(c, msgDone, m, err)
@@ -388,6 +514,20 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 				}
 				op.phCapture.End(trace.Int("mem_bytes", img.MemoryBytes()))
 				op.captured = true
+				if op.precopy {
+					// The residual's capture cleared dirty bits for pages
+					// whose image would vanish if the epoch aborts.
+					op.redirty = append(op.redirty, func() {
+						for i := range img.Processes {
+							pi := &img.Processes[i]
+							if proc := pod.Process(pi.VPID); proc != nil {
+								for _, pn := range pi.Memory.PageNums {
+									proc.Mem().MarkDirty(pn)
+								}
+							}
+						}
+					})
+				}
 				if op.cow {
 					// §5.2 copy-on-write optimization: the captured copy
 					// is consistent the moment it exists; the pod may
@@ -407,25 +547,11 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 	})
 }
 
-// planAndWrite turns a captured image into a store plan — monolithic
-// blob, or (Dedup) hash + chunk-table dedup charged as their own phases —
-// and drives the remaining disk bytes through writeImage.
-func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, img *ckpt.Image) {
-	finishPlan := func(plan *ckpt.SavePlan, err error) {
-		if op.Aborted() {
-			return
-		}
-		if err != nil {
-			op.Fail(err)
-			a.fail(c, msgDone, m, err)
-			return
-		}
-		if a.tr.Enabled() {
-			op.phWrite = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "write",
-				trace.Str("pod", m.Pod))
-		}
-		a.writeImage(c, m, pod, op, plan)
-	}
+// planImage turns a captured image into a store plan — monolithic blob,
+// or (Dedup) hash + chunk-table dedup charged as their own phases — and
+// hands the plan to finishPlan. Shared by the residual stop-and-copy and
+// every pre-copy round.
+func (a *Agent) planImage(m *wireMsg, op *agentOp, img *ckpt.Image, finishPlan func(*ckpt.SavePlan, error)) {
 	if !m.Dedup {
 		plan, err := a.store.PlanSave(img)
 		finishPlan(plan, err)
@@ -467,51 +593,42 @@ func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, 
 	})
 }
 
-// writeImage writes plan.TotalBytes through the store's disk. Without the
-// Pipeline option the image goes as one segment (serial encode, then
-// write); with it, SegmentBytes-sized segments stream so segment k is
-// encoded on the daemon CPU while segment k-1 is on the disk, and
-// contiguous segments pay the positioning latency once.
-func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, plan *ckpt.SavePlan) {
-	disk := a.store.Disk()
-	total := plan.TotalBytes
-	segSize := total
-	if m.Pipeline && a.params.SegmentBytes > 0 && a.params.SegmentBytes < total {
-		segSize = a.params.SegmentBytes
-	}
-	complete := func() {
-		op.saveDone = true
-		op.phWrite.End(trace.Int("bytes", total))
-		// Step 3: send <done>.
-		c.send(&wireMsg{
-			Type:          msgDone,
-			Seq:           m.Seq,
-			Pod:           m.Pod,
-			LocalDuration: a.kern.Engine().Now().Sub(op.Started()),
-			ImageBytes:    total,
-		})
-		if plan.CompactAfter {
-			// GC off the critical path: fold the incremental chain once
-			// the checkpoint is reported.
-			a.store.Compact(m.Pod, nil)
-		}
-		if op.replicas > 0 {
-			// Stream the committed image to peer replicas, off the
-			// critical path of the coordinated cycle.
-			a.startReplication(m.Pod, m.Seq, op.replicas, c)
-		}
-		if op.resumed {
-			// COW: the pod resumed before the write finished; the
-			// operation completes here.
-			op.endSpans()
-			op.Finish()
+// planAndWrite plans the residual image and drives the remaining disk
+// bytes through writeImage.
+func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, img *ckpt.Image) {
+	a.planImage(m, op, img, func(plan *ckpt.SavePlan, err error) {
+		if op.Aborted() {
 			return
 		}
-		if !op.phCommit.Active() && a.tr.Enabled() {
-			op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+		if err != nil {
+			op.Fail(err)
+			a.fail(c, msgDone, m, err)
+			return
+		}
+		if op.precopy {
+			// Until the coordinator commits, the residual is part of the
+			// abortable epoch like the rounds before it.
+			op.roundSeqs = append(op.roundSeqs, m.Seq)
+		}
+		if a.tr.Enabled() {
+			op.phWrite = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "write",
 				trace.Str("pod", m.Pod))
 		}
-		a.maybeFinishContinue(m.Pod, pod, op)
+		a.writeImage(c, m, pod, op, plan)
+	})
+}
+
+// streamPlan drives total bytes through the store's disk, invoking
+// complete once the last segment lands. Without pipeline the bytes go as
+// one segment (serial encode, then write); with it, SegmentBytes-sized
+// segments stream so segment k is encoded on the daemon CPU while
+// segment k-1 is on the disk, and contiguous segments pay the
+// positioning latency once.
+func (a *Agent) streamPlan(pipeline bool, op *agentOp, total int64, complete func()) {
+	disk := a.store.Disk()
+	segSize := total
+	if pipeline && a.params.SegmentBytes > 0 && a.params.SegmentBytes < total {
+		segSize = a.params.SegmentBytes
 	}
 	if total <= 0 {
 		complete()
@@ -545,6 +662,47 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 		})
 	}
 	issue()
+}
+
+// writeImage streams the residual plan's bytes and completes the
+// checkpoint: report <done>, kick compaction/replication, finish or hand
+// over to the continue path.
+func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, plan *ckpt.SavePlan) {
+	total := plan.TotalBytes
+	a.streamPlan(m.Pipeline, op, total, func() {
+		op.saveDone = true
+		op.phWrite.End(trace.Int("bytes", total))
+		// Step 3: send <done>.
+		c.send(&wireMsg{
+			Type:          msgDone,
+			Seq:           m.Seq,
+			Pod:           m.Pod,
+			LocalDuration: a.kern.Engine().Now().Sub(op.Started()),
+			ImageBytes:    total,
+		})
+		if plan.CompactAfter {
+			// GC off the critical path: fold the incremental chain once
+			// the checkpoint is reported.
+			a.store.Compact(m.Pod, nil)
+		}
+		if op.replicas > 0 {
+			// Stream the committed image to peer replicas, off the
+			// critical path of the coordinated cycle.
+			a.startReplication(m.Pod, m.Seq, op.replicas, c)
+		}
+		if op.resumed {
+			// COW: the pod resumed before the write finished; the
+			// operation completes here.
+			op.endSpans()
+			op.Finish()
+			return
+		}
+		if !op.phCommit.Active() && a.tr.Enabled() {
+			op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+				trace.Str("pod", m.Pod))
+		}
+		a.maybeFinishContinue(m.Pod, pod, op)
+	})
 }
 
 // handleContinue implements Steps 5-7: resume the pod, re-enable its

@@ -76,6 +76,25 @@ func (p CoordinatorParams) leaseTimeout() sim.Duration {
 	return DefaultLeaseTimeout
 }
 
+// PrecopyConfig tunes pre-copy checkpointing: the agent streams the
+// pod's memory in live rounds — round 0 the whole image, each later
+// round only the pages dirtied since the previous round — and stops the
+// pod just for the final residual set. Freeze time then scales with the
+// residual dirty set, not the image size.
+type PrecopyConfig struct {
+	// MaxRounds caps the live rounds (0 disables pre-copy entirely).
+	MaxRounds int
+	// DirtyThresholdPages ends the rounds as soon as the live dirty set
+	// is at most this many pages: the residual stop-and-copy of that
+	// little memory is cheaper than another round.
+	DirtyThresholdPages int
+	// MinRoundGain is the minimum fractional shrink of the dirty set a
+	// round must achieve for another round to be worth taking. A
+	// workload writing faster than the disk drains never converges;
+	// this detects that and stops (0 = no check).
+	MinRoundGain float64
+}
+
 // CheckpointOptions selects the protocol variant.
 type CheckpointOptions struct {
 	// Optimized selects the Fig. 4 early-continue protocol.
@@ -98,6 +117,12 @@ type CheckpointOptions struct {
 	// after the local save, off the critical path — the recovery
 	// prerequisite that replaces manual image copying.
 	Replicas int
+	// Precopy, when MaxRounds > 0, streams the image in live rounds
+	// before the stop-and-copy, shrinking the freeze to the residual
+	// dirty set. The rounds are abortable background work: a failure
+	// mid-round aborts the whole epoch and the agents discard the
+	// partial round chain — the committed sequence never moves.
+	Precopy PrecopyConfig
 }
 
 // PodReport is one agent's reported local timings.
@@ -341,11 +366,19 @@ func (c *Coordinator) beginJobOp(kind string, job *Job, seq int, fromRecovery bo
 // Checkpoint runs one coordinated checkpoint of the job, invoking done
 // with the result.
 func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*CheckpointResult, error)) {
-	c.nextSeq[job.Name]++
+	// A pre-copy epoch consumes a block of sequence numbers: the live
+	// rounds chain through (seq-MaxRounds, seq) and only the residual at
+	// seq is ever committed, so an aborted epoch leaves a hole, never a
+	// dangling base.
+	stride := 1
+	if opts.Precopy.MaxRounds > 0 {
+		stride = opts.Precopy.MaxRounds + 1
+	}
+	c.nextSeq[job.Name] += stride
 	seq := c.nextSeq[job.Name]
 	op, err := c.beginJobOp("checkpoint", job, seq, false)
 	if err != nil {
-		c.nextSeq[job.Name]--
+		c.nextSeq[job.Name] -= stride
 		done(nil, err)
 		return
 	}
@@ -400,15 +433,18 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 				return
 			}
 			cc.send(&wireMsg{
-				Type:        msgCheckpoint,
-				Seq:         seq,
-				Pod:         m.Pod,
-				Incremental: opts.Incremental,
-				Optimized:   opts.Optimized,
-				COW:         opts.COW,
-				Dedup:       opts.Dedup,
-				Pipeline:    opts.Pipeline,
-				Replicas:    opts.Replicas,
+				Type:                  msgCheckpoint,
+				Seq:                   seq,
+				Pod:                   m.Pod,
+				Incremental:           opts.Incremental,
+				Optimized:             opts.Optimized,
+				COW:                   opts.COW,
+				Dedup:                 opts.Dedup,
+				Pipeline:              opts.Pipeline,
+				Replicas:              opts.Replicas,
+				PrecopyRounds:         opts.Precopy.MaxRounds,
+				PrecopyThresholdPages: opts.Precopy.DirtyThresholdPages,
+				PrecopyMinGain:        opts.Precopy.MinRoundGain,
 			})
 		})
 	}

@@ -561,6 +561,112 @@ func TestRingSurvivesManyCheckpointCycles(t *testing.T) {
 	}
 }
 
+func TestPrecopyShrinksFreezeAndRestores(t *testing.T) {
+	cl := newCluster(t, 3, 200*sim.Microsecond)
+	cl.run(sim.Second)
+
+	plain := cl.checkpoint(CheckpointOptions{})
+	cl.run(300 * sim.Millisecond)
+	pre := cl.checkpoint(CheckpointOptions{
+		Precopy: PrecopyConfig{MaxRounds: 3, DirtyThresholdPages: 8},
+	})
+	cl.run(300 * sim.Millisecond)
+	cl.checkHealthy(cl.workers)
+
+	// The pre-copy rounds stream the image while the ring runs; only the
+	// residual dirty set is copied under SIGSTOP, so the freeze window
+	// must collapse (the paper's O(image) → O(residual) claim).
+	if pre.MaxBlocked*5 >= plain.MaxBlocked {
+		t.Fatalf("precopy blocked %v vs plain %v — freeze did not shrink 5x",
+			pre.MaxBlocked, plain.MaxBlocked)
+	}
+	// The committed sequence sits at the top of the reserved round block:
+	// plain took 1, the precopy epoch occupies 2..5 with the residual at 5.
+	if pre.Seq != 5 {
+		t.Fatalf("precopy seq = %d, want 5 (rounds 2..4 + residual)", pre.Seq)
+	}
+	if seq, ok := cl.coord.CommittedSeq("ring"); !ok || seq != 5 {
+		t.Fatalf("committed = %d/%v, want 5", seq, ok)
+	}
+
+	// Crash every pod and restart from the layered round chain.
+	roundsAt := make([]uint64, len(cl.workers))
+	for i, w := range cl.workers {
+		roundsAt[i] = w.Rounds
+	}
+	for i, ag := range cl.agents {
+		ag.Pod(podName(i)).Destroy()
+	}
+	cl.restart(0)
+	workers := cl.currentWorkers()
+	for i, w := range workers {
+		if w.Rounds == 0 || w.Rounds > roundsAt[i] {
+			t.Fatalf("worker %d restored at %d rounds, checkpoint was before %d",
+				i, w.Rounds, roundsAt[i])
+		}
+	}
+	cl.run(sim.Second)
+	cl.checkHealthy(workers)
+	for i, w := range workers {
+		if w.Rounds <= roundsAt[i]/2 {
+			t.Fatalf("worker %d stuck after precopy restart", i)
+		}
+	}
+}
+
+func TestPrecopyAbortRollsBackRounds(t *testing.T) {
+	cl := newCluster(t, 3, 200*sim.Microsecond)
+	cl.run(sim.Second)
+	cl.checkpoint(CheckpointOptions{})
+	cl.run(300 * sim.Millisecond)
+
+	// An unknown pod makes one agent fail immediately; the healthy agents
+	// may already be mid-round. The abort must discard every partial
+	// round image and restore the dirty bits, so the next checkpoint is
+	// still complete and restorable.
+	badJob := &Job{Name: "ring", Members: append([]Member{}, cl.job.Members...)}
+	badJob.Members[2].Pod = "ghost"
+	fired := false
+	cl.coord.Connect(badJob, func(error) {})
+	cl.run(50 * sim.Millisecond)
+	cl.coord.Checkpoint(badJob, CheckpointOptions{
+		Precopy: PrecopyConfig{MaxRounds: 3},
+	}, func(r *CheckpointResult, err error) {
+		fired = true
+		if err == nil {
+			t.Error("checkpoint of job with ghost pod succeeded")
+		}
+	})
+	cl.run(10 * sim.Second)
+	if !fired {
+		t.Fatal("abort callback never fired")
+	}
+	for i, p := range cl.pods {
+		if p.Stopped() {
+			t.Fatalf("pod %d left stopped after precopy abort", i)
+		}
+	}
+
+	// A follow-up incremental precopy checkpoint must still restore
+	// correctly: the redirtied pages are recaptured.
+	cl.run(300 * sim.Millisecond)
+	cl.checkpoint(CheckpointOptions{
+		Incremental: true,
+		Precopy:     PrecopyConfig{MaxRounds: 2},
+	})
+	roundsAt := cl.workers[0].Rounds
+	for i, ag := range cl.agents {
+		ag.Pod(podName(i)).Destroy()
+	}
+	cl.restart(0)
+	workers := cl.currentWorkers()
+	if workers[0].Rounds == 0 || workers[0].Rounds > roundsAt {
+		t.Fatalf("restored rounds = %d, ckpt before %d", workers[0].Rounds, roundsAt)
+	}
+	cl.run(sim.Second)
+	cl.checkHealthy(workers)
+}
+
 func TestCOWResumesBeforeWriteCompletes(t *testing.T) {
 	cl := newCluster(t, 3, 200*sim.Microsecond)
 	cl.run(sim.Second)

@@ -109,6 +109,19 @@ type wireMsg struct {
 	// peer nodes after its local save.
 	Replicas int
 
+	// Pre-copy (PrecopyRounds > 0): the agent streams up to this many
+	// live rounds — copy-on-write captures taken without stopping the
+	// pod — before the residual stop-and-copy at Seq. Rounds occupy the
+	// sequence numbers (Seq-PrecopyRounds, Seq); only Seq is committed.
+	PrecopyRounds int
+	// PrecopyThresholdPages stops the rounds early once the live dirty
+	// set is at most this many pages (0 = no threshold).
+	PrecopyThresholdPages int
+	// PrecopyMinGain stops the rounds when a round shrinks the dirty
+	// set by less than this fraction of the previous round's pages —
+	// the write rate is outrunning the copy rate (0 = no gain check).
+	PrecopyMinGain float64
+
 	// Load (on pong) is how many live pods the agent hosts — the
 	// coordinator's placement signal.
 	Load int

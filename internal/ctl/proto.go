@@ -130,6 +130,7 @@ func (o *Op) ArmRetries(d sim.Duration, retries int, retry func(*Op), err error)
 
 func (o *Op) armTimer() {
 	o.timeout = o.table.engine.Schedule(o.timeoutDur, func() {
+		o.timeout = nil // fired: the engine recycles it
 		if o.done {
 			return
 		}

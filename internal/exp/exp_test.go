@@ -208,6 +208,38 @@ func TestRecoveryShape(t *testing.T) {
 	}
 }
 
+func TestPrecopyAblationShape(t *testing.T) {
+	rows, err := PrecopyAblation(2, 2, 0.05, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PrecopyRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	stop, pre := byName["stop-and-copy"], byName["precopy"]
+	if stop.DowntimeMs <= 0 || pre.DowntimeMs <= 0 {
+		t.Fatalf("degenerate rows: %+v", rows)
+	}
+	// The acceptance claim: pre-copy rounds shrink the freeze window at
+	// least 5x versus stop-and-copy (O(image) -> O(residual dirty set)).
+	if pre.DowntimeMs*5 > stop.DowntimeMs {
+		t.Fatalf("precopy downtime %.1f ms not 5x below stop-and-copy %.1f ms",
+			pre.DowntimeMs, stop.DowntimeMs)
+	}
+	// The commit latency still covers the full image volume: pre-copy
+	// moves the copy off the freeze window, it does not make it free.
+	if pre.LatencyMs*3 < stop.LatencyMs {
+		t.Fatalf("precopy latency %.1f ms suspiciously below stop-and-copy %.1f ms",
+			pre.LatencyMs, stop.LatencyMs)
+	}
+	// Only the residual is written while frozen.
+	if pre.FrozenMB >= stop.FrozenMB/5 {
+		t.Fatalf("precopy frozen copy %.2f MB not well below full %.2f MB",
+			pre.FrozenMB, stop.FrozenMB)
+	}
+}
+
 // TestExperimentsDeterministic re-runs an experiment end to end and
 // demands bit-identical results — the property that makes EXPERIMENTS.md
 // reproducible.

@@ -159,6 +159,41 @@ func JSONBench(nodeCounts []int, ckpts int, scale float64) (*BenchReport, error)
 		rep.Experiments[variant.key+"/first_latency_ms"] = first.Dist()
 	}
 
+	// Pre-copy ablation: per-checkpoint downtime (slowest pod's freeze
+	// window) under each save strategy at 4 nodes. Compare
+	// precopy_n4_rounds against precopy_n4_stopcopy: the paper-level
+	// claim is O(image size) collapsing to O(residual dirty set).
+	for _, variant := range []struct {
+		key  string
+		opts cruz.CheckpointOptions
+	}{
+		{"precopy_n4_stopcopy", cruz.CheckpointOptions{}},
+		{"precopy_n4_pipelined", cruz.CheckpointOptions{Pipeline: true}},
+		{"precopy_n4_rounds", cruz.CheckpointOptions{
+			Precopy: cruz.PrecopyConfig{MaxRounds: 3, DirtyThresholdPages: 16, MinRoundGain: 0.2},
+		}},
+	} {
+		cl, job, workers, err := slmCluster(dn, scale, false)
+		if err != nil {
+			return nil, err
+		}
+		var down, lat metrics.Summary
+		for k := 0; k < ckpts; k++ {
+			res, cerr := cl.Checkpoint(job, variant.opts)
+			if cerr != nil {
+				return nil, fmt.Errorf("exp: jsonbench %s ckpt %d: %w", variant.key, k, cerr)
+			}
+			down.AddDuration(res.MaxBlocked)
+			lat.AddDuration(res.Latency)
+			cl.Run(500 * cruz.Millisecond)
+		}
+		if err := checkWorkers(workers); err != nil {
+			return nil, err
+		}
+		rep.Experiments[variant.key+"/downtime_ms"] = down.Dist()
+		rep.Experiments[variant.key+"/latency_ms"] = lat.Dist()
+	}
+
 	// Restore after an 8-incremental deduplicated chain with
 	// auto-compaction folding it en route; compare against
 	// restart_n{max}/latency_ms, the fresh full-image restore above.

@@ -50,6 +50,11 @@ type Params struct {
 	DiskReadBPS  int64
 	// DiskLatency is the per-operation positioning latency.
 	DiskLatency sim.Duration
+	// CowFaultCost is the CPU cost charged to a process for each
+	// copy-on-write break it takes writing to a snapshotted page — the
+	// runtime overhead of checkpointing concurrently with execution
+	// (§5.2). It models a write-protection fault plus a page copy.
+	CowFaultCost sim.Duration
 }
 
 // DefaultParams matches the testbed calibration in DESIGN.md.
@@ -60,6 +65,7 @@ func DefaultParams() Params {
 		DiskWriteBPS: 110 << 20, // 110 MB/s
 		DiskReadBPS:  150 << 20,
 		DiskLatency:  4 * sim.Millisecond,
+		CowFaultCost: 2 * sim.Microsecond,
 	}
 }
 
@@ -93,6 +99,9 @@ type KernelStats struct {
 	ContextTime  sim.Duration // total CPU time consumed by all processes
 	ProcsSpawned uint64
 	ProcsExited  uint64
+	// CowFaults counts copy-on-write breaks taken by processes writing
+	// to pages shared with an in-progress checkpoint snapshot.
+	CowFaults uint64
 }
 
 // New creates a kernel for a node. The stack may be nil for pure-compute
@@ -166,6 +175,12 @@ func (k *Kernel) Spawn(name string, prog Program, parent int) *Process {
 		state:  StateReady,
 	}
 	p.ctx.proc = p
+	// Each COW break during a program step is charged to the step's CPU
+	// cost in runStep; the hook only tallies.
+	p.mem.SetFaultHook(func(uint64) {
+		p.cowFaults++
+		k.Stats.CowFaults++
+	})
 	k.nextPID++
 	k.procs[p.pid] = p
 	k.Stats.ProcsSpawned++
@@ -223,6 +238,10 @@ func (k *Kernel) runStep(p *Process) {
 		sysCost += sim.Duration(p.ctx.syscalls) * p.interposer.SyscallOverhead()
 	}
 	cost += sysCost
+	if p.cowFaults > 0 {
+		cost += sim.Duration(p.cowFaults) * k.params.CowFaultCost
+		p.cowFaults = 0
+	}
 	p.cpuTime += cost
 	k.Stats.ContextTime += cost
 	k.Stats.Syscalls += uint64(p.ctx.syscalls)
@@ -331,6 +350,7 @@ func (k *Kernel) exitProcess(p *Process, code int) {
 	p.exitCode = code
 	if p.sleepEv != nil {
 		k.engine.Cancel(p.sleepEv)
+		p.sleepEv = nil
 	}
 	for fdn := range p.fds {
 		p.closeFD(fdn)

@@ -209,6 +209,10 @@ type Process struct {
 	signals       []Signal
 
 	cpuTime sim.Duration
+	// cowFaults accumulates copy-on-write breaks taken during the
+	// current program step; runStep folds them into the step's CPU cost
+	// and resets the counter.
+	cowFaults int
 
 	interposer Interposer
 	onStopped  func()

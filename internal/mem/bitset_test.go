@@ -1,0 +1,159 @@
+package mem
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBitsetSetHasCount(t *testing.T) {
+	var b Bitset
+	pns := []uint64{0x8048, 0x8048, 0x9000, 0x8000, 0x8048 + 64*1000, 3}
+	want := map[uint64]bool{}
+	for _, pn := range pns {
+		fresh := !want[pn]
+		if got := b.Set(pn); got != fresh {
+			t.Fatalf("Set(%#x) = %v, want %v", pn, got, fresh)
+		}
+		want[pn] = true
+	}
+	if b.Count() != len(want) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(want))
+	}
+	for pn := range want {
+		if !b.Has(pn) {
+			t.Fatalf("Has(%#x) = false after Set", pn)
+		}
+	}
+	if b.Has(0x8049) || b.Has(0) {
+		t.Fatal("Has reports unset pages")
+	}
+}
+
+func TestBitsetPagesSortedAndReset(t *testing.T) {
+	var b Bitset
+	rng := rand.New(rand.NewSource(7))
+	want := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		pn := 0x8000 + uint64(rng.Intn(1<<14))
+		b.Set(pn)
+		want[pn] = true
+	}
+	got := b.Pages()
+	if len(got) != len(want) {
+		t.Fatalf("Pages returned %d pns, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Pages not sorted ascending")
+	}
+	for _, pn := range got {
+		if !want[pn] {
+			t.Fatalf("Pages returned unset pn %#x", pn)
+		}
+	}
+	b.Reset()
+	if b.Count() != 0 || len(b.Pages()) != 0 {
+		t.Fatal("Reset did not clear the set")
+	}
+	// Reset keeps storage: refilling must work and stay sorted.
+	b.Set(42)
+	b.Set(0x8000)
+	if got := b.Pages(); len(got) != 2 || got[0] != 42 || got[1] != 0x8000 {
+		t.Fatalf("refill after Reset: got %v", got)
+	}
+}
+
+func TestPageVersionAdvancesOnWrite(t *testing.T) {
+	as := NewAddressSpace()
+	base, err := as.Alloc(4*PageSize, "heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := base / PageSize
+	if v := as.PageVersion(pn); v != 0 {
+		t.Fatalf("unwritten page version = %d, want 0", v)
+	}
+	as.Write(base, []byte{1})
+	v1 := as.PageVersion(pn)
+	as.Write(base, []byte{2})
+	v2 := as.PageVersion(pn)
+	if v1 == 0 || v2 <= v1 {
+		t.Fatalf("versions did not advance: %d then %d", v1, v2)
+	}
+}
+
+func TestSnapshotFreezesVersionsAndFiresFaultHook(t *testing.T) {
+	as := NewAddressSpace()
+	base, err := as.Alloc(4*PageSize, "heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := base / PageSize
+	as.Write(base, []byte{1})
+	vAt := as.PageVersion(pn)
+
+	var faults []uint64
+	as.SetFaultHook(func(pn uint64) { faults = append(faults, pn) })
+	snap := as.Snapshot()
+
+	as.Write(base, []byte{2})
+	as.Write(base, []byte{3}) // second write: COW already broken, no fault
+	as.Write(base+PageSize, []byte{9})
+
+	if snap.PageVersion(pn) != vAt {
+		t.Fatalf("snapshot version moved: %d, want %d", snap.PageVersion(pn), vAt)
+	}
+	var got [1]byte
+	snap.Read(base, got[:])
+	if got[0] != 1 {
+		t.Fatalf("snapshot sees post-snapshot write: %d", got[0])
+	}
+	if as.PageVersion(pn) <= vAt {
+		t.Fatal("live version did not advance past snapshot")
+	}
+	if len(faults) != 1 || faults[0] != pn {
+		t.Fatalf("fault hook fired %v, want exactly one fault on %#x", faults, pn)
+	}
+}
+
+// BenchmarkDirtyTracking is the satellite micro-benchmark: the dirty set
+// is scanned (sorted) every pre-copy round, so track + sorted-iterate is
+// the operation that matters. The bitset wins on both the write path and
+// the scan (no per-entry allocation, no sort).
+func BenchmarkDirtyTracking(b *testing.B) {
+	const pages = 8192
+	pns := make([]uint64, pages)
+	rng := rand.New(rand.NewSource(21))
+	for i := range pns {
+		pns[i] = 0x8048 + uint64(rng.Intn(4*pages))
+	}
+
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		var set Bitset
+		var total int
+		for i := 0; i < b.N; i++ {
+			for _, pn := range pns {
+				set.Set(pn)
+			}
+			set.ForEach(func(uint64) { total++ })
+			set.Reset()
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		var total int
+		for i := 0; i < b.N; i++ {
+			set := make(map[uint64]bool)
+			for _, pn := range pns {
+				set[pn] = true
+			}
+			out := make([]uint64, 0, len(set))
+			for pn := range set {
+				out = append(out, pn)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			total += len(out)
+		}
+	})
+}

@@ -26,6 +26,12 @@ type Page struct {
 	Data [PageSize]byte
 	// refs counts address spaces sharing this page under copy-on-write.
 	refs int
+	// version counts writes to this page's content lineage. A COW break
+	// carries the version over to the private copy and then increments
+	// it, so a snapshot's page keeps the version it had when the
+	// snapshot was taken — capture code can assert it read a consistent
+	// image even though the owning pod kept running.
+	version uint64
 	// hash caches the page's content hash; hashed says whether it is
 	// current. The write path (writablePage) invalidates it, so clean
 	// pages are hashed at most once between writes no matter how many
@@ -88,9 +94,15 @@ func (r Region) End() uint64 { return r.Start + r.Size }
 // because it sets a conventional allocation base.
 type AddressSpace struct {
 	pages   map[uint64]*Page // keyed by page number
-	dirty   map[uint64]bool  // pages written since last ClearDirty
+	dirty   Bitset           // pages written since last ClearDirty
 	regions []Region
 	next    uint64 // next allocation address (bump allocator)
+
+	// faultHook, when set, observes every copy-on-write break (a write
+	// to a page shared with a snapshot). The kernel wires it to charge
+	// the write fault's cost to the running process — the runtime price
+	// of checkpointing concurrently with execution.
+	faultHook func(pn uint64)
 
 	// hashComputes counts fresh page-hash computations performed through
 	// this address space (cache misses); checkpoint code uses the delta
@@ -107,7 +119,6 @@ const allocBase = 0x0804_8000
 func NewAddressSpace() *AddressSpace {
 	return &AddressSpace{
 		pages: make(map[uint64]*Page),
-		dirty: make(map[uint64]bool),
 		next:  allocBase,
 	}
 }
@@ -115,10 +126,15 @@ func NewAddressSpace() *AddressSpace {
 func (as *AddressSpace) init() {
 	if as.pages == nil {
 		as.pages = make(map[uint64]*Page)
-		as.dirty = make(map[uint64]bool)
 		as.next = allocBase
 	}
 }
+
+// SetFaultHook installs fn to run on every copy-on-write break in this
+// address space (nil removes it). The hook fires before the write
+// proceeds, once per page per snapshot generation — exactly when a real
+// kernel would take a write-protection fault on a snapshotted page.
+func (as *AddressSpace) SetFaultHook(fn func(pn uint64)) { as.faultHook = fn }
 
 // Alloc maps a new region of the given size (rounded up to whole pages)
 // and returns its base address. Alloc never reuses addresses, which keeps
@@ -178,12 +194,18 @@ func (as *AddressSpace) writablePage(pn uint64) *Page {
 		as.pages[pn] = p
 	case p.refs > 1:
 		// Copy-on-write break: give this address space a private copy.
+		// The snapshot keeps the shared page (and its version) intact;
+		// only the live side's lineage advances.
 		p.refs--
-		np := &Page{Data: p.Data, refs: 1}
+		np := &Page{Data: p.Data, refs: 1, version: p.version}
 		as.pages[pn] = np
 		p = np
+		if as.faultHook != nil {
+			as.faultHook(pn)
+		}
 	}
-	as.dirty[pn] = true
+	as.dirty.Set(pn)
+	p.version++
 	// The caller is about to write: whatever hash was cached no longer
 	// describes the contents.
 	p.hashed = false
@@ -264,34 +286,39 @@ func (as *AddressSpace) ResidentPages() int { return len(as.pages) }
 func (as *AddressSpace) ResidentBytes() uint64 { return uint64(len(as.pages)) * PageSize }
 
 // DirtyPages returns the number of pages written since the last ClearDirty.
-func (as *AddressSpace) DirtyPages() int { return len(as.dirty) }
+func (as *AddressSpace) DirtyPages() int { return as.dirty.Count() }
 
 // DirtyBytes returns DirtyPages in bytes; an incremental checkpoint writes
 // only this much.
-func (as *AddressSpace) DirtyBytes() uint64 { return uint64(len(as.dirty)) * PageSize }
+func (as *AddressSpace) DirtyBytes() uint64 { return uint64(as.dirty.Count()) * PageSize }
 
 // ClearDirty resets dirty-page tracking, typically right after a
-// checkpoint captures the space.
+// checkpoint captures the space. The bitset's storage is kept, so the
+// per-round clear of a pre-copy loop allocates nothing.
 func (as *AddressSpace) ClearDirty() {
-	as.dirty = make(map[uint64]bool)
+	as.dirty.Reset()
+}
+
+// MarkDirty re-marks a page dirty without writing it. The checkpoint
+// abort path uses it to undo a round's ClearDirty: pages whose only
+// up-to-date copy lived in a discarded pre-copy round must be saved
+// again by the next capture.
+func (as *AddressSpace) MarkDirty(pn uint64) {
+	as.init()
+	as.dirty.Set(pn)
 }
 
 // PageNumbers returns the sorted page numbers of materialized pages. If
 // dirtyOnly is set, only pages dirtied since the last ClearDirty are
-// returned.
+// returned (the bitset iterates in ascending order, so no sort is
+// needed).
 func (as *AddressSpace) PageNumbers(dirtyOnly bool) []uint64 {
-	src := as.pages
-	var out []uint64
 	if dirtyOnly {
-		out = make([]uint64, 0, len(as.dirty))
-		for pn := range as.dirty {
-			out = append(out, pn)
-		}
-	} else {
-		out = make([]uint64, 0, len(src))
-		for pn := range src {
-			out = append(out, pn)
-		}
+		return as.dirty.Pages()
+	}
+	out := make([]uint64, 0, len(as.pages))
+	for pn := range as.pages {
+		out = append(out, pn)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -370,12 +397,14 @@ func (as *AddressSpace) InstallRegion(r Region) error {
 // original and the clone see the current contents, pages are shared until
 // either side writes. Snapshot is O(resident pages) in map work but copies
 // no page data, which is what lets a checkpoint proceed concurrently with
-// application execution.
+// application execution: the snapshot "write-protects" every shared page,
+// and the live side's write path lazily duplicates a page on its first
+// post-snapshot write (firing the fault hook), leaving the snapshot's
+// copy — and its version counter — frozen at the snapshot instant.
 func (as *AddressSpace) Snapshot() *AddressSpace {
 	as.init()
 	clone := &AddressSpace{
 		pages:   make(map[uint64]*Page, len(as.pages)),
-		dirty:   make(map[uint64]bool),
 		next:    as.next,
 		regions: make([]Region, len(as.regions)),
 	}
@@ -385,6 +414,31 @@ func (as *AddressSpace) Snapshot() *AddressSpace {
 		clone.pages[pn] = p
 	}
 	return clone
+}
+
+// Release drops a snapshot's copy-on-write sharing: every page the
+// snapshot still shares with its origin returns to sole ownership, so
+// later writes in the live space stop paying COW breaks (and stop firing
+// the fault hook). The snapshot must not be used after Release. Calling
+// Release on a live space that snapshots were taken FROM — rather than
+// on the snapshot itself — would corrupt the sharing counts.
+func (as *AddressSpace) Release() {
+	for _, p := range as.pages {
+		p.refs--
+	}
+	as.pages = nil
+	as.regions = nil
+}
+
+// PageVersion returns page pn's write-version counter (0 for a page that
+// was never written). A snapshot's versions never change, which is the
+// consistency invariant concurrent capture relies on; the live space's
+// version advances on every write, including the one that breaks COW.
+func (as *AddressSpace) PageVersion(pn uint64) uint64 {
+	if p := as.pages[pn]; p != nil {
+		return p.version
+	}
+	return 0
 }
 
 // SharedPages reports how many of the space's pages are currently shared

@@ -66,6 +66,15 @@ func (t Time) String() string { return Duration(t).String() }
 // Event is a scheduled callback. Events are ordered by firing time and,
 // for equal times, by scheduling order, which keeps the simulation
 // deterministic.
+//
+// Fired and canceled events are recycled through the engine's free list
+// (scheduling is on the hot path: every packet, disk transfer, and
+// pre-copy round segment is an event). A caller that retains the *Event
+// returned by Schedule must therefore drop its reference once the event
+// has fired or been canceled — the usual pattern is to nil the field at
+// the top of the callback — and must never call Cancel, Canceled, or At
+// on a pointer retained past that moment: the struct may already belong
+// to an unrelated later event.
 type Event struct {
 	at       Time
 	seq      uint64
@@ -130,6 +139,9 @@ type Engine struct {
 	// event — the tracer uses it for sampled dispatch counters.
 	traceSink any
 	stepHook  func()
+	// free recycles fired and canceled events, keeping the steady-state
+	// schedule/fire cycle allocation-free.
+	free []*Event
 }
 
 // NewEngine returns an engine whose clock reads zero and whose
@@ -178,20 +190,35 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 		at = e.now
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{at: at, seq: e.seq, fn: fn}
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.queue, ev)
 	return ev
 }
 
-// Cancel removes the event from the queue if it has not fired yet. It is
-// safe to cancel an event twice or after it has fired; those calls are
-// no-ops. Cancel reports whether the event was actually descheduled.
+// recycle returns a dead event to the free list, releasing its closure.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// Cancel removes the event from the queue if it has not fired yet,
+// reporting whether it was actually descheduled. A canceled event goes
+// back to the free list, so the caller must drop its reference (see the
+// Event retention contract).
 func (e *Engine) Cancel(ev *Event) bool {
 	if ev == nil || ev.canceled || ev.index < 0 {
 		return false
 	}
 	ev.canceled = true
 	heap.Remove(&e.queue, ev.index)
+	e.recycle(ev)
 	return true
 }
 
@@ -207,7 +234,11 @@ func (e *Engine) Step() bool {
 	if e.stepHook != nil {
 		e.stepHook()
 	}
-	ev.fn()
+	fn := ev.fn
+	// Recycle only after fn returns: callbacks may Cancel the event that
+	// is firing (a harmless no-op), and that must not hit a reused struct.
+	fn()
+	e.recycle(ev)
 	return true
 }
 
@@ -271,6 +302,7 @@ func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
 
 func (t *Ticker) arm() {
 	t.ev = t.engine.Schedule(t.period, func() {
+		t.ev = nil // fired: the engine recycles it
 		if t.stopped {
 			return
 		}
@@ -285,4 +317,5 @@ func (t *Ticker) arm() {
 func (t *Ticker) Stop() {
 	t.stopped = true
 	t.engine.Cancel(t.ev)
+	t.ev = nil
 }

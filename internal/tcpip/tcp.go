@@ -531,8 +531,11 @@ func (c *TCPConn) teardown(err error) {
 	}
 	c.setState(StateClosed)
 	c.stack.engine.Cancel(c.rtoTimer)
+	c.rtoTimer = nil
 	c.stack.engine.Cancel(c.persistTimer)
+	c.persistTimer = nil
 	c.stack.engine.Cancel(c.twTimer)
+	c.twTimer = nil
 	delete(c.stack.conns, c.tuple)
 	c.wake()
 }
@@ -680,8 +683,10 @@ func (c *TCPConn) trySend() {
 }
 
 // armRTO starts the retransmission timer if it is not already running.
+// The timer field is nil'd whenever the event fires or is canceled (the
+// engine recycles dead events), so non-nil means pending.
 func (c *TCPConn) armRTO() {
-	if c.rtoTimer != nil && !c.rtoTimer.Canceled() && c.rtoTimer.At() > c.stack.engine.Now() {
+	if c.rtoTimer != nil {
 		return
 	}
 	c.rtoTimer = c.stack.engine.Schedule(c.rto, c.onRTO)
@@ -695,6 +700,7 @@ func (c *TCPConn) resetRTO() {
 
 // onRTO fires when the oldest outstanding segment times out.
 func (c *TCPConn) onRTO() {
+	c.rtoTimer = nil // fired: the engine recycles it
 	switch c.state {
 	case StateSynSent:
 		c.Stats.RTOFirings++
@@ -785,10 +791,11 @@ func (c *TCPConn) armPersistIfNeeded() {
 	if c.sndWnd != 0 || len(c.pending) == 0 || c.inflightBytes() > 0 {
 		return
 	}
-	if c.persistTimer != nil && !c.persistTimer.Canceled() && c.persistTimer.At() > c.stack.engine.Now() {
+	if c.persistTimer != nil {
 		return
 	}
 	c.persistTimer = c.stack.engine.Schedule(c.rto, func() {
+		c.persistTimer = nil // fired: the engine recycles it
 		if c.sndWnd == 0 && len(c.pending) > 0 && c.Established() {
 			// Probe with one byte of pending data.
 			g := &inflightSeg{seq: c.sndNxt, data: []byte{c.pending[0]}}
@@ -913,6 +920,7 @@ func (c *TCPConn) handleSegment(seg *Segment) {
 			c.setState(StateEstablished)
 			c.rto = c.params.RTOInit
 			c.stack.engine.Cancel(c.rtoTimer)
+			c.rtoTimer = nil
 			c.sendControl(FlagACK, c.sndNxt, c.rcvNxt)
 			c.wake()
 			c.trySend()
@@ -924,6 +932,7 @@ func (c *TCPConn) handleSegment(seg *Segment) {
 			c.sndWnd = uint32(seg.Window)
 			c.setState(StateEstablished)
 			c.stack.engine.Cancel(c.rtoTimer)
+			c.rtoTimer = nil
 			if l := c.listener; l != nil {
 				l.synRcvd--
 				l.acceptQ = append(l.acceptQ, c)
@@ -1010,6 +1019,7 @@ func (c *TCPConn) processACK(seg *Segment) {
 		c.sndWnd = uint32(seg.Window)
 		if len(c.segs) == 0 {
 			c.stack.engine.Cancel(c.rtoTimer)
+			c.rtoTimer = nil
 		} else {
 			c.resetRTO()
 		}
@@ -1160,6 +1170,7 @@ func (c *TCPConn) drainOOO() {
 func (c *TCPConn) enterTimeWait() {
 	c.setState(StateTimeWait)
 	c.stack.engine.Cancel(c.rtoTimer)
+	c.rtoTimer = nil
 	c.twTimer = c.stack.engine.Schedule(2*c.params.MSL, func() { c.teardown(nil) })
 	c.wake()
 }

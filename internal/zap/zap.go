@@ -227,6 +227,28 @@ func (p *Pod) VPIDs() []int {
 	return out
 }
 
+// DirtyPages returns the total number of pages dirtied across the pod's
+// processes since their dirty tracking was last cleared. The pre-copy
+// policy reads it between rounds to decide whether another live round is
+// worth taking or the residual is small enough to stop-and-copy.
+func (p *Pod) DirtyPages() int {
+	n := 0
+	for _, vpid := range p.VPIDs() {
+		n += p.procs[vpid].Mem().DirtyPages()
+	}
+	return n
+}
+
+// ResidentPages returns the total materialized pages across the pod's
+// processes — the size of a full (round-0) pre-copy transfer.
+func (p *Pod) ResidentPages() int {
+	n := 0
+	for _, vpid := range p.VPIDs() {
+		n += p.procs[vpid].Mem().ResidentPages()
+	}
+	return n
+}
+
 // NextVPID exposes the namespace high-water mark (checkpointed so vpids
 // never collide across restarts).
 func (p *Pod) NextVPID() int { return p.nextVPID }

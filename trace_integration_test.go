@@ -13,7 +13,7 @@ import (
 // tracedCycle runs the reference workload with tracing on: an slm ring,
 // one coordinated checkpoint, a crash of every pod, and a coordinated
 // restart. It returns both exporter outputs.
-func tracedCycle(t *testing.T, seed int64) (chrome, timeline []byte) {
+func tracedCycle(t *testing.T, seed int64, opts cruz.CheckpointOptions) (chrome, timeline []byte) {
 	t.Helper()
 	cl, err := cruz.New(cruz.Config{Nodes: 3, Seed: seed, Trace: true})
 	if err != nil {
@@ -21,7 +21,7 @@ func tracedCycle(t *testing.T, seed int64) (chrome, timeline []byte) {
 	}
 	names, job := deployRing(t, cl, 3)
 	cl.Run(100 * cruz.Millisecond)
-	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	res, err := cl.Checkpoint(job, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,8 +55,8 @@ func tracedCycle(t *testing.T, seed int64) (chrome, timeline []byte) {
 // with the same seed must produce byte-identical traces in both export
 // formats.
 func TestTraceDeterminism(t *testing.T) {
-	c1, t1 := tracedCycle(t, 42)
-	c2, t2 := tracedCycle(t, 42)
+	c1, t1 := tracedCycle(t, 42, cruz.CheckpointOptions{})
+	c2, t2 := tracedCycle(t, 42, cruz.CheckpointOptions{})
 	if !bytes.Equal(c1, c2) {
 		t.Error("same-seed runs produced different Chrome traces")
 	}
@@ -81,7 +81,7 @@ func TestTraceDeterminism(t *testing.T) {
 // export is valid JSON and every node records the nested checkpoint
 // phases quiesce -> drain -> capture -> write -> commit.
 func TestTraceCheckpointPhases(t *testing.T) {
-	chrome, _ := tracedCycle(t, 7)
+	chrome, _ := tracedCycle(t, 7, cruz.CheckpointOptions{})
 	var ct struct {
 		TraceEvents []struct {
 			Name string `json:"name"`
@@ -129,6 +129,32 @@ func TestTraceCheckpointPhases(t *testing.T) {
 		if i != len(order) {
 			t.Errorf("%s: phase begins %v missing ordered %v", node, got, order)
 		}
+	}
+}
+
+// TestTracePrecopyDeterministicPhases: a pre-copy checkpoint cycle is as
+// deterministic as the plain one — two same-seed runs export byte-identical
+// traces — and every node records the new precopy-round and residual-stop
+// phases (the quiesce phase is renamed when only the residual is frozen).
+func TestTracePrecopyDeterministicPhases(t *testing.T) {
+	opts := cruz.CheckpointOptions{
+		Precopy: cruz.PrecopyConfig{MaxRounds: 2},
+	}
+	c1, t1 := tracedCycle(t, 42, opts)
+	c2, t2 := tracedCycle(t, 42, opts)
+	if !bytes.Equal(c1, c2) {
+		t.Error("same-seed precopy runs produced different Chrome traces")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("same-seed precopy runs produced different timelines")
+	}
+	for _, phase := range []string{"precopy-round", "residual-stop"} {
+		if !bytes.Contains(t1, []byte(phase)) {
+			t.Errorf("timeline records no %q phase", phase)
+		}
+	}
+	if bytes.Contains(t1, []byte("\tquiesce")) || bytes.Contains(t1, []byte(" quiesce")) {
+		t.Error("precopy checkpoint still records a full quiesce phase")
 	}
 }
 
