@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|recovery|phases|none]
+//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|recovery|critpath|phases|none]
 //	          [-scale 1.0] [-ckpts 3] [-maxnodes 8] [-trace] [-json]
 //	          [-checkjson FILE]
 //
@@ -14,8 +14,12 @@
 // -trace runs the checkpoint-phase breakdown experiment (same as
 // -exp phases): a traced cluster decomposes coordinated checkpoint
 // latency into quiesce/drain/capture/write/commit. -traceout additionally
-// writes its Chrome trace JSON. -json writes every selected experiment's
-// distribution statistics (mean/stddev/percentiles) to BENCH_cruz.json.
+// writes its Chrome trace JSON. -exp critpath runs the traced
+// kill-and-recover experiment and prints the cross-node span trees, the
+// critical-path decomposition of the recovery MTTR and of the replicated
+// checkpoint, and the lease-expiry flight-recorder dump. -json writes
+// every selected experiment's distribution statistics
+// (mean/stddev/percentiles) to BENCH_cruz.json.
 package main
 
 import (
@@ -31,7 +35,7 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|recovery|phases|none")
+		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|recovery|critpath|phases|none")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's ~100 MB pod images)")
 		ckpts     = flag.Int("ckpts", 3, "checkpoints per configuration (fig5)")
 		maxNodes  = flag.Int("maxnodes", 8, "largest node count for sweeps")
@@ -72,6 +76,7 @@ func main() {
 	run("dedup", func() error { return dedup(*jsonCkpts, *scale) })
 	run("precopy", func() error { return precopy(*ckpts, *scale) })
 	run("recovery", func() error { return recovery(*scale) })
+	run("critpath", func() error { return critpathRun(*scale) })
 	if *doTrace || *which == "phases" || *which == "all" {
 		if err := phases(*maxNodes, *ckpts, *scale, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "cruzbench: phases: %v\n", err)
@@ -102,11 +107,17 @@ func phases(maxNodes, ckpts int, scale float64, traceOut string) error {
 	if err != nil {
 		return err
 	}
+	if res.Dropped > 0 {
+		return fmt.Errorf("trace ring overflowed (%d events dropped): the phase report is truncated; raise the trace capacity", res.Dropped)
+	}
 	fmt.Print(res.Report.Format())
 	fmt.Println("\n-- with content-addressed pipeline (dedup+pipeline, incremental, auto-compact) --")
 	dres, err := exp.PhasesDedup(n, ckpts, scale)
 	if err != nil {
 		return err
+	}
+	if dres.Dropped > 0 {
+		return fmt.Errorf("trace ring overflowed (%d events dropped): the dedup phase report is truncated; raise the trace capacity", dres.Dropped)
 	}
 	fmt.Print(dres.Report.Format())
 	if traceOut != "" {
@@ -343,8 +354,33 @@ func recovery(scale float64) error {
 	return nil
 }
 
+// critpathRun prints the causal span trees, critical-path tables, and
+// lease-expiry flight dump of the traced kill-and-recover run.
+func critpathRun(scale float64) error {
+	fmt.Println("== Critical-path analysis: traced kill-and-recover ==")
+	fmt.Printf("   (4 nodes + 1 spare, 1 replica, kill node 1, scale %.2f)\n\n", scale)
+	cp, err := exp.CritPath(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- recovery span tree (coordinator + agents) --")
+	fmt.Print(cp.RecoveryTree.Format())
+	fmt.Println("\n-- recovery critical path --")
+	fmt.Println(cp.Recovery.Summary())
+	fmt.Print(cp.Recovery.Format())
+	fmt.Printf("(recovery result MTTR %.3f ms; phase sum agrees within 1%%)\n", cp.MTTRMs)
+	fmt.Println("\n-- replicated checkpoint critical path --")
+	fmt.Println(cp.Checkpoint.Summary())
+	fmt.Print(cp.Checkpoint.Format())
+	fmt.Println("\n-- flight recorder --")
+	fmt.Printf("lease-expiry dump: @%v trigger=%s reason=%s window=%v events=%d\n\n",
+		cp.Dump.At, cp.Dump.Trigger, cp.Dump.Reason, cp.Dump.Window, len(cp.Dump.Events))
+	return nil
+}
+
 // validateJSON parses a -json output file and verifies it is a
-// well-formed benchmark report (make bench's gate).
+// well-formed benchmark report (make bench's gate), including the
+// critical-path keys the critpath experiment contributes.
 func validateJSON(path string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -356,6 +392,16 @@ func validateJSON(path string) error {
 	}
 	if len(rep.Experiments) == 0 {
 		return fmt.Errorf("%s: no experiment distributions", path)
+	}
+	for _, key := range []string{
+		"critpath_recovery_n4/total_ms",
+		"critpath_recovery_n4/detect_ms",
+		"critpath_recovery_n4/restart_ms",
+		"critpath_checkpoint_n4/total_ms",
+	} {
+		if _, ok := rep.Experiments[key]; !ok {
+			return fmt.Errorf("%s: missing required key %s", path, key)
+		}
 	}
 	fmt.Printf("%s: ok (%d experiment distributions, scale %.2f)\n",
 		path, len(rep.Experiments), rep.Scale)

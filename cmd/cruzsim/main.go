@@ -28,7 +28,10 @@
 // -trace out.json enables the deterministic tracer and writes a Chrome
 // trace-event file (load it in Perfetto / chrome://tracing); -v prints
 // the trace as a human-readable timeline. Either flag also prints the
-// checkpoint phase breakdown when the scenario checkpoints.
+// checkpoint phase breakdown and a per-op critical-path summary when the
+// scenario checkpoints or recovers. The flight recorder is always on:
+// failure triggers (op aborts, lease expiry, recovery start) print their
+// pre-trigger window summary even when tracing is off.
 package main
 
 import (
@@ -43,6 +46,7 @@ import (
 	"cruz/internal/ckpt"
 	"cruz/internal/sim"
 	"cruz/internal/trace"
+	"cruz/internal/trace/critpath"
 )
 
 func init() {
@@ -95,16 +99,21 @@ func stamp(cl *cruz.Cluster, format string, args ...any) {
 func tracing() bool { return traceOut != "" || verbose }
 
 // emitTrace renders the requested trace outputs for a finished scenario:
-// the -v timeline, the -trace Chrome JSON file, and — whenever checkpoint
-// phase spans were recorded — the phase breakdown table.
+// the -v timeline, the -trace Chrome JSON file, the per-op critical-path
+// summaries, and — whenever checkpoint phase spans were recorded — the
+// phase breakdown table. Flight-recorder dumps print even without -trace
+// or -v: the recorder is always on.
 func emitTrace(cl *cruz.Cluster) error {
 	tr := cl.Trace()
 	if tr == nil {
-		return nil
+		return flightReport(cl)
+	}
+	if n := tr.OpenSpans(); n != 0 {
+		return fmt.Errorf("trace integrity: %d span(s) still open at end of run: %v", n, tr.OpenSpanNames())
 	}
 	events := tr.Events()
 	if verbose {
-		if err := trace.WriteTimeline(os.Stdout, events); err != nil {
+		if err := tr.WriteTimeline(os.Stdout); err != nil {
 			return err
 		}
 	}
@@ -113,7 +122,7 @@ func emitTrace(cl *cruz.Cluster) error {
 		if err != nil {
 			return err
 		}
-		if err := trace.WriteChromeTrace(f, events); err != nil {
+		if err := tr.WriteChromeTrace(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -125,6 +134,47 @@ func emitTrace(cl *cruz.Cluster) error {
 	if rep := trace.PhaseBreakdown(events); len(rep.Rows) > 0 {
 		fmt.Println()
 		fmt.Print(rep.Format())
+	}
+	if trees := critpath.BuildTrees(events); len(trees) > 0 {
+		printed := false
+		for _, t := range trees {
+			rep := critpath.Analyze(t)
+			if rep == nil {
+				continue
+			}
+			if !printed {
+				fmt.Println()
+				printed = true
+			}
+			fmt.Println("critical path:", rep.Summary())
+		}
+	}
+	return flightReport(cl)
+}
+
+// flightReport prints any flight-recorder dumps the run produced. The
+// recorder runs even when tracing is off (FlightRecorder never returns
+// nil), so aborted ops and lease expiries always leave evidence.
+func flightReport(cl *cruz.Cluster) error {
+	fr := cl.FlightRecorder()
+	dumps := fr.FlightDumps()
+	if len(dumps) == 0 {
+		return nil
+	}
+	fmt.Println()
+	fmt.Printf("flight recorder: %d dump(s)", len(dumps))
+	if n := fr.FlightDumpsDropped(); n > 0 {
+		fmt.Printf(" (%d older dumps discarded)", n)
+	}
+	fmt.Println()
+	for _, d := range dumps {
+		if verbose {
+			fmt.Print(d.Format())
+		} else {
+			fmt.Printf("  @%.3fms trigger=%s reason=%s window=%.0fms events=%d  (rerun with -v for the full window)\n",
+				d.At.Sub(0).Milliseconds(), d.Trigger, d.Reason,
+				d.Window.Milliseconds(), len(d.Events))
+		}
 	}
 	return nil
 }

@@ -128,6 +128,11 @@ type Config struct {
 	Trace bool
 	// TraceCapacity bounds the tracer's event ring buffer (0 = default).
 	TraceCapacity int
+	// Flight tunes the always-on flight recorder (zero value = defaults).
+	// The recorder runs whether or not Trace is set: a bounded per-node
+	// ring of recent events is kept and snapshotted on faults (op abort,
+	// lease expiry, recovery start) via Cluster.FlightRecorder().
+	Flight trace.FlightConfig
 }
 
 // Node is one simulated machine.
@@ -155,6 +160,7 @@ type Cluster struct {
 
 	cfg          Config
 	tracer       *trace.Tracer
+	flight       *trace.Tracer // flight-only recorder when Trace is off
 	pods         map[string]podRef
 	podCount     int
 	nodeByAddr   map[AddrPort]*Node
@@ -166,6 +172,18 @@ type Cluster struct {
 // The nil tracer is safe to pass around; use internal/trace exporters on
 // its Events() to render timelines or Chrome trace JSON.
 func (cl *Cluster) Trace() *trace.Tracer { return cl.tracer }
+
+// FlightRecorder returns the tracer holding the always-on flight
+// recorder: the full tracer when Config.Trace was set, otherwise the
+// flight-only recorder (never nil). Faults — op aborts, lease expiries,
+// recovery starts — snapshot the recent event window; read the dumps with
+// FlightDumps on the returned tracer.
+func (cl *Cluster) FlightRecorder() *trace.Tracer {
+	if cl.tracer != nil {
+		return cl.tracer
+	}
+	return cl.flight
+}
 
 type podRef struct {
 	pod  *zap.Pod
@@ -205,7 +223,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Trace {
 		// Attach before any component is built: constructors snapshot the
 		// engine's trace sink.
-		cl.tracer = trace.New(cl.Engine, trace.Config{Capacity: cfg.TraceCapacity})
+		cl.tracer = trace.New(cl.Engine, trace.Config{Capacity: cfg.TraceCapacity, Flight: cfg.Flight})
+	} else {
+		// The flight recorder is always on: a flight-only tracer keeps the
+		// bounded per-node rings (no main event ring, no engine sampling)
+		// so faults still yield a pre-trigger window in untraced runs.
+		cl.flight = trace.New(cl.Engine, trace.Config{FlightOnly: true, SampleEvery: -1, Flight: cfg.Flight})
 	}
 	cl.Switch = ether.NewSwitch(cl.Engine)
 

@@ -191,7 +191,7 @@ func uniqueChunkBytes(m *Manifest) int64 {
 // and the disk read covers each chain manifest plus every distinct
 // chunk the final page set needs — not the O(chain) page bytes the blob
 // path re-reads.
-func (s *Store) loadManifest(pod string, seq int, merged bool, done func(*Image, error)) {
+func (s *Store) loadManifest(pod string, seq int, merged bool, ctx trace.SpanContext, done func(*Image, error)) {
 	var (
 		m     *Manifest
 		chain []int
@@ -214,7 +214,7 @@ func (s *Store) loadManifest(pod string, seq int, merged bool, done func(*Image,
 	total += uniqueChunkBytes(m)
 	var sp trace.Span
 	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
-		sp = tr.Begin(s.disk.Name(), "ckpt", "store.load",
+		sp = tr.BeginChild(ctx, s.disk.Name(), "ckpt", "store.load",
 			trace.Str("pod", pod), trace.Int("seq", int64(seq)),
 			trace.Int("bytes", total), trace.Int("chain", int64(len(chain))))
 	}

@@ -45,6 +45,10 @@ type Transfer struct {
 	Chunks    []ChunkData
 	// TotalBytes is what the replica's disk will write on adoption.
 	TotalBytes int64
+	// Ctx is the trace context of the replication exchange this transfer
+	// belongs to; Adopt parents its disk-write span under it. The store is
+	// wire-agnostic — the core layer sets this from the carrying message.
+	Ctx trace.SpanContext
 }
 
 // HasSeq reports whether the store holds a usable checkpoint at seq —
@@ -224,7 +228,7 @@ func (s *Store) Adopt(t *Transfer, done func(int64, error)) {
 	}
 	var sp trace.Span
 	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
-		sp = tr.Begin(s.disk.Name(), "ckpt", "store.adopt",
+		sp = tr.BeginChild(t.Ctx, s.disk.Name(), "ckpt", "store.adopt",
 			trace.Str("pod", t.Pod), trace.Int("seq", int64(t.Seq)),
 			trace.Int("bytes", t.TotalBytes))
 	}

@@ -182,7 +182,7 @@ func (s *Store) Load(pod string, seq int, done func(*Image, error)) {
 	blob, ok := s.blobs[pod][seq]
 	if !ok {
 		if _, mok := s.manifests[pod][seq]; mok {
-			s.loadManifest(pod, seq, false, done)
+			s.loadManifest(pod, seq, false, trace.SpanContext{}, done)
 			return
 		}
 		done(nil, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq))
@@ -205,8 +205,15 @@ func (s *Store) Load(pod string, seq int, done func(*Image, error)) {
 // image back to its full base, merging them into one self-contained
 // image. The disk read time covers the whole chain.
 func (s *Store) LoadMerged(pod string, seq int, done func(*Image, error)) {
+	s.LoadMergedCtx(pod, seq, trace.SpanContext{}, done)
+}
+
+// LoadMergedCtx is LoadMerged with a trace context: the store.load span
+// becomes a child of the given operation (restart, recovery fetch) so the
+// disk read shows up on that op's critical path.
+func (s *Store) LoadMergedCtx(pod string, seq int, ctx trace.SpanContext, done func(*Image, error)) {
 	if _, ok := s.manifests[pod][seq]; ok {
-		s.loadManifest(pod, seq, true, done)
+		s.loadManifest(pod, seq, true, ctx, done)
 		return
 	}
 	metas := s.images[pod]
@@ -233,7 +240,7 @@ func (s *Store) LoadMerged(pod string, seq int, done func(*Image, error)) {
 	}
 	var sp trace.Span
 	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
-		sp = tr.Begin(s.disk.Name(), "ckpt", "store.load",
+		sp = tr.BeginChild(ctx, s.disk.Name(), "ckpt", "store.load",
 			trace.Str("pod", pod), trace.Int("seq", int64(seq)),
 			trace.Int("bytes", total), trace.Int("chain", int64(len(chain))))
 	}
@@ -263,10 +270,15 @@ func (s *Store) LoadMerged(pod string, seq int, done func(*Image, error)) {
 
 // LoadLatest resolves the newest image (merging any incremental chain).
 func (s *Store) LoadLatest(pod string, done func(*Image, error)) {
+	s.LoadLatestCtx(pod, trace.SpanContext{}, done)
+}
+
+// LoadLatestCtx is LoadLatest with a trace context for the load span.
+func (s *Store) LoadLatestCtx(pod string, ctx trace.SpanContext, done func(*Image, error)) {
 	seq, ok := s.LatestSeq(pod)
 	if !ok {
 		done(nil, fmt.Errorf("%w: %s", ErrNoImage, pod))
 		return
 	}
-	s.LoadMerged(pod, seq, done)
+	s.LoadMergedCtx(pod, seq, ctx, done)
 }

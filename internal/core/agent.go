@@ -287,9 +287,10 @@ func (a *Agent) liveLoad() int {
 	return n
 }
 
-// fail reports an operation failure for a pod.
+// fail reports an operation failure for a pod, echoing the request's
+// trace context so the error lands in the right span tree.
 func (a *Agent) fail(c *ctlConn, t msgType, m *wireMsg, err error) {
-	c.send(&wireMsg{Type: t, Seq: m.Seq, Pod: m.Pod, Err: err.Error()})
+	c.send(&wireMsg{Type: t, Seq: m.Seq, Pod: m.Pod, Err: err.Error(), ctx: m.ctx})
 }
 
 // beginPodOp registers a checkpoint/restart op for the pod with the
@@ -352,7 +353,9 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 	a.coordConn = c
 	a.Stats.Checkpoints++
 	if a.tr.Enabled() {
-		op.span = a.tr.Begin(a.kern.Name(), "core", "agent.checkpoint",
+		// Adopt the coordinator's op: the local span tree becomes a branch
+		// of the distributed checkpoint.
+		op.span = a.tr.BeginChild(m.ctx, a.kern.Name(), "core", "agent.checkpoint",
 			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
 	}
 	if op.precopy {
@@ -398,7 +401,7 @@ func (a *Agent) runPrecopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, ro
 	// Rounds occupy the sequence block below the residual's m.Seq.
 	seqR := m.Seq - m.PrecopyRounds + round
 	if a.tr.Enabled() {
-		op.phRound = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "precopy-round",
+		op.phRound = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "precopy-round",
 			trace.Str("pod", m.Pod), trace.Int("round", int64(round)),
 			trace.Int("pages", int64(candidate)))
 	}
@@ -454,7 +457,7 @@ func (a *Agent) runStopAndCopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp
 		if op.precopy {
 			name = "residual-stop"
 		}
-		op.phQuiesce = a.tr.Begin(a.kern.Name(), trace.PhaseCat, name, trace.Str("pod", m.Pod))
+		op.phQuiesce = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, name, trace.Str("pod", m.Pod))
 	}
 
 	// Step 1: configure the filter to silently drop all pod traffic.
@@ -464,12 +467,12 @@ func (a *Agent) runStopAndCopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp
 		}
 		op.filterID = a.kern.Stack().Filter().AddDropAddr(pod.IP())
 		if a.tr.Enabled() {
-			a.tr.Instant(a.kern.Name(), "core", "filter.install", trace.Str("pod", m.Pod))
+			a.tr.InstantCtx(op.span.Context(), a.kern.Name(), "core", "filter.install", trace.Str("pod", m.Pod))
 		}
 		if op.optimized && !op.cow {
 			// Fig. 4: notify as soon as communication is disabled,
 			// without waiting for the local save.
-			c.send(&wireMsg{Type: msgCommDisabled, Seq: m.Seq, Pod: m.Pod})
+			c.send(&wireMsg{Type: msgCommDisabled, Seq: m.Seq, Pod: m.Pod, ctx: op.span.Context()})
 		}
 		// Step 2: stop the pod's processes and take the local checkpoint.
 		pod.Stop(func() {
@@ -483,7 +486,7 @@ func (a *Agent) runStopAndCopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp
 			// full quiesce and the start of the state copy (the serialized
 			// in-kernel walk of process and socket structures).
 			if a.tr.Enabled() {
-				op.phDrain = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "drain",
+				op.phDrain = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "drain",
 					trace.Str("pod", m.Pod), trace.Str("mode", "drop"))
 			}
 			// The capture window scales with the bytes copied (full:
@@ -503,7 +506,7 @@ func (a *Agent) runStopAndCopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp
 				}
 				op.phDrain.End()
 				if a.tr.Enabled() {
-					op.phCapture = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "capture",
+					op.phCapture = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "capture",
 						trace.Str("pod", m.Pod))
 				}
 				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: incremental, Hashes: m.Dedup, BaseSeq: baseSeq})
@@ -535,10 +538,10 @@ func (a *Agent) runStopAndCopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp
 					// has captured) while the image write proceeds from
 					// the snapshot.
 					if a.tr.Enabled() {
-						op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+						op.phCommit = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "commit",
 							trace.Str("pod", m.Pod), trace.Str("mode", "cow"))
 					}
-					c.send(&wireMsg{Type: msgCommDisabled, Seq: m.Seq, Pod: m.Pod})
+					c.send(&wireMsg{Type: msgCommDisabled, Seq: m.Seq, Pod: m.Pod, ctx: op.span.Context()})
 					a.maybeFinishContinue(m.Pod, pod, op)
 				}
 				a.planAndWrite(c, m, pod, op, img)
@@ -560,7 +563,7 @@ func (a *Agent) planImage(m *wireMsg, op *agentOp, img *ckpt.Image, finishPlan f
 	// Hash phase: only pages written since the last hashing capture had
 	// a stale cached hash; they alone cost CPU here.
 	if a.tr.Enabled() {
-		op.phHash = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "hash",
+		op.phHash = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "hash",
 			trace.Str("pod", m.Pod))
 	}
 	a.cpu.Do(bytesCost(int64(img.FreshHashes)*mem.PageSize, a.params.HashBPS), func() {
@@ -573,7 +576,7 @@ func (a *Agent) planImage(m *wireMsg, op *agentOp, img *ckpt.Image, finishPlan f
 			pages += int64(img.Processes[i].Memory.NumPages())
 		}
 		if a.tr.Enabled() {
-			op.phDedup = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "dedup",
+			op.phDedup = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "dedup",
 				trace.Str("pod", m.Pod))
 		}
 		a.cpu.Do(sim.Duration(pages)*a.params.DedupPerChunk, func() {
@@ -611,7 +614,7 @@ func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, 
 			op.roundSeqs = append(op.roundSeqs, m.Seq)
 		}
 		if a.tr.Enabled() {
-			op.phWrite = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "write",
+			op.phWrite = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "write",
 				trace.Str("pod", m.Pod))
 		}
 		a.writeImage(c, m, pod, op, plan)
@@ -679,6 +682,7 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 			Pod:           m.Pod,
 			LocalDuration: a.kern.Engine().Now().Sub(op.Started()),
 			ImageBytes:    total,
+			ctx:           op.span.Context(),
 		})
 		if plan.CompactAfter {
 			// GC off the critical path: fold the incremental chain once
@@ -687,8 +691,9 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 		}
 		if op.replicas > 0 {
 			// Stream the committed image to peer replicas, off the
-			// critical path of the coordinated cycle.
-			a.startReplication(m.Pod, m.Seq, op.replicas, c)
+			// critical path of the coordinated cycle but inside the
+			// checkpoint's span tree.
+			a.startReplication(m.Pod, m.Seq, op.replicas, c, op.span.Context())
 		}
 		if op.resumed {
 			// COW: the pod resumed before the write finished; the
@@ -698,7 +703,7 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 			return
 		}
 		if !op.phCommit.Active() && a.tr.Enabled() {
-			op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+			op.phCommit = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "commit",
 				trace.Str("pod", m.Pod))
 		}
 		a.maybeFinishContinue(m.Pod, pod, op)
@@ -735,7 +740,7 @@ func (a *Agent) maybeFinishContinue(name string, pod *zap.Pod, op *agentOp) {
 		a.kern.Stack().Filter().RemoveRule(op.filterID)
 		op.filterID = 0
 		if a.tr.Enabled() {
-			a.tr.Instant(a.kern.Name(), "core", "filter.remove", trace.Str("pod", name))
+			a.tr.InstantCtx(op.span.Context(), a.kern.Name(), "core", "filter.remove", trace.Str("pod", name))
 		}
 		op.phCommit.End()
 		seq := op.Seq
@@ -743,12 +748,15 @@ func (a *Agent) maybeFinishContinue(name string, pod *zap.Pod, op *agentOp) {
 			op.endSpans()
 			op.Finish()
 		}
+		// op.span.Context() stays valid after endSpans: the reply is the
+		// span's last causal act.
 		op.conn.send(&wireMsg{
 			Type:            msgContinueDone,
 			Seq:             seq,
 			Pod:             name,
 			LocalDuration:   a.kern.Engine().Now().Sub(t0) + a.params.MsgCost,
 			BlockedDuration: a.kern.Engine().Now().Sub(op.stoppedAt),
+			ctx:             op.span.Context(),
 		})
 	})
 }
@@ -771,18 +779,18 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 	a.Stats.Restores++
 	if a.tr.Enabled() {
 		node := a.kern.Name()
-		op.span = a.tr.Begin(node, "core", "agent.restart",
+		op.span = a.tr.BeginChild(m.ctx, node, "core", "agent.restart",
 			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
 		// Reuse the quiesce/write slots for the restart phases so abort
 		// cleanup covers them.
-		op.phQuiesce = a.tr.Begin(node, trace.PhaseCat, "load", trace.Str("pod", m.Pod))
+		op.phQuiesce = a.tr.BeginChild(op.span.Context(), node, trace.PhaseCat, "load", trace.Str("pod", m.Pod))
 	}
 
 	load := func(done func(*ckpt.Image, error)) {
 		if m.Seq > 0 {
-			a.store.LoadMerged(m.Pod, m.Seq, done)
+			a.store.LoadMergedCtx(m.Pod, m.Seq, op.span.Context(), done)
 		} else {
-			a.store.LoadLatest(m.Pod, done)
+			a.store.LoadLatestCtx(m.Pod, op.span.Context(), done)
 		}
 	}
 	load(func(img *ckpt.Image, err error) {
@@ -796,7 +804,7 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 		}
 		op.phQuiesce.End()
 		if a.tr.Enabled() {
-			op.phCapture = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "restore",
+			op.phCapture = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "restore",
 				trace.Str("pod", m.Pod))
 		}
 		// Disable communication for the pod's address first.
@@ -819,7 +827,7 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 			a.pods[m.Pod] = pod
 			op.phCapture.End(trace.Int("mem_bytes", img.MemoryBytes()))
 			if a.tr.Enabled() {
-				op.phCommit = a.tr.Begin(a.kern.Name(), trace.PhaseCat, "commit",
+				op.phCommit = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "commit",
 					trace.Str("pod", m.Pod))
 			}
 			c.send(&wireMsg{
@@ -828,6 +836,7 @@ func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
 				Pod:           m.Pod,
 				LocalDuration: a.kern.Engine().Now().Sub(op.Started()),
 				ImageBytes:    img.MemoryBytes(),
+				ctx:           op.span.Context(),
 			})
 		})
 	})

@@ -355,7 +355,7 @@ func (c *Coordinator) beginJobOp(kind string, job *Job, seq int, fromRecovery bo
 			m := m
 			c.cpu.Do(c.params.MsgCost, func() {
 				if cc, cerr := c.connFor(m); cerr == nil {
-					cc.send(&wireMsg{Type: msgAbort, Seq: seq, Pod: m.Pod})
+					cc.send(&wireMsg{Type: msgAbort, Seq: seq, Pod: m.Pod, ctx: op.span.Context()})
 				}
 			})
 		}
@@ -384,7 +384,9 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 	}
 	op.opts = opts
 	if c.tr.Enabled() {
-		op.span = c.tr.Begin(c.stack.Name(), "core", "checkpoint",
+		// The op root: every agent span, phase, replication exchange, and
+		// coordinator instant of this checkpoint hangs off this context.
+		op.span = c.tr.BeginOp(c.stack.Name(), "core", "checkpoint",
 			trace.Str("job", job.Name), trace.Int("seq", int64(seq)),
 			trace.Int("members", int64(len(job.Members))))
 	}
@@ -397,7 +399,7 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 		c.committed[job.Name] = seq
 		c.recordCommitHolders(job, seq)
 		if c.tr.Enabled() {
-			c.tr.Instant(c.stack.Name(), "core", "commit",
+			c.tr.InstantCtx(op.span.Context(), c.stack.Name(), "core", "commit",
 				trace.Str("job", job.Name), trace.Int("seq", int64(seq)))
 		}
 		op.span.End()
@@ -436,6 +438,7 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 				Type:                  msgCheckpoint,
 				Seq:                   seq,
 				Pod:                   m.Pod,
+				ctx:                   op.span.Context(),
 				Incremental:           opts.Incremental,
 				Optimized:             opts.Optimized,
 				COW:                   opts.COW,
@@ -456,12 +459,14 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 // Restart runs a coordinated restart of the job from checkpoint seq
 // (0 = latest committed).
 func (c *Coordinator) Restart(job *Job, seq int, done func(*RestartResult, error)) {
-	c.runRestart(job, seq, false, done)
+	c.runRestart(job, seq, false, trace.SpanContext{}, done)
 }
 
 // runRestart is the restart driver; fromRecovery lets an in-flight
-// recovery restart the job past its own table entry.
-func (c *Coordinator) runRestart(job *Job, seq int, fromRecovery bool, done func(*RestartResult, error)) {
+// recovery restart the job past its own table entry, and parent (set by
+// recovery) nests the restart inside the recovery op's span tree instead
+// of opening a fresh root.
+func (c *Coordinator) runRestart(job *Job, seq int, fromRecovery bool, parent trace.SpanContext, done func(*RestartResult, error)) {
 	if seq == 0 {
 		seq = c.committed[job.Name]
 	}
@@ -472,9 +477,15 @@ func (c *Coordinator) runRestart(job *Job, seq int, fromRecovery bool, done func
 	}
 	op.restart = true
 	if c.tr.Enabled() {
-		op.span = c.tr.Begin(c.stack.Name(), "core", "restart",
+		args := []trace.Arg{
 			trace.Str("job", job.Name), trace.Int("seq", int64(seq)),
-			trace.Int("members", int64(len(job.Members))))
+			trace.Int("members", int64(len(job.Members))),
+		}
+		if parent.Zero() {
+			op.span = c.tr.BeginOp(c.stack.Name(), "core", "restart", args...)
+		} else {
+			op.span = c.tr.BeginChild(parent, c.stack.Name(), "core", "restart", args...)
+		}
 	}
 	op.OnFinish(func(_ *ctl.Op, err error) {
 		if err != nil {
@@ -506,7 +517,7 @@ func (c *Coordinator) runRestart(job *Job, seq int, fromRecovery bool, done func
 				op.Fail(err)
 				return
 			}
-			cc.send(&wireMsg{Type: msgRestart, Seq: seq, Pod: m.Pod})
+			cc.send(&wireMsg{Type: msgRestart, Seq: seq, Pod: m.Pod, ctx: op.span.Context()})
 		})
 	}
 	if c.params.Timeout > 0 {
@@ -555,7 +566,7 @@ func (c *Coordinator) onMsg(cc *ctlConn, m *wireMsg) {
 			return
 		}
 		if c.tr.Enabled() {
-			c.tr.Instant(c.stack.Name(), "core", "recv."+m.Type.String(),
+			c.tr.InstantCtx(op.span.Context(), c.stack.Name(), "core", "recv."+m.Type.String(),
 				trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
 		}
 		if m.Err != "" {
@@ -618,7 +629,7 @@ func (c *Coordinator) sendContinue(op *coordOp) {
 		m := m
 		c.cpu.Do(c.params.MsgCost, func() {
 			if cc, err := c.connFor(m); err == nil {
-				cc.send(&wireMsg{Type: msgContinue, Seq: op.Seq, Pod: m.Pod})
+				cc.send(&wireMsg{Type: msgContinue, Seq: op.Seq, Pod: m.Pod, ctx: op.span.Context()})
 			}
 		})
 	}

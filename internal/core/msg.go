@@ -23,6 +23,7 @@ import (
 	"cruz/internal/mem"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 )
 
 // msgType discriminates control messages.
@@ -128,6 +129,13 @@ type wireMsg struct {
 
 	// Repl carries the replication/fetch payload when present.
 	Repl *replPayload
+
+	// ctx is the distributed trace context. It is deliberately unexported:
+	// gob skips it, because the context travels in the ctl frame header —
+	// not the gob body — and is re-attached by frame() on receipt. Senders
+	// set it in the message literal; handlers read it to parent their
+	// spans (zero when the message belongs to no traced operation).
+	ctx trace.SpanContext
 }
 
 // replPayload is the bulk half of replication and fetch messages. Only
@@ -175,14 +183,17 @@ func (c *ctlConn) send(m *wireMsg) error {
 	if err := gob.NewEncoder(&body).Encode(m); err != nil {
 		return fmt.Errorf("core: encode %v: %w", m.Type, err)
 	}
-	if err := c.Conn.Send(body.Bytes()); err != nil {
+	if err := c.Conn.SendCtx(body.Bytes(), m.ctx); err != nil {
 		return fmt.Errorf("core: send %v: %w", m.Type, err)
 	}
 	return nil
 }
 
-// frame decodes a received payload and dispatches it.
-func (c *ctlConn) frame(_ *ctl.Conn, payload []byte) {
+// frame decodes a received payload and dispatches it. The frame header's
+// trace context is captured onto the message here, synchronously, because
+// handlers defer the actual processing behind daemon-CPU cost and the
+// conn's FrameCtx is only valid during this callback.
+func (c *ctlConn) frame(conn *ctl.Conn, payload []byte) {
 	var m wireMsg
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
 		if c.onErr != nil {
@@ -190,5 +201,6 @@ func (c *ctlConn) frame(_ *ctl.Conn, payload []byte) {
 		}
 		return
 	}
+	m.ctx = conn.FrameCtx()
 	c.onMsg(c, &m)
 }

@@ -171,6 +171,9 @@ func (c *Coordinator) heartbeatTick() {
 			continue
 		}
 		conn := cc
+		if c.tr.Enabled() {
+			c.tr.Instant(c.stack.Name(), "core", "ping", trace.Str("node", n.name))
+		}
 		c.cpu.Do(c.params.MsgCost, func() { conn.send(&wireMsg{Type: msgPing}) })
 	}
 }
@@ -193,6 +196,9 @@ func (c *Coordinator) declareFailed(n *nodeInfo) {
 	if c.tr.Enabled() {
 		c.tr.Instant(c.stack.Name(), "core", "node.failed", trace.Str("node", n.name))
 	}
+	// Lease expiry is a flight-recorder trigger: the dump captures the
+	// heartbeat window that led to the declaration.
+	c.tr.DumpFlight("lease.expiry", "node "+n.name)
 	var victims []*ctl.Op
 	c.table.Each(func(o *ctl.Op) {
 		switch d := o.Data.(type) {
@@ -236,11 +242,16 @@ func (c *Coordinator) startRecovery(w *watch, failed *nodeInfo) {
 	}
 	o.Data = rec
 	if c.tr.Enabled() {
-		rec.span = c.tr.Begin(c.stack.Name(), "core", "recovery",
-			trace.Str("job", w.job.Name), trace.Str("failed", failed.name))
-		rec.phPlace = c.tr.Begin(c.stack.Name(), trace.PhaseCat, "recovery.place",
-			trace.Str("job", w.job.Name))
+		// The recovery op root. The detect window (last proof of life to
+		// lease expiry) precedes this span, so it rides along as a lead
+		// argument that critical-path analysis turns into a lead segment.
+		rec.span = c.tr.BeginOp(c.stack.Name(), "core", "recovery",
+			trace.Str("job", w.job.Name), trace.Str("failed", failed.name),
+			trace.Int("lead.detect_us", int64(rec.detect/sim.Microsecond)))
+		rec.phPlace = c.tr.BeginChild(rec.span.Context(), c.stack.Name(), trace.PhaseCat,
+			"recovery.place", trace.Str("job", w.job.Name))
 	}
+	c.tr.DumpFlight("recovery.start", w.job.Name)
 	o.OnFail(func(_ *ctl.Op, err error) {
 		rec.endSpans(trace.Str("err", err.Error()))
 		if rec.w.onRecovery != nil {
@@ -386,7 +397,7 @@ func (c *Coordinator) placeRecovery(rec *recoveryOp) {
 			Transferred: !c.holders[p][seqStar][target.addr],
 		})
 		if c.tr.Enabled() {
-			c.tr.Instant(c.stack.Name(), "core", "recovery.placed",
+			c.tr.InstantCtx(rec.span.Context(), c.stack.Name(), "core", "recovery.placed",
 				trace.Str("pod", p), trace.Str("to", target.name), trace.Str("from", src.name))
 		}
 	}
@@ -395,8 +406,8 @@ func (c *Coordinator) placeRecovery(rec *recoveryOp) {
 	rec.phPlace.End()
 	rec.transferStart = now
 	if c.tr.Enabled() {
-		rec.phTransfer = c.tr.Begin(c.stack.Name(), trace.PhaseCat, "recovery.transfer",
-			trace.Str("job", job.Name))
+		rec.phTransfer = c.tr.BeginChild(rec.span.Context(), c.stack.Name(), trace.PhaseCat,
+			"recovery.transfer", trace.Str("job", job.Name))
 	}
 
 	// Transfer phase: fetch images onto new homes that lack them.
@@ -436,7 +447,7 @@ func (c *Coordinator) placeRecovery(rec *recoveryOp) {
 			}
 			cc.send(&wireMsg{Type: msgFetch, Seq: rec.seq, Pod: rp.Pod, Repl: &replPayload{
 				PeerIP: src.addr.Addr, PeerPort: src.addr.Port,
-			}})
+			}, ctx: rec.phTransfer.Context()})
 		})
 	}
 }
@@ -481,8 +492,8 @@ func (c *Coordinator) startRecoveryRestart(rec *recoveryOp) {
 	rec.phTransfer.End(trace.Int("bytes", rec.transferBytes))
 	rec.restartStart = now
 	if c.tr.Enabled() {
-		rec.phRestart = c.tr.Begin(c.stack.Name(), trace.PhaseCat, "recovery.restart",
-			trace.Str("job", rec.job.Name), trace.Int("seq", int64(rec.seq)))
+		rec.phRestart = c.tr.BeginChild(rec.span.Context(), c.stack.Name(), trace.PhaseCat,
+			"recovery.restart", trace.Str("job", rec.job.Name), trace.Int("seq", int64(rec.seq)))
 	}
 	job := rec.job
 	for i := range job.Members {
@@ -500,7 +511,7 @@ func (c *Coordinator) startRecoveryRestart(rec *recoveryOp) {
 			rec.Fail(err)
 			return
 		}
-		c.runRestart(job, rec.seq, true, func(res *RestartResult, err error) {
+		c.runRestart(job, rec.seq, true, rec.phRestart.Context(), func(res *RestartResult, err error) {
 			if err != nil {
 				rec.Fail(err)
 				return

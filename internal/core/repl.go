@@ -74,8 +74,9 @@ func (a *Agent) peerConn(addr tcpip.AddrPort) (*ctlConn, error) {
 }
 
 // startReplication pushes the committed checkpoint to the first k ring
-// peers. Runs off the coordinated cycle's critical path.
-func (a *Agent) startReplication(pod string, seq, replicas int, coord *ctlConn) {
+// peers. Runs off the coordinated cycle's critical path; ctx parents the
+// exchanges under the checkpoint that produced the image.
+func (a *Agent) startReplication(pod string, seq, replicas int, coord *ctlConn, ctx trace.SpanContext) {
 	n := replicas
 	if n > len(a.peers) {
 		n = len(a.peers)
@@ -87,12 +88,12 @@ func (a *Agent) startReplication(pod string, seq, replicas int, coord *ctlConn) 
 			a.Stats.ReplFailures++
 			continue
 		}
-		a.replicateOn(cc, pod, seq, peer, coord)
+		a.replicateOn(cc, pod, seq, peer, coord, ctx)
 	}
 }
 
 // replicateOn runs one offer/want/data exchange for (pod, seq) over cc.
-func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord *ctlConn) {
+func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord *ctlConn, ctx trace.SpanContext) {
 	o, err := a.table.Begin("replicate", replKey(pod, seq, cc.TCP().RemoteAddr()), seq)
 	if err != nil {
 		return // this exchange is already in flight
@@ -100,7 +101,7 @@ func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPor
 	op := &replOp{Op: o, pod: pod, peer: peer, conn: cc, coord: coord}
 	o.Data = op
 	if a.tr.Enabled() {
-		op.span = a.tr.Begin(a.kern.Name(), "core", "agent.replicate",
+		op.span = a.tr.BeginChild(ctx, a.kern.Name(), "core", "agent.replicate",
 			trace.Str("pod", pod), trace.Int("seq", int64(seq)))
 	}
 	o.OnFail(func(_ *ctl.Op, err error) {
@@ -113,7 +114,7 @@ func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPor
 		return
 	}
 	send := func() {
-		cc.send(&wireMsg{Type: msgReplOffer, Seq: seq, Pod: pod, Repl: &replPayload{
+		cc.send(&wireMsg{Type: msgReplOffer, Seq: seq, Pod: pod, ctx: op.span.Context(), Repl: &replPayload{
 			Chain: offer.Chain, Dedup: offer.Dedup, Hashes: offer.Hashes,
 		}})
 	}
@@ -144,7 +145,7 @@ func (a *Agent) handleReplOffer(c *ctlConn, m *wireMsg) {
 	offer := &ckpt.Offer{Pod: m.Pod, Seq: m.Seq, Chain: m.Repl.Chain, Dedup: m.Repl.Dedup, Hashes: m.Repl.Hashes}
 	a.cpu.Do(a.params.DedupPerChunk*sim.Duration(len(offer.Hashes)), func() {
 		needSeqs, needHashes := a.store.MissingFor(offer)
-		c.send(&wireMsg{Type: msgReplWant, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{
+		c.send(&wireMsg{Type: msgReplWant, Seq: m.Seq, Pod: m.Pod, ctx: m.ctx, Repl: &replPayload{
 			NeedSeqs: needSeqs, NeedHashes: needHashes,
 		}})
 	})
@@ -168,7 +169,7 @@ func (a *Agent) handleReplWant(c *ctlConn, m *wireMsg) {
 		if !op.Active() {
 			return
 		}
-		op.conn.send(&wireMsg{Type: msgReplData, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{
+		op.conn.send(&wireMsg{Type: msgReplData, Seq: m.Seq, Pod: m.Pod, ctx: op.span.Context(), Repl: &replPayload{
 			Blobs: tx.Blobs, Manifests: tx.Manifests, Chunks: tx.Chunks, Bytes: tx.TotalBytes,
 		}})
 	})
@@ -184,7 +185,7 @@ func (a *Agent) handleReplData(c *ctlConn, m *wireMsg) {
 	tx := &ckpt.Transfer{
 		Pod: m.Pod, Seq: m.Seq,
 		Blobs: m.Repl.Blobs, Manifests: m.Repl.Manifests, Chunks: m.Repl.Chunks,
-		TotalBytes: m.Repl.Bytes,
+		TotalBytes: m.Repl.Bytes, Ctx: m.ctx,
 	}
 	a.cpu.Do(bytesCost(tx.TotalBytes, a.params.EncodeBPS), func() {
 		a.store.Adopt(tx, func(n int64, err error) {
@@ -193,7 +194,7 @@ func (a *Agent) handleReplData(c *ctlConn, m *wireMsg) {
 				a.failFetch(m.Pod, m.Seq, err)
 				return
 			}
-			c.send(&wireMsg{Type: msgReplDone, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{Bytes: tx.TotalBytes}})
+			c.send(&wireMsg{Type: msgReplDone, Seq: m.Seq, Pod: m.Pod, ctx: m.ctx, Repl: &replPayload{Bytes: tx.TotalBytes}})
 			a.finishFetch(m.Pod, m.Seq, tx.TotalBytes)
 		})
 	})
@@ -217,7 +218,7 @@ func (a *Agent) handleReplDone(c *ctlConn, m *wireMsg) {
 	a.Stats.ReplBytes += n
 	op.span.End(trace.Int("bytes", n))
 	if op.coord != nil && op.peer.Port != 0 {
-		op.coord.send(&wireMsg{Type: msgReplicated, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{
+		op.coord.send(&wireMsg{Type: msgReplicated, Seq: m.Seq, Pod: m.Pod, ctx: op.span.Context(), Repl: &replPayload{
 			Bytes: n, PeerIP: op.peer.Addr, PeerPort: op.peer.Port,
 		}})
 	}
@@ -230,7 +231,7 @@ func (a *Agent) handleReplDone(c *ctlConn, m *wireMsg) {
 func (a *Agent) handleFetch(c *ctlConn, m *wireMsg) {
 	if a.store.HasSeq(m.Pod, m.Seq) {
 		// Already a replica — transfer cost is zero.
-		c.send(&wireMsg{Type: msgFetchDone, Seq: m.Seq, Pod: m.Pod, Repl: &replPayload{Bytes: 0}})
+		c.send(&wireMsg{Type: msgFetchDone, Seq: m.Seq, Pod: m.Pod, ctx: m.ctx, Repl: &replPayload{Bytes: 0}})
 		return
 	}
 	if m.Repl == nil {
@@ -245,7 +246,7 @@ func (a *Agent) handleFetch(c *ctlConn, m *wireMsg) {
 	op := &fetchOp{Op: o, conn: c}
 	o.Data = op
 	if a.tr.Enabled() {
-		op.span = a.tr.Begin(a.kern.Name(), "core", "agent.fetch",
+		op.span = a.tr.BeginChild(m.ctx, a.kern.Name(), "core", "agent.fetch",
 			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
 	}
 	o.OnFail(func(_ *ctl.Op, err error) {
@@ -259,7 +260,7 @@ func (a *Agent) handleFetch(c *ctlConn, m *wireMsg) {
 		o.Fail(cerr)
 		return
 	}
-	cc.send(&wireMsg{Type: msgFetchPull, Seq: m.Seq, Pod: m.Pod})
+	cc.send(&wireMsg{Type: msgFetchPull, Seq: m.Seq, Pod: m.Pod, ctx: op.span.Context()})
 }
 
 // handleFetchPull is the recovery pull, source side: a peer that needs
@@ -270,7 +271,7 @@ func (a *Agent) handleFetchPull(c *ctlConn, m *wireMsg) {
 		a.fail(c, msgReplOffer, m, ckpt.ErrNoImage)
 		return
 	}
-	a.replicateOn(c, m.Pod, m.Seq, tcpip.AddrPort{}, nil)
+	a.replicateOn(c, m.Pod, m.Seq, tcpip.AddrPort{}, nil, m.ctx)
 }
 
 // finishFetch completes a pending fetch after the adopted transfer lands.
@@ -285,7 +286,7 @@ func (a *Agent) finishFetch(pod string, seq int, n int64) {
 	}
 	a.Stats.Fetches++
 	op.span.End(trace.Int("bytes", n))
-	op.conn.send(&wireMsg{Type: msgFetchDone, Seq: seq, Pod: pod, Repl: &replPayload{Bytes: n}})
+	op.conn.send(&wireMsg{Type: msgFetchDone, Seq: seq, Pod: pod, ctx: op.span.Context(), Repl: &replPayload{Bytes: n}})
 	o.Finish()
 }
 

@@ -11,20 +11,29 @@ import (
 
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 )
 
-// Conn frames byte payloads over a TCP connection: 4-byte big-endian
-// length followed by the payload. Incoming frames are delivered to the
+// Frame layout: a 4-byte big-endian payload length, then the sender's
+// 8-byte op id and 8-byte parent span id — the distributed trace context,
+// zero when the frame belongs to no traced operation — then the payload.
+// The context rides every frame unconditionally so frame sizes, and the
+// TCP timing they induce, are identical whether tracing is on or off.
+const frameHeader = 4 + 16
+
+// Conn frames byte payloads over a TCP connection: the fixed header
+// above followed by the payload. Incoming frames are delivered to the
 // OnFrame callback. Writes are backpressure-aware: frames that do not
 // fit in the send buffer (bulk data such as checkpoint replication) are
 // queued and drained as TCP acknowledgments open window space, so a full
 // buffer slows the sender down instead of failing the protocol.
 type Conn struct {
-	tc      *tcpip.TCPConn
-	rbuf    []byte
-	wqueue  [][]byte // output queue; head may be partially written
-	onFrame func(*Conn, []byte)
-	onErr   func(*Conn, error)
+	tc       *tcpip.TCPConn
+	rbuf     []byte
+	wqueue   [][]byte // output queue; head may be partially written
+	onFrame  func(*Conn, []byte)
+	onErr    func(*Conn, error)
+	frameCtx trace.SpanContext
 
 	// Sent and Received count frames, for message-complexity accounting.
 	Sent, Received int
@@ -43,16 +52,24 @@ func NewConn(tc *tcpip.TCPConn, onFrame func(*Conn, []byte), onErr func(*Conn, e
 // TCP returns the underlying connection.
 func (c *Conn) TCP() *tcpip.TCPConn { return c.tc }
 
-// Send transmits one frame. Frames queue until the handshake finishes
-// and while the send buffer is full; Send only errors on a dead
-// connection.
+// Send transmits one frame with a zero trace context. Frames queue until
+// the handshake finishes and while the send buffer is full; Send only
+// errors on a dead connection.
 func (c *Conn) Send(payload []byte) error {
+	return c.SendCtx(payload, trace.SpanContext{})
+}
+
+// SendCtx transmits one frame stamped with the trace context ctx, which
+// the receiver surfaces through FrameCtx during frame dispatch.
+func (c *Conn) SendCtx(payload []byte, ctx trace.SpanContext) error {
 	if err := c.tc.Err(); err != nil {
 		return fmt.Errorf("ctl: send on dead conn: %w", err)
 	}
-	frame := make([]byte, 4+len(payload))
+	frame := make([]byte, frameHeader+len(payload))
 	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
+	binary.BigEndian.PutUint64(frame[4:], uint64(ctx.Op))
+	binary.BigEndian.PutUint64(frame[12:], uint64(ctx.Span))
+	copy(frame[frameHeader:], payload)
 	c.Sent++
 	c.wqueue = append(c.wqueue, frame)
 	if c.tc.Established() {
@@ -116,19 +133,28 @@ func (c *Conn) Pump() {
 		c.rbuf = append(c.rbuf, buf[:n]...)
 	}
 	for {
-		if len(c.rbuf) < 4 {
+		if len(c.rbuf) < frameHeader {
 			return
 		}
 		size := int(binary.BigEndian.Uint32(c.rbuf))
-		if len(c.rbuf) < 4+size {
+		if len(c.rbuf) < frameHeader+size {
 			return
 		}
-		payload := c.rbuf[4 : 4+size]
-		c.rbuf = c.rbuf[4+size:]
+		c.frameCtx = trace.SpanContext{
+			Op:   trace.OpID(binary.BigEndian.Uint64(c.rbuf[4:])),
+			Span: trace.SpanID(binary.BigEndian.Uint64(c.rbuf[12:])),
+		}
+		payload := c.rbuf[frameHeader : frameHeader+size]
+		c.rbuf = c.rbuf[frameHeader+size:]
 		c.Received++
 		c.onFrame(c, payload)
 	}
 }
+
+// FrameCtx returns the trace context of the most recently dispatched
+// frame. It is meaningful only inside the OnFrame callback; handlers
+// that defer work must capture it synchronously.
+func (c *Conn) FrameCtx() trace.SpanContext { return c.frameCtx }
 
 // Serializer models a single-threaded daemon's CPU: queued work items
 // execute in order, each occupying the daemon for its cost. Fan-out of N

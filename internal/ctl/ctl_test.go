@@ -7,6 +7,7 @@ import (
 	"cruz/internal/ether"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
+	"cruz/internal/trace"
 )
 
 type rig struct {
@@ -195,5 +196,47 @@ func TestSerializerOrdersAndSpacesWork(t *testing.T) {
 	engine.Run()
 	if at[3] != 35000 {
 		t.Fatalf("late item at %v, want 35µs", at[3])
+	}
+}
+
+// TestFrameCtxRoundTrip: the trace context stamped on a frame by SendCtx
+// must surface through FrameCtx on the receiver, per frame, and frames
+// sent with plain Send must surface the zero context.
+func TestFrameCtxRoundTrip(t *testing.T) {
+	r := newRig(t)
+	type rx struct {
+		payload string
+		ctx     trace.SpanContext
+	}
+	var got []rx
+	NewConn(r.b, func(c *Conn, payload []byte) {
+		got = append(got, rx{payload: string(payload), ctx: c.FrameCtx()})
+	}, nil)
+	ca := NewConn(r.a, func(*Conn, []byte) {}, nil)
+
+	want := []rx{
+		{"alpha", trace.SpanContext{Op: 7, Span: 42}},
+		{"beta", trace.SpanContext{}},
+		{"gamma", trace.SpanContext{Op: 1, Span: 0xdeadbeef}},
+	}
+	for _, m := range want {
+		var err error
+		if m.ctx.Zero() {
+			err = ca.Send([]byte(m.payload))
+		} else {
+			err = ca.SendCtx([]byte(m.payload), m.ctx)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.engine.RunFor(100 * sim.Millisecond)
+	if len(got) != len(want) {
+		t.Fatalf("received %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d = %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }

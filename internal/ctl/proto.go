@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cruz/internal/sim"
+	"cruz/internal/trace"
 )
 
 // ErrOpExists is returned by Table.Begin when the key is busy.
@@ -179,12 +180,21 @@ func (o *Op) Arrive(set, member string) bool {
 func (o *Op) Cleared(set string) bool { return len(o.waits[set]) == 0 }
 
 // Fail aborts the op: idempotent, invokes OnFail then OnFinish, cancels
-// the timeout, and removes the op from the table.
+// the timeout, and removes the op from the table. An op abort is a
+// flight-recorder trigger — the dump preserves the event window that led
+// up to it.
 func (o *Op) Fail(err error) {
 	if o.done || o.err != nil {
 		return
 	}
 	o.err = err
+	if tr := trace.FromEngine(o.table.engine); tr != nil {
+		reason := o.Kind + "/" + o.Key
+		if err != nil {
+			reason += ": " + err.Error()
+		}
+		tr.DumpFlight("op.fail", reason)
+	}
 	if o.onFail != nil {
 		o.onFail(o, err)
 	}

@@ -173,11 +173,16 @@ func PhasesDedup(n, ckpts int, scale float64) (*PhasesResult, error) {
 	if err := checkWorkers(workers); err != nil {
 		return nil, err
 	}
+	dropped, err := traceHealth(cl)
+	if err != nil {
+		return nil, err
+	}
 	events := cl.Trace().Events()
 	return &PhasesResult{
 		Nodes:       n,
 		Checkpoints: ckpts,
 		Report:      trace.PhaseBreakdown(events),
 		Events:      events,
+		Dropped:     dropped,
 	}, nil
 }

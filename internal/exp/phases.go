@@ -20,6 +20,24 @@ type PhasesResult struct {
 	Report      *trace.PhaseReport
 	// Events is the full trace, for optional Chrome-trace export.
 	Events []trace.Event
+	// Dropped counts events the trace ring overwrote. A nonzero value
+	// means the phase report saw a truncated run; consumers that need the
+	// full window (exports, critical paths) should fail loudly on it.
+	Dropped uint64
+}
+
+// traceHealth is the end-of-run trace check shared by the traced
+// experiments: every span must be closed (a leak means a protocol path
+// lost an End) and the ring-drop count is surfaced to the caller.
+func traceHealth(cl *cruz.Cluster) (uint64, error) {
+	tr := cl.Trace()
+	if tr == nil {
+		return 0, nil
+	}
+	if n := tr.OpenSpans(); n != 0 {
+		return tr.Dropped(), fmt.Errorf("exp: %d trace spans left open: %v", n, tr.OpenSpanNames())
+	}
+	return tr.Dropped(), nil
 }
 
 // Phases runs ckpts coordinated checkpoints of the slm benchmark on n
@@ -38,12 +56,17 @@ func Phases(n, ckpts int, scale float64) (*PhasesResult, error) {
 	if err := checkWorkers(workers); err != nil {
 		return nil, err
 	}
+	dropped, err := traceHealth(cl)
+	if err != nil {
+		return nil, err
+	}
 	events := cl.Trace().Events()
 	return &PhasesResult{
 		Nodes:       n,
 		Checkpoints: ckpts,
 		Report:      trace.PhaseBreakdown(events),
 		Events:      events,
+		Dropped:     dropped,
 	}, nil
 }
 
@@ -245,6 +268,40 @@ func JSONBench(nodeCounts []int, ckpts int, scale float64) (*BenchReport, error)
 		rep.Experiments[prefix+"/place_ms"] = place.Dist()
 		rep.Experiments[prefix+"/transfer_ms"] = transfer.Dist()
 		rep.Experiments[prefix+"/restart_ms"] = restart.Dist()
+	}
+
+	// Critical-path decomposition of the traced kill-and-recover run:
+	// the recovery op's phase split (sequential, so phases are the
+	// decomposition) and the checkpoint op's critical-path segments
+	// aggregated by phase kind (parallel fan-out, so only the path sums
+	// to the total).
+	{
+		cp, err := CritPath(scale)
+		if err != nil {
+			return nil, err
+		}
+		add := func(key string, ms float64) {
+			var s metrics.Summary
+			s.Add(ms)
+			rep.Experiments[key] = s.Dist()
+		}
+		add("critpath_recovery_n4/total_ms", cp.Recovery.TotalMs)
+		for _, seg := range cp.Recovery.Phases {
+			add("critpath_recovery_n4/"+pathKey(seg)+"_ms", seg.Ms)
+		}
+		add("critpath_checkpoint_n4/total_ms", cp.Checkpoint.TotalMs)
+		agg := make(map[string]float64)
+		var order []string
+		for _, seg := range cp.Checkpoint.Path {
+			k := pathKey(seg)
+			if _, ok := agg[k]; !ok {
+				order = append(order, k)
+			}
+			agg[k] += seg.Ms
+		}
+		for _, k := range order {
+			add("critpath_checkpoint_n4/path_"+k+"_ms", agg[k])
+		}
 	}
 	return rep, nil
 }

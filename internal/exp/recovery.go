@@ -38,10 +38,13 @@ type RecoveryRow struct {
 // recoveryCluster deploys the slm ring on an auto-recovering cluster and
 // takes one checkpoint, waiting until every pod-hosting agent has
 // finished streaming its replicas so a node kill cannot outrun them.
-func recoveryCluster(n int, scale float64, cfg RecoveryConfig) (*cruz.Cluster, error) {
+// With traced set, the full tracing subsystem is on (sized so a
+// kill-and-recover run cannot overflow the ring).
+func recoveryCluster(n int, scale float64, cfg RecoveryConfig, traced bool) (*cruz.Cluster, error) {
 	cl, err := cruz.New(cruz.Config{
 		Nodes: n, Seed: int64(n)*101 + 7,
 		Replicas: cfg.Replicas, AutoRecover: true, Spares: cfg.Spares,
+		Trace: traced, TraceCapacity: 1 << 17,
 	})
 	if err != nil {
 		return nil, err
@@ -107,7 +110,7 @@ func recoveryCluster(n int, scale float64, cfg RecoveryConfig) (*cruz.Cluster, e
 func Recovery(n int, scale float64, cfgs []RecoveryConfig) ([]RecoveryRow, error) {
 	var rows []RecoveryRow
 	for _, cfg := range cfgs {
-		cl, err := recoveryCluster(n, scale, cfg)
+		cl, err := recoveryCluster(n, scale, cfg, false)
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"cruz/internal/mem"
 	"cruz/internal/sim"
@@ -352,7 +353,14 @@ func (k *Kernel) exitProcess(p *Process, code int) {
 		k.engine.Cancel(p.sleepEv)
 		p.sleepEv = nil
 	}
+	// Close in sorted FD order: closing tears down TCP state (FIN, RTO
+	// timers), and map order here would make kill traces nondeterministic.
+	fdns := make([]int, 0, len(p.fds))
 	for fdn := range p.fds {
+		fdns = append(fdns, fdn)
+	}
+	sort.Ints(fdns)
+	for _, fdn := range fdns {
 		p.closeFD(fdn)
 	}
 	delete(k.procs, p.pid)

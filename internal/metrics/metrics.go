@@ -143,6 +143,17 @@ func (s *Summary) Add(v float64) {
 // AddDuration appends a duration sample in milliseconds.
 func (s *Summary) AddDuration(d sim.Duration) { s.Add(d.Milliseconds()) }
 
+// Merge folds other's samples into s, as if each had been Added here in
+// other's insertion order. A nil or empty other is a no-op; other is not
+// modified. Keeps the receiver's Name.
+func (s *Summary) Merge(other *Summary) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	s.samples = append(s.samples, other.samples...)
+	s.sorted = nil
+}
+
 // N returns the sample count.
 func (s *Summary) N() int { return len(s.samples) }
 

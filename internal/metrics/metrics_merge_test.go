@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Merging two summaries must be indistinguishable from having Added every
+// sample to one summary in the same overall order.
+func TestMergeEquivalence(t *testing.T) {
+	var a, b, direct Summary
+	for v := 1; v <= 5; v++ {
+		a.Add(float64(v))
+		direct.Add(float64(v))
+	}
+	for v := 6; v <= 10; v++ {
+		b.Add(float64(v))
+		direct.Add(float64(v))
+	}
+	a.Merge(&b)
+	if a.N() != 10 {
+		t.Fatalf("merged N = %d, want 10", a.N())
+	}
+	if got, want := a.Dist(), direct.Dist(); got != want {
+		t.Fatalf("merged Dist = %+v, want %+v", got, want)
+	}
+	// The donor is left intact.
+	if b.N() != 5 || b.Min() != 6 || b.Max() != 10 {
+		t.Fatalf("donor modified by Merge: n=%d min=%v max=%v", b.N(), b.Min(), b.Max())
+	}
+}
+
+func TestMergeNilAndEmpty(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(2)
+	s.Merge(nil)
+	s.Merge(&Summary{})
+	if s.N() != 2 || s.Mean() != 1.5 {
+		t.Fatalf("no-op merges changed the summary: n=%d mean=%v", s.N(), s.Mean())
+	}
+
+	// Merging into an empty summary adopts the donor's samples.
+	var empty Summary
+	empty.Merge(&s)
+	if empty.N() != 2 || empty.Percentile(100) != 2 {
+		t.Fatalf("merge into empty: n=%d p100=%v", empty.N(), empty.Percentile(100))
+	}
+}
+
+// Merge must invalidate the memoized sort just like Add does.
+func TestMergeMemoInvalidation(t *testing.T) {
+	var s, other Summary
+	s.Add(1)
+	s.Add(2)
+	if got := s.Percentile(100); got != 2 { // populates the memo
+		t.Fatalf("p100 = %v, want 2", got)
+	}
+	other.Add(10)
+	s.Merge(&other)
+	if got := s.Percentile(100); got != 10 {
+		t.Fatalf("p100 after Merge = %v, want 10 (stale sort cache?)", got)
+	}
+}
+
+// Nearest-rank percentiles on a duplicate-heavy distribution: the long
+// flat run must absorb every rank that lands inside it.
+func TestPercentileDuplicateHeavy(t *testing.T) {
+	var s Summary
+	for i := 0; i < 97; i++ {
+		s.Add(1)
+	}
+	s.Add(2)
+	s.Add(3)
+	s.Add(4)
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 1}, {90, 1}, {97, 1}, {98, 2}, {99, 3}, {100, 4},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// Two summaries fed the same deterministic sample stream must export
+// byte-identical JSON — the property BENCH_cruz.json regeneration
+// relies on.
+func TestDistExportByteIdentical(t *testing.T) {
+	build := func() []byte {
+		var part1, part2, merged Summary
+		x := uint64(12345)
+		for i := 0; i < 500; i++ {
+			x = x*6364136223846793005 + 1442695040888963407 // fixed-seed LCG
+			v := float64(x>>33) / float64(1<<31)
+			if i < 250 {
+				part1.Add(v)
+			} else {
+				part2.Add(v)
+			}
+		}
+		merged.Merge(&part1)
+		merged.Merge(&part2)
+		out, err := json.Marshal(merged.Dist())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed Dist export differs:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,191 @@
+package critpath
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cruz/internal/sim"
+	"cruz/internal/trace"
+)
+
+func ms(n int64) sim.Time { return sim.Time(n * int64(sim.Millisecond)) }
+
+func begin(at sim.Time, op trace.OpID, id, parent trace.SpanID, node, name string, args ...trace.Arg) trace.Event {
+	ev := trace.Event{At: at, Kind: trace.KindBegin, Node: node, Cat: "core", Name: name,
+		Span: id, Op: op, Parent: parent}
+	for _, a := range args {
+		ev.Args[ev.NArgs] = a
+		ev.NArgs++
+	}
+	return ev
+}
+
+func end(at sim.Time, op trace.OpID, id trace.SpanID) trace.Event {
+	return trace.Event{At: at, Kind: trace.KindEnd, Span: id, Op: op}
+}
+
+// recoveryEvents models a sequential recovery pipeline with one nested
+// disk span on another node and a 350 ms declared detect lead.
+func recoveryEvents() []trace.Event {
+	return []trace.Event{
+		begin(ms(0), 5, 1, 0, "svc", "recovery", trace.Int("lead.detect_us", 350000)),
+		begin(ms(0), 5, 2, 1, "svc", "recovery.place"),
+		end(ms(10), 5, 2),
+		begin(ms(10), 5, 3, 1, "svc", "recovery.transfer"),
+		begin(ms(12), 5, 4, 3, "node1", "store.adopt"),
+		end(ms(38), 5, 4),
+		end(ms(40), 5, 3),
+		begin(ms(40), 5, 5, 1, "svc", "recovery.restart"),
+		end(ms(100), 5, 5),
+		end(ms(100), 5, 1),
+	}
+}
+
+func TestBuildTreesShape(t *testing.T) {
+	trees := BuildTrees(recoveryEvents())
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d, want 1", len(trees))
+	}
+	tr := trees[0]
+	if tr.Op != 5 || tr.Root == nil || tr.Root.Name != "recovery" {
+		t.Fatalf("bad root: %+v", tr.Root)
+	}
+	if len(tr.Root.Children) != 3 {
+		t.Fatalf("root children = %d, want 3", len(tr.Root.Children))
+	}
+	wantNodes := []string{"svc", "node1"}
+	if len(tr.Nodes) != 2 || tr.Nodes[0] != wantNodes[0] || tr.Nodes[1] != wantNodes[1] {
+		t.Fatalf("nodes = %v, want %v", tr.Nodes, wantNodes)
+	}
+	if got := FindRoot(trees, "recovery"); got != tr {
+		t.Fatal("FindRoot missed the tree")
+	}
+	if got := FindRoot(trees, "nope"); got != nil {
+		t.Fatal("FindRoot invented a tree")
+	}
+}
+
+func TestAnalyzePhasesAndLead(t *testing.T) {
+	r := Analyze(BuildTrees(recoveryEvents())[0])
+	if r == nil {
+		t.Fatal("nil report")
+	}
+	if r.LeadMs != 350 {
+		t.Fatalf("lead = %v, want 350", r.LeadMs)
+	}
+	if r.TotalMs != 450 {
+		t.Fatalf("total = %v, want 450", r.TotalMs)
+	}
+	wantPhases := []struct {
+		name string
+		ms   float64
+	}{
+		{"detect", 350}, {"recovery.place", 10}, {"recovery.transfer", 30}, {"recovery.restart", 60},
+	}
+	if len(r.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %+v, want %d entries", r.Phases, len(wantPhases))
+	}
+	var sum float64
+	for i, w := range wantPhases {
+		if r.Phases[i].Name != w.name || r.Phases[i].Ms != w.ms {
+			t.Fatalf("phase %d = %+v, want %+v", i, r.Phases[i], w)
+		}
+		sum += r.Phases[i].Ms
+	}
+	// Sequential pipeline: phases decompose the total exactly.
+	if sum != r.TotalMs {
+		t.Fatalf("phase sum %v != total %v", sum, r.TotalMs)
+	}
+}
+
+func TestCriticalPathSumsToTotal(t *testing.T) {
+	r := Analyze(BuildTrees(recoveryEvents())[0])
+	var sum float64
+	for _, s := range r.Path {
+		sum += s.Ms
+	}
+	if math.Abs(sum-r.TotalMs) > 1e-9 {
+		t.Fatalf("path sum %v != total %v (path %+v)", sum, r.TotalMs, r.Path)
+	}
+	// The deepest span (the node1 disk adopt) must appear on the path.
+	found := false
+	for _, s := range r.Path {
+		if s.Name == "store.adopt" && s.Node == "node1" && s.Ms == 26 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("store.adopt missing from path: %+v", r.Path)
+	}
+}
+
+func TestCriticalPathParallelChildren(t *testing.T) {
+	// Two overlapping children: c1 0-30, c2 5-50 under a 0-50 root. The
+	// path follows c2 and charges the uncovered prefix to the root.
+	events := []trace.Event{
+		begin(ms(0), 7, 10, 0, "svc", "checkpoint"),
+		begin(ms(0), 7, 11, 10, "node0", "agent.checkpoint"),
+		begin(ms(5), 7, 12, 10, "node1", "agent.checkpoint"),
+		end(ms(30), 7, 11),
+		end(ms(50), 7, 12),
+		end(ms(50), 7, 10),
+	}
+	r := Analyze(BuildTrees(events)[0])
+	if r.TotalMs != 50 {
+		t.Fatalf("total = %v, want 50", r.TotalMs)
+	}
+	var sum float64
+	for _, s := range r.Path {
+		sum += s.Ms
+	}
+	if sum != 50 {
+		t.Fatalf("path sum %v != 50 (path %+v)", sum, r.Path)
+	}
+	// Phases overlap (30+45 > 50) — exactly why Path exists.
+	if len(r.Path) != 2 || r.Path[0].Kind != SegSelf || r.Path[0].Ms != 5 ||
+		r.Path[1].Node != "node1" || r.Path[1].Ms != 45 {
+		t.Fatalf("path = %+v", r.Path)
+	}
+}
+
+func TestOrphanSpans(t *testing.T) {
+	// Span 21's parent 99 was never observed (fell off the ring).
+	events := []trace.Event{
+		begin(ms(0), 3, 20, 0, "svc", "op"),
+		begin(ms(1), 3, 21, 99, "node0", "lost.parent"),
+		end(ms(2), 3, 21),
+		end(ms(3), 3, 20),
+	}
+	tr := BuildTrees(events)[0]
+	if len(tr.Orphans) != 1 || tr.Orphans[0].Name != "lost.parent" {
+		t.Fatalf("orphans = %+v", tr.Orphans)
+	}
+	if got := tr.Format(); !strings.Contains(got, "(orphan)") {
+		t.Fatalf("format lacks orphan marker:\n%s", got)
+	}
+}
+
+func TestAnalyzeOpenRoot(t *testing.T) {
+	events := []trace.Event{begin(ms(0), 2, 30, 0, "svc", "hung")}
+	if r := Analyze(BuildTrees(events)[0]); r != nil {
+		t.Fatalf("expected nil report for unended root, got %+v", r)
+	}
+}
+
+func TestRenderingsDeterministic(t *testing.T) {
+	trees1 := BuildTrees(recoveryEvents())
+	trees2 := BuildTrees(recoveryEvents())
+	if a, b := trees1[0].Format(), trees2[0].Format(); a != b {
+		t.Fatalf("tree format differs:\n%s\n---\n%s", a, b)
+	}
+	r1, r2 := Analyze(trees1[0]), Analyze(trees2[0])
+	if r1.Format() != r2.Format() || r1.Summary() != r2.Summary() {
+		t.Fatal("report rendering differs across identical inputs")
+	}
+	for _, want := range []string{"recovery.restart", "detect", "(lead)", "critical path:"} {
+		if !strings.Contains(r1.Format(), want) {
+			t.Fatalf("format lacks %q:\n%s", want, r1.Format())
+		}
+	}
+}

@@ -14,6 +14,16 @@ import (
 // indented per node. The output is deterministic for a given event
 // sequence.
 func WriteTimeline(w io.Writer, events []Event) error {
+	return writeTimeline(w, events, 0)
+}
+
+// WriteTimeline renders the tracer's ring, with a trailing footer line
+// reporting how many older events the ring overflowed past.
+func (t *Tracer) WriteTimeline(w io.Writer) error {
+	return writeTimeline(w, t.Events(), t.Dropped())
+}
+
+func writeTimeline(w io.Writer, events []Event, dropped uint64) error {
 	bw := bufio.NewWriter(w)
 	begins := make(map[SpanID]sim.Time)
 	depth := make(map[string]int)
@@ -42,6 +52,12 @@ func WriteTimeline(w io.Writer, events []Event) error {
 		}
 		fmt.Fprintf(bw, "[%12.3fms] %-8s %-6s %*s%s %s", float64(ev.At)/1e6,
 			ev.Node, ev.Cat, 2*depth[ev.Node], "", mark, ev.Name)
+		if ev.Kind == KindBegin && ev.Op != 0 {
+			fmt.Fprintf(bw, " op=%d", uint64(ev.Op))
+			if ev.Parent != 0 {
+				fmt.Fprintf(bw, " parent=%d", uint64(ev.Parent))
+			}
+		}
 		for _, a := range ev.ArgSlice() {
 			if a.IsStr {
 				fmt.Fprintf(bw, " %s=%s", a.Key, a.Str)
@@ -55,6 +71,9 @@ func WriteTimeline(w io.Writer, events []Event) error {
 			depth[ev.Node]++
 		}
 	}
+	if dropped > 0 {
+		fmt.Fprintf(bw, "# dropped %d older events (ring overflow)\n", dropped)
+	}
 	return bw.Flush()
 }
 
@@ -67,7 +86,22 @@ func WriteTimeline(w io.Writer, events []Event) error {
 //
 // The writer builds JSON by hand so field and argument order — and hence
 // the exact bytes — are deterministic for a given event sequence.
+//
+// Span Begin events (and linked instants) carry the distributed trace
+// context as "op"/"parent" args, so a cross-node operation can be
+// reassembled from the export alone.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return writeChromeTrace(w, events, 0)
+}
+
+// WriteChromeTrace renders the tracer's ring; when the ring overflowed,
+// a top-level "metadata" object reports the dropped-event count (kept
+// out of the traceEvents array so viewers ignore it cleanly).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return writeChromeTrace(w, t.Events(), t.Dropped())
+}
+
+func writeChromeTrace(w io.Writer, events []Event, dropped uint64) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"traceEvents\":[")
 
@@ -105,10 +139,20 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	}
 	writeArgs := func(ev *Event) {
 		bw.WriteString("\"args\":{")
-		for i, a := range ev.ArgSlice() {
-			if i > 0 {
+		n := 0
+		if (ev.Kind == KindBegin || ev.Kind == KindInstant) && ev.Op != 0 {
+			fmt.Fprintf(bw, "\"op\":\"0x%x\"", uint64(ev.Op))
+			n++
+			if ev.Parent != 0 {
+				fmt.Fprintf(bw, ",\"parent\":\"0x%x\"", uint64(ev.Parent))
+				n++
+			}
+		}
+		for _, a := range ev.ArgSlice() {
+			if n > 0 {
 				bw.WriteByte(',')
 			}
+			n++
 			bw.WriteString(strconv.Quote(a.Key))
 			bw.WriteByte(':')
 			if a.IsStr {
@@ -144,6 +188,10 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			writeArgs(ev)
 		}
 	}
-	bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
+	bw.WriteString("],\"displayTimeUnit\":\"ms\"")
+	if dropped > 0 {
+		fmt.Fprintf(bw, ",\"metadata\":{\"droppedEvents\":%d}", dropped)
+	}
+	bw.WriteString("}\n")
 	return bw.Flush()
 }

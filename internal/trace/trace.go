@@ -26,7 +26,12 @@
 // checkpoint-latency breakdown the paper's Fig. 5 discussion implies.
 package trace
 
-import "cruz/internal/sim"
+import (
+	"fmt"
+	"sort"
+
+	"cruz/internal/sim"
+)
 
 // Kind classifies an event.
 type Kind uint8
@@ -79,19 +84,42 @@ func Int(key string, val int64) Arg { return Arg{Key: key, Num: float64(val)} }
 // deterministic counter, never reused within a run.
 type SpanID uint64
 
+// OpID identifies one distributed operation (a coordinated checkpoint,
+// restart, or recovery). Like SpanID it is allocated from a deterministic
+// counter; all spans of an op — on any node — share its OpID, which is
+// what lets the critpath package reassemble one tree from a flat ring.
+type OpID uint64
+
+// SpanContext is the causal trace context carried across the wire: the
+// operation a message belongs to and the span it was sent under. The
+// zero SpanContext means "no traced operation" and is always safe to
+// propagate.
+type SpanContext struct {
+	Op   OpID
+	Span SpanID
+}
+
+// Zero reports whether the context carries no operation.
+func (c SpanContext) Zero() bool { return c == SpanContext{} }
+
 // Event is one trace record. At is virtual time; Node and Cat scope the
 // event to a machine and subsystem; Span links Begin/End pairs; Value
 // carries the sample for counters.
 type Event struct {
-	At    sim.Time
-	Kind  Kind
-	Node  string
-	Cat   string
-	Name  string
-	Span  SpanID
-	Value float64
-	NArgs uint8
-	Args  [MaxArgs]Arg
+	At   sim.Time
+	Kind Kind
+	Node string
+	Cat  string
+	Name string
+	Span SpanID
+	// Op and Parent place the event in a distributed operation's span
+	// tree: Op names the operation, Parent the span this one is causally
+	// under. Both are zero for unlinked events.
+	Op     OpID
+	Parent SpanID
+	Value  float64
+	NArgs  uint8
+	Args   [MaxArgs]Arg
 }
 
 // ArgSlice returns the event's populated arguments.
@@ -105,6 +133,14 @@ type Config struct {
 	// SampleEvery emits engine dispatch counters every N events fired.
 	// 0 means DefaultSampleEvery; negative disables engine sampling.
 	SampleEvery int
+	// FlightOnly drops the main event ring entirely: events feed only the
+	// per-node flight recorder. This is the always-on mode a cluster runs
+	// in when full tracing is off — Len/Dropped/Events report an empty
+	// ring, but DumpFlight still yields the recent-event window.
+	FlightOnly bool
+	// Flight tunes the always-on flight recorder; zero values mean the
+	// DefaultFlight* constants.
+	Flight FlightConfig
 }
 
 // Defaults for Config.
@@ -115,6 +151,8 @@ const (
 
 type spanMeta struct {
 	node, cat, name string
+	op              OpID
+	parent          SpanID
 }
 
 // Tracer collects events into a bounded ring. A nil *Tracer is valid and
@@ -122,23 +160,28 @@ type spanMeta struct {
 // beyond guarding expensive argument construction with Enabled.
 type Tracer struct {
 	engine *sim.Engine
-	buf    []Event
-	total  uint64 // events ever emitted; buf index = total % len(buf)
+	buf    []Event // nil in FlightOnly mode
+	total  uint64  // events ever emitted; buf index = total % len(buf)
 	nextID SpanID
+	nextOp OpID
 	open   map[SpanID]spanMeta
+	flight *flightRecorder
 }
 
 // New creates a tracer, attaches it to the engine as its trace sink (so
 // trace.FromEngine finds it from any component), and installs the
 // sampled dispatch-counter hook.
 func New(engine *sim.Engine, cfg Config) *Tracer {
-	if cfg.Capacity <= 0 {
-		cfg.Capacity = DefaultCapacity
-	}
 	t := &Tracer{
 		engine: engine,
-		buf:    make([]Event, cfg.Capacity),
 		open:   make(map[SpanID]spanMeta),
+		flight: newFlightRecorder(cfg.Flight),
+	}
+	if !cfg.FlightOnly {
+		if cfg.Capacity <= 0 {
+			cfg.Capacity = DefaultCapacity
+		}
+		t.buf = make([]Event, cfg.Capacity)
 	}
 	engine.SetTraceSink(t)
 	if cfg.SampleEvery >= 0 {
@@ -182,8 +225,11 @@ func (t *Tracer) now() sim.Time {
 }
 
 func (t *Tracer) emit(ev *Event) {
-	t.buf[t.total%uint64(len(t.buf))] = *ev
-	t.total++
+	if t.buf != nil {
+		t.buf[t.total%uint64(len(t.buf))] = *ev
+		t.total++
+	}
+	t.flight.record(ev)
 }
 
 func setArgs(ev *Event, args []Arg) {
@@ -199,10 +245,16 @@ func setArgs(ev *Event, args []Arg) {
 
 // Instant records a point event.
 func (t *Tracer) Instant(node, cat, name string, args ...Arg) {
+	t.InstantCtx(SpanContext{}, node, cat, name, args...)
+}
+
+// InstantCtx records a point event linked under a trace context, so it
+// renders inside the op's span tree rather than as a free-floating mark.
+func (t *Tracer) InstantCtx(ctx SpanContext, node, cat, name string, args ...Arg) {
 	if t == nil {
 		return
 	}
-	ev := Event{At: t.now(), Kind: KindInstant, Node: node, Cat: cat, Name: name}
+	ev := Event{At: t.now(), Kind: KindInstant, Node: node, Cat: cat, Name: name, Op: ctx.Op, Parent: ctx.Span}
 	setArgs(&ev, args)
 	t.emit(&ev)
 }
@@ -216,24 +268,61 @@ func (t *Tracer) Counter(node, cat, name string, value float64) {
 }
 
 // Begin opens a span and returns a handle whose End closes it. The zero
-// Span (and any Span from a nil tracer) is inert.
+// Span (and any Span from a nil tracer) is inert. A plain Begin belongs
+// to no distributed operation; use BeginOp/BeginChild for spans that
+// should link into a cross-node tree.
 func (t *Tracer) Begin(node, cat, name string, args ...Arg) Span {
 	if t == nil {
 		return Span{}
 	}
+	return t.begin(SpanContext{}, node, cat, name, args)
+}
+
+// BeginOp opens the root span of a new distributed operation, allocating
+// a fresh OpID from the tracer's deterministic counter.
+func (t *Tracer) BeginOp(node, cat, name string, args ...Arg) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.nextOp++
+	return t.begin(SpanContext{Op: t.nextOp}, node, cat, name, args)
+}
+
+// BeginChild opens a span under an existing trace context — typically
+// one received off the wire, adopting the sender's operation on this
+// node. A zero ctx degrades to a plain Begin.
+func (t *Tracer) BeginChild(ctx SpanContext, node, cat, name string, args ...Arg) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.begin(ctx, node, cat, name, args)
+}
+
+func (t *Tracer) begin(ctx SpanContext, node, cat, name string, args []Arg) Span {
 	t.nextID++
 	id := t.nextID
-	t.open[id] = spanMeta{node: node, cat: cat, name: name}
-	ev := Event{At: t.now(), Kind: KindBegin, Node: node, Cat: cat, Name: name, Span: id}
+	t.open[id] = spanMeta{node: node, cat: cat, name: name, op: ctx.Op, parent: ctx.Span}
+	ev := Event{At: t.now(), Kind: KindBegin, Node: node, Cat: cat, Name: name, Span: id, Op: ctx.Op, Parent: ctx.Span}
 	setArgs(&ev, args)
 	t.emit(&ev)
-	return Span{t: t, id: id}
+	return Span{t: t, id: id, op: ctx.Op}
 }
 
 // Span is a handle to an open span.
 type Span struct {
 	t  *Tracer
 	id SpanID
+	op OpID
+}
+
+// Context returns the trace context for work causally under this span.
+// It remains valid after End — a reply sent as a span's last act still
+// carries the right lineage.
+func (s Span) Context() SpanContext {
+	if s.t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Op: s.op, Span: s.id}
 }
 
 // Active reports whether the span is real and still open.
@@ -257,14 +346,15 @@ func (s Span) End(args ...Arg) {
 		return
 	}
 	delete(t.open, s.id)
-	ev := Event{At: t.now(), Kind: KindEnd, Node: meta.node, Cat: meta.cat, Name: meta.name, Span: s.id}
+	ev := Event{At: t.now(), Kind: KindEnd, Node: meta.node, Cat: meta.cat, Name: meta.name,
+		Span: s.id, Op: meta.op, Parent: meta.parent}
 	setArgs(&ev, args)
 	t.emit(&ev)
 }
 
 // Len returns the number of events currently held in the ring.
 func (t *Tracer) Len() int {
-	if t == nil {
+	if t == nil || t.buf == nil {
 		return 0
 	}
 	if t.total < uint64(len(t.buf)) {
@@ -275,7 +365,7 @@ func (t *Tracer) Len() int {
 
 // Dropped returns how many events were overwritten by ring wraparound.
 func (t *Tracer) Dropped() uint64 {
-	if t == nil {
+	if t == nil || t.buf == nil {
 		return 0
 	}
 	if t.total <= uint64(len(t.buf)) {
@@ -292,9 +382,28 @@ func (t *Tracer) OpenSpans() int {
 	return len(t.open)
 }
 
+// OpenSpanNames returns one "node/cat/name#id" label per open span,
+// ordered by span id — the payload for an end-of-run leak report.
+func (t *Tracer) OpenSpanNames() []string {
+	if t == nil || len(t.open) == 0 {
+		return nil
+	}
+	ids := make([]SpanID, 0, len(t.open))
+	for id := range t.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		m := t.open[id]
+		out = append(out, fmt.Sprintf("%s/%s/%s#%d", m.node, m.cat, m.name, id))
+	}
+	return out
+}
+
 // Events returns the buffered events oldest-first. The slice is a copy.
 func (t *Tracer) Events() []Event {
-	if t == nil {
+	if t == nil || t.buf == nil {
 		return nil
 	}
 	n := uint64(len(t.buf))
