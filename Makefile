@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race cruzvet bench gobench trace-demo
+.PHONY: check build test vet race cruzvet bench gobench scale-smoke trace-demo
 
 check: vet cruzvet build test race
 
@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/trace/... ./internal/metrics/... ./internal/ctl/... ./internal/core/... ./internal/tcpip/... ./internal/ckpt/...
+	$(GO) test -race ./internal/trace/... ./internal/metrics/... ./internal/ctl/... ./internal/core/... ./internal/coord/... ./internal/tcpip/... ./internal/ckpt/...
 
 # Regenerate the machine-readable benchmark report and fail if the
 # output is not valid BENCH_cruz.json-shaped JSON.
@@ -37,12 +37,22 @@ bench:
 
 # Micro-benchmark smoke: the tracer-overhead guard (trace=false must
 # match the pre-tracing baseline) plus one iteration each of the hot-path
-# micro-benchmarks (dirty-page tracking, event scheduling) so CI notices
-# when a benchmark rots. No thresholds — timings are informational.
+# micro-benchmarks (dirty-page tracking, event scheduling, pooled TCP
+# bulk transfer) so CI notices when a benchmark rots. No thresholds —
+# timings are informational; allocs/op on the scheduling and TCP
+# benchmarks is the fast-path pooling ablation's headline.
 gobench:
 	$(GO) test -run XXX -bench=BenchmarkCheckpoint -benchmem .
 	$(GO) test -run XXX -bench=BenchmarkDirtyTracking -benchtime=1x -benchmem ./internal/mem/
 	$(GO) test -run XXX -bench=BenchmarkEngineSchedule -benchtime=1x -benchmem ./internal/sim/
+	$(GO) test -run XXX -bench=BenchmarkTCPBulkTransfer -benchtime=1x -benchmem ./internal/tcpip/
+
+# Scaling smoke: the A9 flat-vs-tree ablation at reduced workload scale
+# (n = 8/64/256, light slm ring). Exercises the hierarchical
+# coordinator, the widened >255-node addressing, and the engine fast
+# path end to end in a few seconds.
+scale-smoke:
+	$(GO) run ./cmd/cruzbench -exp scale -scale 0.25
 
 # Worked example from README: quickstart scenario with a Chrome trace.
 trace-demo:

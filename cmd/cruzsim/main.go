@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cruzsim -scenario quickstart|migrate|failover|periodic [-nodes 4] [-seed 1]
+//	cruzsim -scenario quickstart|migrate|failover|periodic [-nodes 4] [-group 0] [-seed 1]
 //	        [-precopy] [-trace out.json] [-v]
 //
 // Scenarios:
@@ -64,6 +64,7 @@ func main() {
 	var (
 		scenario = flag.String("scenario", "quickstart", "quickstart|migrate|failover|periodic")
 		nodes    = flag.Int("nodes", 4, "application nodes")
+		group    = flag.Int("group", 0, "coordination group size: 0 = flat fan-out, >1 = two-level tree (try ⌈√nodes⌉ for wide rings)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		dedup    = flag.Bool("dedup", false, "periodic: store checkpoints content-addressed with the pipelined save path")
 		precopy  = flag.Bool("precopy", false, "periodic: pre-copy rounds — stream live, freeze only the residual dirty set")
@@ -75,7 +76,7 @@ func main() {
 	var err error
 	switch *scenario {
 	case "quickstart":
-		err = quickstart(*nodes, *seed)
+		err = quickstart(*nodes, *group, *seed)
 	case "migrate":
 		err = migrate(*seed)
 	case "failover":
@@ -182,11 +183,11 @@ func flightReport(cl *cruz.Cluster) error {
 // quickstart runs the smallest full checkpoint-restart cycle: an slm
 // ring with one worker pod per node, one coordinated checkpoint, a crash
 // of every pod, and a coordinated restart from the image.
-func quickstart(nodes int, seed int64) error {
+func quickstart(nodes, group int, seed int64) error {
 	if nodes < 2 {
 		nodes = 2
 	}
-	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed, Trace: tracing()})
+	cl, err := cruz.New(cruz.Config{Nodes: nodes, Seed: seed, GroupSize: group, Trace: tracing()})
 	if err != nil {
 		return err
 	}
@@ -289,6 +290,16 @@ func slmJob(cl *cruz.Cluster, n int) (*cruz.Job, []*slm.Worker, error) {
 		GridBytes:           8 << 20,
 		DirtyPagesPerStep:   64,
 		Port:                9200,
+	}
+	// Wide rings (-nodes 64 and beyond) shrink the per-worker grid so
+	// the job's total footprint stays near the 4-node default and the
+	// scenario finishes in seconds; the coordination behaviour under
+	// test is unaffected.
+	if n > 16 {
+		cfg.GridBytes = (8 << 20) * 16 / uint64(n)
+		if cfg.GridBytes < 256<<10 {
+			cfg.GridBytes = 256 << 10
+		}
 	}
 	var names []string
 	var ips []cruz.Addr

@@ -98,6 +98,14 @@ type Config struct {
 	// Agent and Coordinator override daemon cost models.
 	Agent       core.AgentParams
 	Coordinator core.CoordinatorParams
+	// GroupSize enables hierarchical (two-level tree) coordination: the
+	// coordinator partitions each job into groups of this size and talks
+	// to one deterministic leader per group, which relays to its members
+	// and batches their replies — O(N/GroupSize) root messages per
+	// protocol phase instead of O(N). 0 or 1 keeps the flat fan-out. A
+	// good value is ⌈√N⌉ for N-pod jobs; commit/abort decisions are
+	// identical either way. Shorthand for Coordinator.GroupSize.
+	GroupSize int
 	// AutoCompact, when > 0, makes every node's store fold a pod's
 	// incremental manifest chain into a synthetic full manifest (freeing
 	// unreferenced chunks) once the chain exceeds this many deduplicated
@@ -147,7 +155,34 @@ type Node struct {
 }
 
 // Addr returns the node's physical IP address.
-func (n *Node) Addr() Addr { return Addr{10, 0, 0, byte(n.Index + 1)} }
+func (n *Node) Addr() Addr { return nodeAddr(n.Index) }
+
+// nodeAddr maps a node index to its physical IP. The first 255 nodes
+// keep the historical 10.0.0.x addresses (so small-cluster traces stay
+// byte-identical); larger clusters spill into 10.0.(200+k).x, well clear
+// of the pod subnets at 10.0.(1+k).x.
+func nodeAddr(i int) Addr {
+	n := i + 1
+	if n <= 255 {
+		return Addr{10, 0, 0, byte(n)}
+	}
+	return Addr{10, 0, byte(200 + n>>8), byte(n)}
+}
+
+// nodeMAC maps a node index to its NIC MAC, widening into the fifth
+// byte (zero for the first 255 nodes, preserving historical addresses).
+func nodeMAC(i int) ether.MAC {
+	n := i + 1
+	return ether.MAC{0x02, 0, 0, 0, byte(n >> 8), byte(n)}
+}
+
+// podNet maps a pod id (1-based creation order) to its externally
+// routable IP and VIF MAC. The first 255 pods keep the historical
+// 10.0.1.x addresses; later pods spill into 10.0.(1+k).x.
+func podNet(id int) (Addr, ether.MAC) {
+	return Addr{10, 0, byte(1 + id>>8), byte(id)},
+		ether.MAC{0x02, 0, 0, 1, byte(id >> 8), byte(id)}
+}
 
 // Cluster is a complete simulated deployment.
 type Cluster struct {
@@ -214,6 +249,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Coordinator.MsgCost == 0 {
 		cfg.Coordinator = core.DefaultCoordinatorParams()
 	}
+	if cfg.GroupSize != 0 {
+		cfg.Coordinator.GroupSize = cfg.GroupSize
+	}
 	cl := &Cluster{
 		Engine:     sim.NewEngine(cfg.Seed),
 		cfg:        cfg,
@@ -233,11 +271,11 @@ func New(cfg Config) (*Cluster, error) {
 	cl.Switch = ether.NewSwitch(cl.Engine)
 
 	mkNode := func(i int) (*Node, error) {
-		mac := ether.MAC{0x02, 0, 0, 0, 0, byte(i + 1)}
+		mac := nodeMAC(i)
 		nic := ether.NewNIC(cl.Engine, fmt.Sprintf("node%d/eth0", i), mac)
 		cl.Switch.Attach(nic, cfg.Link)
 		st := tcpip.NewStack(cl.Engine, fmt.Sprintf("node%d", i))
-		if _, err := st.AddInterface("eth0", Addr{10, 0, 0, byte(i + 1)}, mac, nic, false); err != nil {
+		if _, err := st.AddInterface("eth0", nodeAddr(i), mac, nic, false); err != nil {
 			return nil, err
 		}
 		k := kernel.New(cl.Engine, fmt.Sprintf("node%d", i), cfg.Kernel, st)
@@ -322,12 +360,9 @@ func (cl *Cluster) NewPod(node int, name string) (*Pod, error) {
 		return nil, fmt.Errorf("cruz: pod %q already exists", name)
 	}
 	cl.podCount++
-	id := byte(cl.podCount)
+	ip, mac := podNet(cl.podCount)
 	n := cl.Nodes[node]
-	pod, err := zap.New(n.Kernel, name, zap.NetConfig{
-		IP:  Addr{10, 0, 1, id},
-		MAC: ether.MAC{0x02, 0, 0, 1, 0, id},
-	})
+	pod, err := zap.New(n.Kernel, name, zap.NetConfig{IP: ip, MAC: mac})
 	if err != nil {
 		return nil, err
 	}

@@ -138,6 +138,14 @@ func TestLockOrderFixture(t *testing.T) {
 	runFixture(t, "lockorderfix", Config{}, LockOrder)
 }
 
+// TestTreeLeaderFixture covers the group-leader shapes hierarchical
+// coordination added: a span leaked across a leader-promotion return
+// path, the per-member relay loop leak, and the two-tier agent/relay
+// lock ordering (inversion cycle, held-across-yield).
+func TestTreeLeaderFixture(t *testing.T) {
+	runFixture(t, "treeleader", Config{}, SpanLeak, LockOrder)
+}
+
 // TestAllowFixture proves the //cruzvet:allow escape hatch: annotated
 // findings are silenced, counted as suppressions, and stale
 // directives are surfaced as unused.

@@ -1,0 +1,119 @@
+// Package treeleader is a cruzvet fixture for the group-leader code
+// shapes hierarchical (two-level tree) coordination introduced: relay
+// spans that must survive leader-promotion error paths, and the
+// two-tier agent/relay lock ordering. The bug shapes here are the ones
+// the analyzers must keep catching in internal/core's leader paths.
+package treeleader
+
+import (
+	"errors"
+	"sync"
+
+	"cruz/internal/sim"
+	"cruz/internal/trace"
+)
+
+// member is a stand-in for one group member's state.
+type member struct {
+	name string
+	live bool
+}
+
+// agent models the per-node daemon: its own lock plus a relay table
+// (the leader role's aggregation state) with a second lock tier.
+type agent struct {
+	mu    sync.Mutex
+	relay relayTable
+}
+
+type relayTable struct {
+	mu      sync.Mutex
+	pending int
+}
+
+var errDead = errors.New("member dead")
+
+// promoteLeak is the leader-promotion bug shape: the relay span is
+// begun before the liveness scan, and the no-live-member error path
+// returns without ending it — the span leaks across the promotion
+// return path and the trace export diverges from reality.
+func promoteLeak(tr *trace.Tracer, members []member) (string, error) {
+	sp := tr.Begin("node", "coord", "relay.promote") // want `not ended on every return path`
+	for _, m := range members {
+		if m.live {
+			sp.End()
+			return m.name, nil
+		}
+	}
+	return "", errDead // forgot sp.End()
+}
+
+// promoteOK ends the span on both the promoted and the error path.
+func promoteOK(tr *trace.Tracer, members []member) (string, error) {
+	sp := tr.Begin("node", "coord", "relay.promote")
+	defer sp.End()
+	for _, m := range members {
+		if m.live {
+			return m.name, nil
+		}
+	}
+	return "", errDead
+}
+
+// relayLeak is the leader's per-member fan-out loop: the member span
+// is abandoned when the member errors out mid-relay.
+func relayLeak(tr *trace.Tracer, members []member) {
+	for _, m := range members {
+		sp := tr.Begin("node", "coord", "relay.member") // want `not ended on every return path`
+		if !m.live {
+			continue // forgot sp.End()
+		}
+		sp.End()
+	}
+}
+
+// aggregateDiscard drops the aggregation span on the floor.
+func aggregateDiscard(tr *trace.Tracer) {
+	tr.Begin("node", "coord", "relay.aggregate") // want `span discarded`
+}
+
+// Lock ordering: the agent lock and the relay-table lock are two
+// tiers; every path must take agent.mu before relay.mu.
+
+// leaderBatch is the correct order: agent state first, then the relay
+// aggregation table.
+func leaderBatch(a *agent) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.relay.mu.Lock()
+	a.relay.pending++
+	a.relay.mu.Unlock()
+}
+
+// memberReply inverts the order — the classic promotion-time deadlock:
+// a member reply grabs the relay table, then re-enters the agent.
+func memberReply(a *agent) {
+	a.relay.mu.Lock()
+	a.mu.Lock() // want `lock-order cycle`
+	a.mu.Unlock()
+	a.relay.mu.Unlock()
+}
+
+// flushRelay holds the relay table across a blocking engine run — the
+// leader must never sleep on the scheduler while holding its
+// aggregation state.
+func flushRelay(e *sim.Engine, a *agent) {
+	a.relay.mu.Lock()
+	_ = e.RunFor(sim.Millisecond) // want `held across blocking scheduler yield`
+	a.relay.mu.Unlock()
+}
+
+// sequentialTiers takes the tiers one after another (never nested in
+// the inverse order): fine.
+func sequentialTiers(a *agent) {
+	a.relay.mu.Lock()
+	a.relay.pending--
+	a.relay.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

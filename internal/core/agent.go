@@ -105,7 +105,7 @@ type Agent struct {
 	peerConns map[tcpip.AddrPort]*ctlConn
 	// coordConn is the connection the latest coordinated op arrived on —
 	// where replication placement reports go.
-	coordConn *ctlConn
+	coordConn msgSink
 
 	// Stats counts agent activity.
 	Stats AgentStats
@@ -131,7 +131,7 @@ type agentOp struct {
 	cow       bool
 	precopy   bool
 	stoppedAt sim.Time
-	conn      *ctlConn
+	conn      msgSink
 	replicas  int
 	captured  bool
 	saveDone  bool
@@ -272,6 +272,16 @@ func (a *Agent) onMsg(c *ctlConn, m *wireMsg) {
 			a.handleFetch(c, m)
 		case msgFetchPull:
 			a.handleFetchPull(c, m)
+		case msgGroupCheckpoint, msgGroupRestart:
+			a.startGroupOp(c, m)
+		case msgGroupContinue:
+			a.handleGroupContinue(m)
+		case msgGroupAbort:
+			a.handleGroupAbort(m)
+		case msgCommDisabled, msgDone, msgRestartDone, msgContinueDone, msgReplicated:
+			// Protocol replies arriving at an agent are group members
+			// reporting to their leader (this node) — aggregate them.
+			a.relayMemberMsg(m)
 		}
 	})
 }
@@ -289,7 +299,7 @@ func (a *Agent) liveLoad() int {
 
 // fail reports an operation failure for a pod, echoing the request's
 // trace context so the error lands in the right span tree.
-func (a *Agent) fail(c *ctlConn, t msgType, m *wireMsg, err error) {
+func (a *Agent) fail(c msgSink, t msgType, m *wireMsg, err error) {
 	c.send(&wireMsg{Type: t, Seq: m.Seq, Pod: m.Pod, Err: err.Error(), ctx: m.ctx})
 }
 
@@ -297,7 +307,7 @@ func (a *Agent) fail(c *ctlConn, t msgType, m *wireMsg, err error) {
 // shared rollback-on-failure hook: remove the filter, resume the pod,
 // close spans. Every failure path (local error, coordinator abort,
 // node-failure teardown) funnels through ctl.Op.Fail exactly once.
-func (a *Agent) beginPodOp(kind string, m *wireMsg, c *ctlConn) (*agentOp, error) {
+func (a *Agent) beginPodOp(kind string, m *wireMsg, c msgSink) (*agentOp, error) {
 	o, err := a.table.Begin(kind, m.Pod, m.Seq)
 	if err != nil {
 		return nil, ErrBusy
@@ -338,7 +348,7 @@ func (a *Agent) beginPodOp(kind string, m *wireMsg, c *ctlConn) (*agentOp, error
 // optimized): disable communication, stop the pod, save its state, report
 // done. With PrecopyRounds the stop is preceded by live pre-copy rounds
 // that shrink the stopped work to the residual dirty set.
-func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
+func (a *Agent) startCheckpoint(c msgSink, m *wireMsg) {
 	pod, ok := a.pods[m.Pod]
 	if !ok || pod.Destroyed() {
 		a.fail(c, msgDone, m, ErrUnknownPod)
@@ -372,7 +382,7 @@ func (a *Agent) startCheckpoint(c *ctlConn, m *wireMsg) {
 // pages dirtied since the previous round and streams it to the store as
 // an incremental image chained on baseSeq (0 = this round is the full
 // base of a fresh chain).
-func (a *Agent) runPrecopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, round, prevPages, baseSeq int) {
+func (a *Agent) runPrecopy(c msgSink, m *wireMsg, pod *zap.Pod, op *agentOp, round, prevPages, baseSeq int) {
 	if op.Aborted() {
 		return
 	}
@@ -444,7 +454,7 @@ func (a *Agent) runPrecopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, ro
 // stop the pod, capture, plan, write, report done. Under a pre-copy
 // epoch it saves only the residual dirty set, chained on the last round
 // at baseSeq.
-func (a *Agent) runStopAndCopy(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, baseSeq int) {
+func (a *Agent) runStopAndCopy(c msgSink, m *wireMsg, pod *zap.Pod, op *agentOp, baseSeq int) {
 	incremental := m.Incremental
 	if op.precopy {
 		// The residual is incremental on the last round (or on the
@@ -598,7 +608,7 @@ func (a *Agent) planImage(m *wireMsg, op *agentOp, img *ckpt.Image, finishPlan f
 
 // planAndWrite plans the residual image and drives the remaining disk
 // bytes through writeImage.
-func (a *Agent) planAndWrite(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, img *ckpt.Image) {
+func (a *Agent) planAndWrite(c msgSink, m *wireMsg, pod *zap.Pod, op *agentOp, img *ckpt.Image) {
 	a.planImage(m, op, img, func(plan *ckpt.SavePlan, err error) {
 		if op.Aborted() {
 			return
@@ -670,7 +680,7 @@ func (a *Agent) streamPlan(pipeline bool, op *agentOp, total int64, complete fun
 // writeImage streams the residual plan's bytes and completes the
 // checkpoint: report <done>, kick compaction/replication, finish or hand
 // over to the continue path.
-func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, plan *ckpt.SavePlan) {
+func (a *Agent) writeImage(c msgSink, m *wireMsg, pod *zap.Pod, op *agentOp, plan *ckpt.SavePlan) {
 	total := plan.TotalBytes
 	a.streamPlan(m.Pipeline, op, total, func() {
 		op.saveDone = true
@@ -714,7 +724,7 @@ func (a *Agent) writeImage(c *ctlConn, m *wireMsg, pod *zap.Pod, op *agentOp, pl
 // communication, acknowledge. Under the Fig. 4 optimization the continue
 // may arrive before the local save completes; the pod then resumes the
 // moment its own save is done.
-func (a *Agent) handleContinue(c *ctlConn, m *wireMsg) {
+func (a *Agent) handleContinue(c msgSink, m *wireMsg) {
 	pod, ok := a.pods[m.Pod]
 	op := a.podOp(m.Pod)
 	if !ok || op == nil || op.Seq != m.Seq {
@@ -768,7 +778,7 @@ func (a *Agent) maybeFinishContinue(name string, pod *zap.Pod, op *agentOp) {
 // including survivors) is destroyed only after the image loads, so a
 // missing image leaves the application untouched. The restored pod
 // resumes on <continue>.
-func (a *Agent) startRestart(c *ctlConn, m *wireMsg) {
+func (a *Agent) startRestart(c msgSink, m *wireMsg) {
 	op, err := a.beginPodOp("restart", m, c)
 	if err != nil {
 		a.fail(c, msgRestartDone, m, err)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cruz/internal/coord"
 	"cruz/internal/ctl"
 	"cruz/internal/sim"
 	"cruz/internal/tcpip"
@@ -48,6 +49,15 @@ type CoordinatorParams struct {
 	// LeaseTimeout declares a node failed after this much pong silence
 	// (0 = DefaultLeaseTimeout).
 	LeaseTimeout sim.Duration
+	// GroupSize enables hierarchical (two-level tree) coordination when
+	// > 1: members partition into contiguous groups of this size, and the
+	// root exchanges aggregate messages with each group's deterministic
+	// leader instead of per-pod messages with every member. The 2PC
+	// decision logic is unchanged — the root still tracks every pod's
+	// vote, leaders only batch the transport — so commit/abort outcomes
+	// are identical to the flat fan-out. 0 or 1 keeps flat. A good value
+	// is coord.GroupSizeFor(N) ≈ √N.
+	GroupSize int
 }
 
 // Default membership timings: the lease spans several heartbeats so one
@@ -222,6 +232,11 @@ type coordOp struct {
 	reports    []PodReport
 	msgBase    int
 	span       trace.Span
+	// groups is the op's aggregation tree (nil = flat fan-out). Computed
+	// once per op from the member order and node liveness, so a leader
+	// whose lease expired before the op began is deterministically
+	// replaced by the next live member of its group.
+	groups []coord.Group
 }
 
 // NewCoordinator creates a coordinator on the given node's stack.
@@ -349,7 +364,11 @@ func (c *Coordinator) beginJobOp(kind string, job *Job, seq int, fromRecovery bo
 	op := &coordOp{Op: o, job: job, msgBase: c.msgCount(job)}
 	o.Data = op
 	// Failure fans <abort> out to every member before the finish hook
-	// reports the error.
+	// reports the error. This stays a direct fan-out even under the
+	// hierarchical tree — abort is the exceptional path, and sending it
+	// point-to-point preserves the flat protocol's semantics when the
+	// failed party is a leader. Leaders additionally get <group-abort>
+	// so their relay state closes.
 	o.OnFail(func(_ *ctl.Op, err error) {
 		for _, m := range job.Members {
 			m := m
@@ -359,8 +378,74 @@ func (c *Coordinator) beginJobOp(kind string, job *Job, seq int, fromRecovery bo
 				}
 			})
 		}
+		for _, g := range op.groups {
+			if g.Leader < 0 {
+				continue
+			}
+			leader := job.Members[g.Leader]
+			c.cpu.Do(c.params.MsgCost, func() {
+				if cc, cerr := c.connFor(leader); cerr == nil {
+					cc.send(&wireMsg{Type: msgGroupAbort, Job: job.Name, Seq: seq, ctx: op.span.Context()})
+				}
+			})
+		}
 	})
 	return op, nil
+}
+
+// memberAlive reports whether a member's node is currently believed
+// alive. Nodes the membership layer has never registered are presumed
+// alive (tests and small clusters run without heartbeats).
+func (c *Coordinator) memberAlive(m Member) bool {
+	if ni, ok := c.nodeByAddr[m.Agent]; ok {
+		return ni.alive
+	}
+	return true
+}
+
+// planGroups computes the op's aggregation tree, or nil for the flat
+// fan-out. Group boundaries depend only on member order and GroupSize;
+// liveness picks each group's leader, so a lease-expired leader is
+// replaced by the next live member of its group — deterministically,
+// with no election traffic.
+func (c *Coordinator) planGroups(job *Job) []coord.Group {
+	if c.params.GroupSize <= 1 || len(job.Members) <= 1 {
+		return nil
+	}
+	return coord.Plan(len(job.Members), c.params.GroupSize, func(i int) bool {
+		return c.memberAlive(job.Members[i])
+	})
+}
+
+// sendGroupStart fans one <group-checkpoint>/<group-restart> per leader,
+// carrying the group's relay list. A group with no live member fails
+// the op outright — the flat fan-out would have failed on the first
+// dead member's connection the same way.
+func (c *Coordinator) sendGroupStart(op *coordOp, mk func(m Member) *wireMsg) {
+	job := op.job
+	for _, g := range op.groups {
+		if g.Leader < 0 {
+			op.Fail(fmt.Errorf("%w: group of %s has no live member", ErrNotConnected, job.Name))
+			return
+		}
+		leader := job.Members[g.Leader]
+		members := make([]GroupMember, 0, len(g.Members))
+		for _, idx := range g.Members {
+			m := job.Members[idx]
+			members = append(members, GroupMember{Pod: m.Pod, IP: m.Agent.Addr, Port: m.Agent.Port})
+		}
+		c.cpu.Do(c.params.MsgCost, func() {
+			cc, err := c.connFor(leader)
+			if err != nil {
+				op.Fail(err)
+				return
+			}
+			wm := mk(leader)
+			wm.Job = job.Name
+			wm.Group = members
+			cc.send(wm)
+		})
+	}
 }
 
 // Checkpoint runs one coordinated checkpoint of the job, invoking done
@@ -423,33 +508,49 @@ func (c *Coordinator) Checkpoint(job *Job, opts CheckpointOptions, done func(*Ch
 	})
 
 	// Step 1: send <checkpoint> to all agents (serialized daemon CPU).
+	// The root's wait-sets always track every pod — under the tree the
+	// leaders batch the transport, never the decision.
 	for _, m := range job.Members {
 		op.Expect("done", m.Pod)
 		op.Expect("disabled", m.Pod)
 		op.Expect("cont", m.Pod)
-		m := m
-		c.cpu.Do(c.params.MsgCost, func() {
-			cc, err := c.connFor(m)
-			if err != nil {
-				op.Fail(err)
-				return
-			}
-			cc.send(&wireMsg{
-				Type:                  msgCheckpoint,
-				Seq:                   seq,
-				Pod:                   m.Pod,
-				ctx:                   op.span.Context(),
-				Incremental:           opts.Incremental,
-				Optimized:             opts.Optimized,
-				COW:                   opts.COW,
-				Dedup:                 opts.Dedup,
-				Pipeline:              opts.Pipeline,
-				Replicas:              opts.Replicas,
-				PrecopyRounds:         opts.Precopy.MaxRounds,
-				PrecopyThresholdPages: opts.Precopy.DirtyThresholdPages,
-				PrecopyMinGain:        opts.Precopy.MinRoundGain,
-			})
+	}
+	mkCkpt := func(m Member) *wireMsg {
+		return &wireMsg{
+			Type:                  msgCheckpoint,
+			Seq:                   seq,
+			Pod:                   m.Pod,
+			ctx:                   op.span.Context(),
+			Incremental:           opts.Incremental,
+			Optimized:             opts.Optimized,
+			COW:                   opts.COW,
+			Dedup:                 opts.Dedup,
+			Pipeline:              opts.Pipeline,
+			Replicas:              opts.Replicas,
+			PrecopyRounds:         opts.Precopy.MaxRounds,
+			PrecopyThresholdPages: opts.Precopy.DirtyThresholdPages,
+			PrecopyMinGain:        opts.Precopy.MinRoundGain,
+		}
+	}
+	if op.groups = c.planGroups(job); op.groups != nil {
+		c.sendGroupStart(op, func(leader Member) *wireMsg {
+			wm := mkCkpt(leader)
+			wm.Type = msgGroupCheckpoint
+			wm.Pod = ""
+			return wm
 		})
+	} else {
+		for _, m := range job.Members {
+			m := m
+			c.cpu.Do(c.params.MsgCost, func() {
+				cc, err := c.connFor(m)
+				if err != nil {
+					op.Fail(err)
+					return
+				}
+				cc.send(mkCkpt(m))
+			})
+		}
 	}
 	if c.params.Timeout > 0 {
 		op.ArmTimeout(c.params.Timeout, fmt.Errorf("%w: timeout after %v", ErrAborted, c.params.Timeout))
@@ -510,15 +611,23 @@ func (c *Coordinator) runRestart(job *Job, seq int, fromRecovery bool, parent tr
 	for _, m := range job.Members {
 		op.Expect("done", m.Pod)
 		op.Expect("cont", m.Pod)
-		m := m
-		c.cpu.Do(c.params.MsgCost, func() {
-			cc, err := c.connFor(m)
-			if err != nil {
-				op.Fail(err)
-				return
-			}
-			cc.send(&wireMsg{Type: msgRestart, Seq: seq, Pod: m.Pod, ctx: op.span.Context()})
+	}
+	if op.groups = c.planGroups(job); op.groups != nil {
+		c.sendGroupStart(op, func(leader Member) *wireMsg {
+			return &wireMsg{Type: msgGroupRestart, Seq: seq, ctx: op.span.Context()}
 		})
+	} else {
+		for _, m := range job.Members {
+			m := m
+			c.cpu.Do(c.params.MsgCost, func() {
+				cc, err := c.connFor(m)
+				if err != nil {
+					op.Fail(err)
+					return
+				}
+				cc.send(&wireMsg{Type: msgRestart, Seq: seq, Pod: m.Pod, ctx: op.span.Context()})
+			})
+		}
 	}
 	if c.params.Timeout > 0 {
 		op.ArmTimeout(c.params.Timeout, fmt.Errorf("%w: timeout after %v", ErrAborted, c.params.Timeout))
@@ -561,6 +670,11 @@ func (c *Coordinator) onMsg(cc *ctlConn, m *wireMsg) {
 			c.handleFetchDone(m)
 			return
 		}
+		switch m.Type {
+		case msgGroupDisabled, msgGroupDone, msgGroupRestartDone, msgGroupContDone:
+			c.handleGroupMsg(m)
+			return
+		}
 		op := c.opForPod(m.Pod, m.Seq)
 		if op == nil {
 			return
@@ -575,56 +689,123 @@ func (c *Coordinator) onMsg(cc *ctlConn, m *wireMsg) {
 		}
 		switch m.Type {
 		case msgCommDisabled:
-			// Fig. 4: all communication disabled -> early continue.
-			if op.Arrive("disabled", m.Pod) {
-				if (op.opts.Optimized || op.opts.COW) && op.Cleared("disabled") {
-					c.sendContinue(op)
-				}
-			}
+			c.arriveDisabled(op, m.Pod)
 		case msgDone, msgRestartDone:
-			if !op.Arrive("done", m.Pod) {
-				return
-			}
-			if m.LocalDuration > op.maxLocal {
-				op.maxLocal = m.LocalDuration
-			}
-			op.reports = append(op.reports, PodReport{
-				Pod:           m.Pod,
-				LocalDuration: m.LocalDuration,
-				ImageBytes:    m.ImageBytes,
-			})
-			if op.Cleared("done") {
-				op.doneAt = c.stack.Engine().Now()
-				if (!op.opts.Optimized && !op.opts.COW) || op.restart {
-					c.sendContinue(op)
-				} else if op.Cleared("cont") {
-					// COW/optimized: continues may have completed before
-					// the last image write finished.
-					op.Finish()
-				}
-			}
+			c.arriveDone(op, GroupReport{Pod: m.Pod, LocalDuration: m.LocalDuration, ImageBytes: m.ImageBytes})
 		case msgContinueDone:
-			if !op.Arrive("cont", m.Pod) {
-				return
-			}
-			if m.LocalDuration > op.maxCont {
-				op.maxCont = m.LocalDuration
-			}
-			if m.BlockedDuration > op.maxBlocked {
-				op.maxBlocked = m.BlockedDuration
-			}
-			if op.minBlocked == 0 || m.BlockedDuration < op.minBlocked {
-				op.minBlocked = m.BlockedDuration
-			}
-			if op.Cleared("cont") && op.Cleared("done") {
-				op.Finish()
-			}
+			c.arriveCont(op, GroupReport{Pod: m.Pod, LocalDuration: m.LocalDuration, BlockedDuration: m.BlockedDuration})
 		}
 	})
 }
 
-// sendContinue issues Step 3 of Fig. 2.
+// handleGroupMsg applies a leader's batched aggregate: the identical
+// per-pod arrival logic as the flat fan-out, replayed over the batch in
+// the leader's (deterministic) arrival order. Commit/abort decisions
+// therefore cannot differ between the two transports.
+func (c *Coordinator) handleGroupMsg(m *wireMsg) {
+	o := c.table.Get(m.Job)
+	if o == nil || o.Seq != m.Seq {
+		return
+	}
+	op, ok := o.Data.(*coordOp)
+	if !ok {
+		return
+	}
+	if c.tr.Enabled() {
+		c.tr.InstantCtx(op.span.Context(), c.stack.Name(), "core", "recv."+m.Type.String(),
+			trace.Str("job", m.Job), trace.Int("seq", int64(m.Seq)),
+			trace.Int("batch", int64(len(m.Reports))))
+	}
+	if m.Err != "" {
+		op.Fail(fmt.Errorf("%w: pod %s: %s", ErrAgentFailed, m.Pod, m.Err))
+		return
+	}
+	for _, r := range m.Reports {
+		if !op.Active() {
+			return
+		}
+		switch m.Type {
+		case msgGroupDisabled:
+			c.arriveDisabled(op, r.Pod)
+		case msgGroupDone, msgGroupRestartDone:
+			c.arriveDone(op, r)
+		case msgGroupContDone:
+			c.arriveCont(op, r)
+		}
+	}
+}
+
+// arriveDisabled handles one pod's <comm-disabled> vote.
+// Fig. 4: all communication disabled -> early continue.
+func (c *Coordinator) arriveDisabled(op *coordOp, pod string) {
+	if op.Arrive("disabled", pod) {
+		if (op.opts.Optimized || op.opts.COW) && op.Cleared("disabled") {
+			c.sendContinue(op)
+		}
+	}
+}
+
+// arriveDone handles one pod's <done>/<restart-done> vote and report.
+func (c *Coordinator) arriveDone(op *coordOp, r GroupReport) {
+	if !op.Arrive("done", r.Pod) {
+		return
+	}
+	if r.LocalDuration > op.maxLocal {
+		op.maxLocal = r.LocalDuration
+	}
+	op.reports = append(op.reports, PodReport{
+		Pod:           r.Pod,
+		LocalDuration: r.LocalDuration,
+		ImageBytes:    r.ImageBytes,
+	})
+	if op.Cleared("done") {
+		op.doneAt = c.stack.Engine().Now()
+		if (!op.opts.Optimized && !op.opts.COW) || op.restart {
+			c.sendContinue(op)
+		} else if op.Cleared("cont") {
+			// COW/optimized: continues may have completed before
+			// the last image write finished.
+			op.Finish()
+		}
+	}
+}
+
+// arriveCont handles one pod's <continue-done>.
+func (c *Coordinator) arriveCont(op *coordOp, r GroupReport) {
+	if !op.Arrive("cont", r.Pod) {
+		return
+	}
+	if r.LocalDuration > op.maxCont {
+		op.maxCont = r.LocalDuration
+	}
+	if r.BlockedDuration > op.maxBlocked {
+		op.maxBlocked = r.BlockedDuration
+	}
+	if op.minBlocked == 0 || r.BlockedDuration < op.minBlocked {
+		op.minBlocked = r.BlockedDuration
+	}
+	if op.Cleared("cont") && op.Cleared("done") {
+		op.Finish()
+	}
+}
+
+// sendContinue issues Step 3 of Fig. 2 — per leader under the tree,
+// per member flat.
 func (c *Coordinator) sendContinue(op *coordOp) {
+	if op.groups != nil {
+		for _, g := range op.groups {
+			if g.Leader < 0 {
+				continue
+			}
+			leader := op.job.Members[g.Leader]
+			c.cpu.Do(c.params.MsgCost, func() {
+				if cc, err := c.connFor(leader); err == nil {
+					cc.send(&wireMsg{Type: msgGroupContinue, Job: op.job.Name, Seq: op.Seq, ctx: op.span.Context()})
+				}
+			})
+		}
+		return
+	}
 	for _, m := range op.job.Members {
 		m := m
 		c.cpu.Do(c.params.MsgCost, func() {

@@ -56,6 +56,20 @@ const (
 	msgFetch
 	msgFetchPull
 	msgFetchDone
+
+	// Hierarchical coordination (two-level tree): the root exchanges
+	// these with group leaders instead of per-pod messages with every
+	// member. Leaders relay the per-pod messages above to their group and
+	// batch the members' replies, so the root sees O(N/size) messages per
+	// protocol phase.
+	msgGroupCheckpoint
+	msgGroupRestart
+	msgGroupContinue
+	msgGroupAbort
+	msgGroupDisabled
+	msgGroupDone
+	msgGroupRestartDone
+	msgGroupContDone
 )
 
 var msgNames = map[msgType]string{
@@ -77,6 +91,15 @@ var msgNames = map[msgType]string{
 	msgFetch:        "fetch",
 	msgFetchPull:    "fetch-pull",
 	msgFetchDone:    "fetch-done",
+
+	msgGroupCheckpoint:  "group-checkpoint",
+	msgGroupRestart:     "group-restart",
+	msgGroupContinue:    "group-continue",
+	msgGroupAbort:       "group-abort",
+	msgGroupDisabled:    "group-disabled",
+	msgGroupDone:        "group-done",
+	msgGroupRestartDone: "group-restart-done",
+	msgGroupContDone:    "group-cont-done",
 }
 
 func (t msgType) String() string {
@@ -127,6 +150,16 @@ type wireMsg struct {
 	// coordinator's placement signal.
 	Load int
 
+	// Hierarchical coordination. Job names the coordinated operation a
+	// group message belongs to (group messages address a whole group, so
+	// Pod alone cannot route them). Group is the leader's relay list on
+	// group-checkpoint/group-restart; Reports carries the batched member
+	// replies on the upward aggregates (group-disabled carries pods only,
+	// group-done adds save timings, group-cont-done adds blocked windows).
+	Job     string
+	Group   []GroupMember
+	Reports []GroupReport
+
 	// Repl carries the replication/fetch payload when present.
 	Repl *replPayload
 
@@ -136,6 +169,27 @@ type wireMsg struct {
 	// set it in the message literal; handlers read it to parent their
 	// spans (zero when the message belongs to no traced operation).
 	ctx trace.SpanContext
+}
+
+// GroupMember is one entry of a leader's relay list: the pod and the
+// agent that manages it.
+type GroupMember struct {
+	Pod  string
+	IP   tcpip.Addr
+	Port uint16
+}
+
+// addrPort returns the member's agent endpoint.
+func (g GroupMember) addrPort() tcpip.AddrPort {
+	return tcpip.AddrPort{Addr: g.IP, Port: g.Port}
+}
+
+// GroupReport is one member's reply inside a leader's upward aggregate.
+type GroupReport struct {
+	Pod             string
+	LocalDuration   sim.Duration
+	BlockedDuration sim.Duration
+	ImageBytes      int64
 }
 
 // replPayload is the bulk half of replication and fetch messages. Only
@@ -160,11 +214,26 @@ type replPayload struct {
 	PeerPort uint16
 }
 
+// msgSink is where an agent's protocol replies go: the control
+// connection the request arrived on, or — on a group leader — the local
+// relay aggregator, which absorbs replies from the leader's own pods
+// without a network hop (the leader is a member of its own group).
+type msgSink interface {
+	send(m *wireMsg) error
+}
+
 // ctlConn is a gob-typed control connection.
 type ctlConn struct {
 	*ctl.Conn
 	onMsg func(*ctlConn, *wireMsg)
 	onErr func(*ctlConn, error)
+
+	// encBuf is the reusable gob staging buffer: SendCtx copies the
+	// payload into its frame, so the buffer is dead as soon as send
+	// returns and one per connection suffices. (Each message still gets
+	// a fresh encoder — frames must be self-contained because the
+	// receiver decodes each one independently.)
+	encBuf bytes.Buffer
 }
 
 func newCtlConn(tc *tcpip.TCPConn, onMsg func(*ctlConn, *wireMsg), onErr func(*ctlConn, error)) *ctlConn {
@@ -179,11 +248,11 @@ func newCtlConn(tc *tcpip.TCPConn, onMsg func(*ctlConn, *wireMsg), onErr func(*c
 
 // send encodes and transmits one message.
 func (c *ctlConn) send(m *wireMsg) error {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(m); err != nil {
+	c.encBuf.Reset()
+	if err := gob.NewEncoder(&c.encBuf).Encode(m); err != nil {
 		return fmt.Errorf("core: encode %v: %w", m.Type, err)
 	}
-	if err := c.Conn.SendCtx(body.Bytes(), m.ctx); err != nil {
+	if err := c.Conn.SendCtx(c.encBuf.Bytes(), m.ctx); err != nil {
 		return fmt.Errorf("core: send %v: %w", m.Type, err)
 	}
 	return nil

@@ -33,7 +33,7 @@ type replOp struct {
 	conn *ctlConn
 	// coord, when set, receives the <replicated> placement report the
 	// coordinator's holder registry feeds on.
-	coord *ctlConn
+	coord msgSink
 	span  trace.Span
 }
 
@@ -76,7 +76,7 @@ func (a *Agent) peerConn(addr tcpip.AddrPort) (*ctlConn, error) {
 // startReplication pushes the committed checkpoint to the first k ring
 // peers. Runs off the coordinated cycle's critical path; ctx parents the
 // exchanges under the checkpoint that produced the image.
-func (a *Agent) startReplication(pod string, seq, replicas int, coord *ctlConn, ctx trace.SpanContext) {
+func (a *Agent) startReplication(pod string, seq, replicas int, coord msgSink, ctx trace.SpanContext) {
 	n := replicas
 	if n > len(a.peers) {
 		n = len(a.peers)
@@ -93,7 +93,7 @@ func (a *Agent) startReplication(pod string, seq, replicas int, coord *ctlConn, 
 }
 
 // replicateOn runs one offer/want/data exchange for (pod, seq) over cc.
-func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord *ctlConn, ctx trace.SpanContext) {
+func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord msgSink, ctx trace.SpanContext) {
 	o, err := a.table.Begin("replicate", replKey(pod, seq, cc.TCP().RemoteAddr()), seq)
 	if err != nil {
 		return // this exchange is already in flight

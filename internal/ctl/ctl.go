@@ -30,16 +30,60 @@ const frameHeader = 4 + 16
 type Conn struct {
 	tc       *tcpip.TCPConn
 	rbuf     []byte
-	wqueue   [][]byte // output queue; head may be partially written
+	wqueue   []wframe // output queue; head may be partially written
 	onFrame  func(*Conn, []byte)
 	onErr    func(*Conn, error)
 	frameCtx trace.SpanContext
+
+	// scratch is the persistent Recv staging buffer (allocated once per
+	// connection instead of per Pump call).
+	scratch []byte
+	// fpool recycles small frame buffers: SendCtx draws from it and
+	// drain returns a buffer once its frame is fully inside the TCP send
+	// buffer (which copies). Bulk frames above framePoolBufCap bypass it.
+	fpool [][]byte
 
 	// Sent and Received count frames, for message-complexity accounting.
 	Sent, Received int
 	// Blocked counts the times a send had to wait for buffer space —
 	// the backpressure events a hard-error path would have failed on.
 	Blocked int
+}
+
+// wframe is one queued output frame: the full buffer plus how much of it
+// has already entered the TCP send buffer. Keeping the offset separate
+// (rather than re-slicing) preserves the original buffer for recycling.
+type wframe struct {
+	buf []byte
+	off int
+}
+
+// Frame-pool sizing: control messages are small; checkpoint replication
+// frames are megabytes and are not worth pooling.
+const (
+	framePoolBufCap = 4096
+	framePoolMax    = 16
+)
+
+// getFrameBuf returns a length-n frame buffer, pooled when small.
+func (c *Conn) getFrameBuf(n int) []byte {
+	if n <= framePoolBufCap {
+		if last := len(c.fpool) - 1; last >= 0 {
+			b := c.fpool[last]
+			c.fpool = c.fpool[:last]
+			return b[:n]
+		}
+		return make([]byte, n, framePoolBufCap)
+	}
+	return make([]byte, n)
+}
+
+// putFrameBuf recycles a fully-sent frame buffer.
+func (c *Conn) putFrameBuf(b []byte) {
+	if cap(b) != framePoolBufCap || len(c.fpool) >= framePoolMax {
+		return
+	}
+	c.fpool = append(c.fpool, b[:0])
 }
 
 // NewConn wraps tc. It takes over the connection's notify callback.
@@ -65,13 +109,13 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.SpanContext) error {
 	if err := c.tc.Err(); err != nil {
 		return fmt.Errorf("ctl: send on dead conn: %w", err)
 	}
-	frame := make([]byte, frameHeader+len(payload))
+	frame := c.getFrameBuf(frameHeader + len(payload))
 	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
 	binary.BigEndian.PutUint64(frame[4:], uint64(ctx.Op))
 	binary.BigEndian.PutUint64(frame[12:], uint64(ctx.Span))
 	copy(frame[frameHeader:], payload)
 	c.Sent++
-	c.wqueue = append(c.wqueue, frame)
+	c.wqueue = append(c.wqueue, wframe{buf: frame})
 	if c.tc.Established() {
 		c.drain()
 	}
@@ -82,17 +126,19 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.SpanContext) error {
 func (c *Conn) QueuedBytes() int {
 	n := 0
 	for _, f := range c.wqueue {
-		n += len(f)
+		n += len(f.buf) - f.off
 	}
 	return n
 }
 
 // drain pushes queued frames into the TCP send buffer until it fills.
-// The remainder goes out from Pump as acknowledgments free space.
+// The remainder goes out from Pump as acknowledgments free space. TCP's
+// Send copies accepted bytes, so a fully-sent frame buffer is dead and
+// returns to the pool.
 func (c *Conn) drain() {
 	for len(c.wqueue) > 0 {
-		frame := c.wqueue[0]
-		n, err := c.tc.Send(frame)
+		f := &c.wqueue[0]
+		n, err := c.tc.Send(f.buf[f.off:])
 		if err == tcpip.ErrWouldBlock {
 			c.Blocked++
 			return
@@ -101,11 +147,12 @@ func (c *Conn) drain() {
 			// Terminal errors surface through Pump's Err path.
 			return
 		}
-		if n < len(frame) {
-			c.wqueue[0] = frame[n:]
+		f.off += n
+		if f.off < len(f.buf) {
 			c.Blocked++
 			return
 		}
+		c.putFrameBuf(f.buf)
 		c.wqueue = c.wqueue[1:]
 	}
 }
@@ -124,13 +171,15 @@ func (c *Conn) Pump() {
 	if c.tc.Established() && len(c.wqueue) > 0 {
 		c.drain()
 	}
-	buf := make([]byte, 4096)
+	if c.scratch == nil {
+		c.scratch = make([]byte, 4096)
+	}
 	for {
-		n, err := c.tc.Recv(buf, false)
+		n, err := c.tc.Recv(c.scratch, false)
 		if err != nil || n == 0 {
 			break
 		}
-		c.rbuf = append(c.rbuf, buf[:n]...)
+		c.rbuf = append(c.rbuf, c.scratch[:n]...)
 	}
 	for {
 		if len(c.rbuf) < frameHeader {

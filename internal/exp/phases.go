@@ -303,5 +303,12 @@ func JSONBench(nodeCounts []int, ckpts int, scale float64) (*BenchReport, error)
 			add("critpath_checkpoint_n4/path_"+k+"_ms", agg[k])
 		}
 	}
+
+	// A9 scaling ablation: flat versus hierarchical coordination at 8,
+	// 64, and 256 pods, plus the engine's wall-clock throughput while
+	// each cell ran.
+	if err := scalingBench(rep, ScalingNodeCounts, scale); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }

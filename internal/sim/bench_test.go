@@ -1,6 +1,11 @@
 package sim
 
-import "testing"
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"testing"
+)
 
 // TestEventRecycling pins the free-list behavior: a fired or canceled
 // event is reused by the next ScheduleAt, with its state fully reset.
@@ -79,4 +84,154 @@ func BenchmarkEngineSchedule(b *testing.B) {
 			e.Cancel(ev)
 		}
 	})
+}
+
+// heapEvent / heapQueue / heapSched replicate the pre-PR7 binary-heap
+// scheduler (free list included) as the benchmark baseline, so the
+// heap→calendar-queue win stays measurable in CI after the engine
+// itself moved on.
+type heapEvent struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int
+}
+
+type heapQueue []*heapEvent
+
+func (q heapQueue) Len() int { return len(q) }
+func (q heapQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q heapQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *heapQueue) Push(x any) {
+	e := x.(*heapEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *heapQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+type heapSched struct {
+	now   Time
+	queue heapQueue
+	seq   uint64
+	free  []*heapEvent
+}
+
+func (h *heapSched) schedule(d Duration, fn func()) *heapEvent {
+	h.seq++
+	var ev *heapEvent
+	if n := len(h.free); n > 0 {
+		ev = h.free[n-1]
+		h.free = h.free[:n-1]
+		*ev = heapEvent{at: h.now.Add(d), seq: h.seq, fn: fn}
+	} else {
+		ev = &heapEvent{at: h.now.Add(d), seq: h.seq, fn: fn}
+	}
+	heap.Push(&h.queue, ev)
+	return ev
+}
+
+func (h *heapSched) cancel(ev *heapEvent) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&h.queue, ev.index)
+	ev.fn = nil
+	h.free = append(h.free, ev)
+	return true
+}
+
+func (h *heapSched) step() bool {
+	if len(h.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&h.queue).(*heapEvent)
+	h.now = ev.at
+	ev.fn()
+	ev.fn = nil
+	h.free = append(h.free, ev)
+	return true
+}
+
+// BenchmarkEngineScheduleMixed interleaves schedule, pop, and cancel at
+// steady queue depths of 1e2 / 1e4 / 1e6, on both the live
+// calendar-queue engine and the retired binary-heap baseline. The
+// acceptance bar for PR 7 is calendar ≥ 2× heap events/sec at depth
+// ≥ 1e4; `make gobench` prints both so the delta stays visible in CI.
+func BenchmarkEngineScheduleMixed(b *testing.B) {
+	// Deterministic delay mix resembling the cluster workload: mostly
+	// sub-ms protocol/disk events, some zero-delay chains, a few long
+	// timers.
+	mkDelays := func() []Duration {
+		rng := rand.New(rand.NewSource(1))
+		delays := make([]Duration, 8192)
+		for i := range delays {
+			switch i % 16 {
+			case 0:
+				delays[i] = 0
+			case 1:
+				delays[i] = Duration(rng.Int63n(int64(2 * Second)))
+			default:
+				delays[i] = Duration(rng.Int63n(int64(Millisecond)))
+			}
+		}
+		return delays
+	}
+	for _, depth := range []int{1e2, 1e4, 1e6} {
+		depth := depth
+		b.Run(fmt.Sprintf("calendar/depth=%d", depth), func(b *testing.B) {
+			delays := mkDelays()
+			e := NewEngine(1)
+			fn := func() {}
+			for i := 0; i < depth; i++ {
+				e.Schedule(delays[i%len(delays)], fn)
+			}
+			var pend *Event
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Schedule(delays[i%len(delays)], fn)
+				if i%4 == 3 {
+					e.Cancel(pend)
+					pend = e.Schedule(delays[(i+7)%len(delays)], fn)
+				}
+				e.Step()
+			}
+		})
+		b.Run(fmt.Sprintf("heap/depth=%d", depth), func(b *testing.B) {
+			delays := mkDelays()
+			h := &heapSched{}
+			fn := func() {}
+			for i := 0; i < depth; i++ {
+				h.schedule(delays[i%len(delays)], fn)
+			}
+			var pend *heapEvent
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.schedule(delays[i%len(delays)], fn)
+				if i%4 == 3 {
+					h.cancel(pend)
+					pend = h.schedule(delays[(i+7)%len(delays)], fn)
+				}
+				h.step()
+			}
+		})
+	}
 }

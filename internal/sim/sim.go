@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -79,7 +78,8 @@ type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	index    int // heap index; -1 once removed
+	bucket   int // calendar bucket index while queued
+	slot     int // slot within the bucket; -1 once popped or canceled
 	canceled bool
 }
 
@@ -90,35 +90,6 @@ func (e *Event) At() Time { return e.at }
 // Canceled reports whether Cancel was called on the event before it fired.
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
-
 // ErrStopped is returned by Run when Stop was called before the horizon or
 // event exhaustion was reached.
 var ErrStopped = errors.New("sim: engine stopped")
@@ -127,7 +98,7 @@ var ErrStopped = errors.New("sim: engine stopped")
 // NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   *calQueue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -147,7 +118,7 @@ type Engine struct {
 // NewEngine returns an engine whose clock reads zero and whose
 // deterministic random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{queue: newCalQueue(), rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
@@ -198,26 +169,33 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 	} else {
 		ev = &Event{at: at, seq: e.seq, fn: fn}
 	}
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev, int64(e.now))
 	return ev
 }
 
 // recycle returns a dead event to the free list, releasing its closure.
+// slot stays -1 until the struct is reused, so Cancel on a pointer
+// retained past firing is a deterministic no-op (returns false) for as
+// long as the struct sits on the free list.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
+	ev.slot = -1
 	e.free = append(e.free, ev)
 }
 
 // Cancel removes the event from the queue if it has not fired yet,
 // reporting whether it was actually descheduled. A canceled event goes
 // back to the free list, so the caller must drop its reference (see the
-// Event retention contract).
+// Event retention contract). Calling Cancel on an event that already
+// fired (or was already canceled) returns false without touching the
+// free list — until the struct is reused by a later Schedule, at which
+// point the stale pointer aliases the new event.
 func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.canceled || ev.index < 0 {
+	if ev == nil || ev.canceled || ev.slot < 0 {
 		return false
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	e.queue.remove(ev)
 	e.recycle(ev)
 	return true
 }
@@ -225,10 +203,10 @@ func (e *Engine) Cancel(ev *Event) bool {
 // Step executes the single next event, advancing the clock to its firing
 // time. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev := e.queue.pop(int64(e.now))
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
 	e.fired++
 	if e.stepHook != nil {
@@ -260,7 +238,7 @@ func (e *Engine) Run() error {
 func (e *Engine) RunUntil(horizon Time) error {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].at > horizon {
+		if ev := e.queue.peek(int64(e.now)); ev == nil || ev.at > horizon {
 			if e.now < horizon {
 				e.now = horizon
 			}
@@ -278,7 +256,7 @@ func (e *Engine) RunFor(d Duration) error { return e.RunUntil(e.now.Add(d)) }
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Ticker invokes fn every period until canceled. It is a convenience for
 // periodic activities such as rate sampling.

@@ -1,0 +1,126 @@
+package tcpip
+
+import (
+	"testing"
+
+	"cruz/internal/ether"
+	"cruz/internal/sim"
+)
+
+// TestSegPoolRecycles pins the send-path free list: a bulk transfer must
+// mostly reuse segment buffers (pool hits) rather than allocate one per
+// segment, and the data must still arrive intact.
+func TestSegPoolRecycles(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 9000)
+	src := tn.stacks[0]
+
+	// Interleave sending and draining so the stream flows at window
+	// speed (a send-everything-then-read pattern would stall on the
+	// receive window and trickle through persist probes instead).
+	data := pattern(512<<10, 3)
+	got := make([]byte, 0, len(data))
+	buf := make([]byte, 16384)
+	sent := 0
+	for len(got) < len(data) {
+		for sent < len(data) {
+			n, err := c.Send(data[sent:])
+			if err != nil {
+				break
+			}
+			sent += n
+		}
+		tn.run(sim.Millisecond)
+		for {
+			n, err := s.Recv(buf, false)
+			if err != nil || n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+	}
+	bytesEqual(t, got, data, "pooled bulk transfer")
+
+	segs := int(c.Stats.SegsSent)
+	hits := int(src.Stats.SegPoolHits)
+	misses := int(src.Stats.SegPoolMisses)
+	if hits+misses == 0 {
+		t.Fatal("segment pool never consulted")
+	}
+	// The first window's worth of segments miss; steady state must hit.
+	if hits < segs/2 {
+		t.Errorf("pool hits %d of %d data segments (misses %d): free list not engaging", hits, segs, misses)
+	}
+	if len(src.segPool) > segPoolMax {
+		t.Errorf("pool grew past its bound: %d > %d", len(src.segPool), segPoolMax)
+	}
+}
+
+// TestSegPoolSurvivesRetransmit: buffers of retransmitted segments are
+// never recycled (a duplicate frame may still be in flight), and the
+// stream stays correct across loss.
+func TestSegPoolSurvivesRetransmit(t *testing.T) {
+	tn := newTestNet(t, 2)
+	c, s := tn.connect(0, 1, 9001)
+
+	tn.sw.SetDropRate(tn.nics[1], 0.2)
+	data := pattern(128<<10, 9)
+	tn.sendAll(c, data)
+	tn.sw.SetDropRate(tn.nics[1], 0)
+	tn.run(2 * sim.Second) // let recovery finish
+	got := tn.recvN(s, len(data))
+	bytesEqual(t, got, data, "pooled transfer across 20% loss")
+	if c.Stats.Retransmits == 0 {
+		t.Skip("no retransmits at this seed; loss path not exercised")
+	}
+}
+
+// BenchmarkTCPBulkTransfer measures the segment send path end to end
+// (packetize, transmit, deliver, ACK) over simulated gigabit. The
+// allocs/op figure is the pooling ablation's headline.
+func BenchmarkTCPBulkTransfer(b *testing.B) {
+	chunk := pattern(64<<10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		engine := sim.NewEngine(7)
+		sw := ether.NewSwitch(engine)
+		stacks := make([]*Stack, 2)
+		for j := 0; j < 2; j++ {
+			nic := ether.NewNIC(engine, "eth0", macOf(j))
+			sw.Attach(nic, ether.GigabitLink)
+			st := NewStack(engine, "node")
+			if _, err := st.AddInterface("eth0", addrOf(j), macOf(j), nic, false); err != nil {
+				b.Fatal(err)
+			}
+			stacks[j] = st
+		}
+		l, _ := stacks[1].ListenTCP(AddrPort{Addr: addrOf(1), Port: 9002}, 8)
+		c, _ := stacks[0].DialTCP(AddrPort{Addr: addrOf(0)}, AddrPort{Addr: addrOf(1), Port: 9002})
+		_ = engine.RunFor(50 * sim.Millisecond)
+		s, _ := l.Accept()
+		l.Close()
+		b.StartTimer()
+
+		sent, rcvd := 0, 0
+		buf := make([]byte, 16384)
+		for rcvd < len(chunk) {
+			for sent < len(chunk) {
+				n, err := c.Send(chunk[sent:])
+				if err != nil {
+					break
+				}
+				sent += n
+			}
+			_ = engine.RunFor(sim.Millisecond)
+			for {
+				n, err := s.Recv(buf, false)
+				if err != nil || n == 0 {
+					break
+				}
+				rcvd += n
+			}
+		}
+	}
+}

@@ -63,6 +63,13 @@ type Stack struct {
 
 	nextEphemeral uint16
 
+	// segPool is the send-path segment-buffer free list: trySend draws
+	// packetization buffers here and processACK returns them once a
+	// segment is cumulatively acknowledged (never-retransmitted segments
+	// only — see putSegBuf). Bulk transfers then recycle a small working
+	// set of MSS-sized buffers instead of allocating one per segment.
+	segPool [][]byte
+
 	// Stats counts stack-level events.
 	Stats StackStats
 }
@@ -73,6 +80,48 @@ type StackStats struct {
 	IPDelivered  uint64
 	IPSent       uint64
 	NoSocketRSTs uint64
+
+	// Segment-pool traffic: buffers drawn from / returned to the free
+	// list versus fresh allocations, for the engine fast-path ablation.
+	SegPoolHits   uint64
+	SegPoolMisses uint64
+}
+
+// Segment-pool sizing. Buffers are MSS-capacity; the pool is bounded so
+// a burst never pins more than a small working set.
+const (
+	segPoolBufCap = 1460 // DefaultTCPParams().MSS
+	segPoolMax    = 64
+)
+
+// getSegBuf returns a length-n buffer for packetizing send data, reusing
+// a pooled buffer when one fits.
+func (s *Stack) getSegBuf(n int) []byte {
+	if n <= segPoolBufCap {
+		if last := len(s.segPool) - 1; last >= 0 {
+			b := s.segPool[last]
+			s.segPool = s.segPool[:last]
+			s.Stats.SegPoolHits++
+			return b[:n]
+		}
+		s.Stats.SegPoolMisses++
+		return make([]byte, n, segPoolBufCap)
+	}
+	s.Stats.SegPoolMisses++
+	return make([]byte, n)
+}
+
+// putSegBuf returns a segment buffer to the free list. Callers may only
+// recycle buffers of segments that were transmitted exactly once and are
+// now cumulatively acknowledged: the unique frame carrying the buffer
+// has been consumed (its bytes copied into the receiver's queue) or
+// dropped, so no in-flight or reassembly reference can remain. Buffers
+// of other shapes (persist probes, oversize) are left to the GC.
+func (s *Stack) putSegBuf(b []byte) {
+	if cap(b) != segPoolBufCap || len(s.segPool) >= segPoolMax {
+		return
+	}
+	s.segPool = append(s.segPool, b[:0])
 }
 
 // NewStack returns a stack with no interfaces.

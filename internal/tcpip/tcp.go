@@ -662,7 +662,7 @@ func (c *TCPConn) trySend() {
 				break
 			}
 		}
-		data := make([]byte, n)
+		data := c.stack.getSegBuf(n)
 		copy(data, c.pending)
 		c.pending = c.pending[n:]
 		g := &inflightSeg{seq: c.sndNxt, data: data}
@@ -995,8 +995,15 @@ func (c *TCPConn) processACK(seg *Segment) {
 		acked := ack - c.sndUna
 		c.sndUna = ack
 		c.dupAcks = 0
-		// Drop fully acknowledged segments.
+		// Drop fully acknowledged segments, recycling the buffers of
+		// those sent exactly once: their single frame has been consumed
+		// or dropped, so nothing can still reference the bytes. A
+		// retransmitted segment may have a duplicate frame in flight and
+		// its buffer is left to the GC.
 		for len(c.segs) > 0 && seqLE(c.segs[0].end(), ack) {
+			if g := c.segs[0]; g.retx == 0 && len(g.data) > 0 {
+				c.stack.putSegBuf(g.data)
+			}
 			c.segs = c.segs[1:]
 		}
 		// RTT sample (Karn-filtered at transmit time).
