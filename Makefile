@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race cruzvet bench gobench scale-smoke trace-demo
+.PHONY: check build test vet race cruzvet bench gobench scale-smoke migrate-smoke trace-demo
 
 check: vet cruzvet build test race
 
@@ -46,6 +46,7 @@ gobench:
 	$(GO) test -run XXX -bench=BenchmarkDirtyTracking -benchtime=1x -benchmem ./internal/mem/
 	$(GO) test -run XXX -bench=BenchmarkEngineSchedule -benchtime=1x -benchmem ./internal/sim/
 	$(GO) test -run XXX -bench=BenchmarkTCPBulkTransfer -benchtime=1x -benchmem ./internal/tcpip/
+	$(GO) test -run XXX -bench=BenchmarkMigrationStream -benchtime=1x -benchmem ./internal/ctl/
 
 # Scaling smoke: the A9 flat-vs-tree ablation at reduced workload scale
 # (n = 8/64/256, light slm ring). Exercises the hierarchical
@@ -53,6 +54,14 @@ gobench:
 # path end to end in a few seconds.
 scale-smoke:
 	$(GO) run ./cmd/cruzbench -exp scale -scale 0.25
+
+# Migration smoke: the A10 live-vs-stop-and-copy ablation at reduced
+# workload scale plus the cruzsim scenario where an established TCP
+# connection must survive two live migrations. Exercises the pre-copy
+# round loop, the residual freeze, and the address takeover end to end.
+migrate-smoke:
+	$(GO) run ./cmd/cruzbench -exp migrate -scale 0.25
+	$(GO) run ./cmd/cruzsim -scenario migrate
 
 # Worked example from README: quickstart scenario with a Chrome trace.
 trace-demo:

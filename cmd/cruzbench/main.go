@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|recovery|critpath|scale|phases|none]
+//	cruzbench [-exp all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|migrate|recovery|critpath|scale|phases|none]
 //	          [-scale 1.0] [-ckpts 3] [-maxnodes 8] [-trace] [-json]
 //	          [-checkjson FILE]
 //
@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|recovery|critpath|scale|phases|none")
+		which     = flag.String("exp", "all", "experiment: all|fig5|fig6|overhead|msgs|fig4|restart|incremental|dedup|precopy|migrate|recovery|critpath|scale|phases|none")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's ~100 MB pod images)")
 		ckpts     = flag.Int("ckpts", 3, "checkpoints per configuration (fig5)")
 		maxNodes  = flag.Int("maxnodes", 8, "largest node count for sweeps")
@@ -75,6 +75,7 @@ func main() {
 	run("incremental", func() error { return incremental(*scale) })
 	run("dedup", func() error { return dedup(*jsonCkpts, *scale) })
 	run("precopy", func() error { return precopy(*ckpts, *scale) })
+	run("migrate", func() error { return migrate(*ckpts, *scale) })
 	run("recovery", func() error { return recovery(*scale) })
 	run("critpath", func() error { return critpathRun(*scale) })
 	run("scale", func() error { return scaling(*scale) })
@@ -333,6 +334,27 @@ func precopy(ckpts int, scale float64) error {
 	return nil
 }
 
+// migrate runs ablation A10: live pod migration (pre-copy streaming +
+// address takeover) against the stop-and-copy baseline.
+func migrate(migs int, scale float64) error {
+	fmt.Println("== Ablation A10: live migration — downtime vs stop-and-copy ==")
+	fmt.Printf("   (4-worker ring + 1 spare node, %d migrations per variant, scale %.2f)\n\n", migs, scale)
+	rows, err := exp.MigrateAblation(4, migs, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("variant          migrations   downtime(ms)   latency(ms)   rounds   streamed(MB)")
+	for _, r := range rows {
+		fmt.Printf("%-15s  %10d   %12.1f   %11.1f   %6.1f   %12.2f\n",
+			r.Variant, r.Migrations, r.DowntimeMs, r.LatencyMs, r.Rounds, r.StreamedMB)
+	}
+	fmt.Println("\n(downtime is the application-visible gap: freeze to resumed-on-destination.")
+	fmt.Println(" Live migration streams pre-copy rounds while the pod runs; only the")
+	fmt.Println(" residual dirty set transfers under freeze.)")
+	fmt.Println()
+	return nil
+}
+
 // recovery runs the automatic failure-recovery experiment: kill a node
 // of a replicated job and report the MTTR phase breakdown.
 func recovery(scale float64) error {
@@ -424,6 +446,10 @@ func validateJSON(path string) error {
 		"critpath_recovery_n4/detect_ms",
 		"critpath_recovery_n4/restart_ms",
 		"critpath_checkpoint_n4/total_ms",
+		"migrate_n4/downtime_ms",
+		"migrate_n4/rounds",
+		"migrate_n4/bytes_streamed",
+		"migrate_n4/stopcopy_downtime_ms",
 		"scale_n256_flat/coord_messages",
 		"scale_n256_tree/coord_messages",
 		"engine_n256_tree/kevents_per_wall_sec",

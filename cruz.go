@@ -57,6 +57,12 @@ type (
 	RecoveryResult = core.RecoveryResult
 	// RecoveredPod describes where one failed pod was re-homed.
 	RecoveredPod = core.RecoveredPod
+	// MigrateOptions tunes one live migration (pre-copy rounds, dedup,
+	// pipelined saves).
+	MigrateOptions = core.MigrateOptions
+	// MigrationResult reports one live migration: rounds, convergence
+	// curve, bytes streamed, and the freeze-to-resume downtime.
+	MigrationResult = core.MigrationResult
 	// Pod is a Zap PrOcess Domain.
 	Pod = zap.Pod
 	// Program is the state-machine interface application code implements.
@@ -497,6 +503,39 @@ func (cl *Cluster) Restart(job *Job, seq int) (*RestartResult, error) {
 		return nil, errors.New("cruz: restart timed out")
 	}
 	return res, rerr
+}
+
+// Migrate moves one pod of the job to the target node live, driving the
+// event loop until the migration commits: pre-copy rounds stream into
+// the target's store while the pod runs, only the residual dirty set is
+// transferred under freeze, and the address (VIF IP + MAC) moves with
+// the live TCP state — established connections survive. On success the
+// facade's pod bookkeeping re-homes, so Pod/PodNode resolve to the new
+// node.
+func (cl *Cluster) Migrate(job *Job, podName string, targetNode int, opts MigrateOptions) (*MigrationResult, error) {
+	if targetNode < 0 || targetNode >= len(cl.Nodes) {
+		return nil, fmt.Errorf("cruz: no node %d", targetNode)
+	}
+	ref, ok := cl.pods[podName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPod, podName)
+	}
+	target := cl.Nodes[targetNode]
+	var res *MigrationResult
+	var merr error
+	fired := false
+	cl.Coordinator.Migrate(job, podName, target.Agent.Addr(), opts, func(r *MigrationResult, err error) {
+		res, merr, fired = r, err, true
+	})
+	if !cl.RunUntil(func() bool { return fired }, 10*60*Second) {
+		return nil, errors.New("cruz: migration timed out")
+	}
+	if merr != nil {
+		return nil, merr
+	}
+	ref.node = target
+	cl.pods[podName] = ref
+	return res, nil
 }
 
 // DefineFlushJob builds the flushing-baseline version of a job (requires

@@ -29,7 +29,14 @@ func smallSlm(workers int) slm.Config {
 // deployRing places one slm worker pod per node.
 func deployRing(t testing.TB, cl *cruz.Cluster, n int) ([]string, *cruz.Job) {
 	t.Helper()
-	cfg := smallSlm(n)
+	return deployRingCfg(t, cl, smallSlm(n))
+}
+
+// deployRingCfg is deployRing with an explicit slm config (finite step
+// counts, different grids); cfg.Workers pods land on nodes 0..Workers-1.
+func deployRingCfg(t testing.TB, cl *cruz.Cluster, cfg slm.Config) ([]string, *cruz.Job) {
+	t.Helper()
+	n := cfg.Workers
 	var names []string
 	var ips []cruz.Addr
 	for i := 0; i < n; i++ {

@@ -1,45 +1,100 @@
 // Migration: move a live database server between machines while a client
 // keeps using it.
 //
-// A kvstore server runs in a pod on node 0; a client on node 1 issues
+// A kvstore server runs in a pod on node 0 next to a cache process that
+// keeps an 8 MB in-memory working set hot; a client on node 1 issues
 // SET/GET operations with verification, continuously. Mid-session the
-// server pod is checkpointed, destroyed, and restored on node 2 — taking
-// its IP and MAC with it (the paper's §4.2 network-address migration).
-// The client is NOT under checkpoint control and never reconnects: its
-// TCP connection survives because the server's full socket state
-// (sequence numbers, buffer contents) moves inside the checkpoint image
-// and the gratuitous ARP re-points the switch.
+// pod live-migrates to node 2: pre-copy rounds stream the image while
+// the server keeps serving, the pod freezes only for the residual dirty
+// set, and the address takeover (VIF IP + MAC + gratuitous ARP, the
+// paper's §4.2 network-address migration) moves the live TCP state with
+// it. The client is NOT under checkpoint control and never reconnects:
+// its connection survives because the server's full socket state
+// (sequence numbers, buffer contents) moves inside the image.
 //
 // Run with: go run ./examples/migration
+// Baseline:  go run ./examples/migration -stopcopy
+// (-stopcopy disables pre-copy: freeze, copy everything, restore — the
+// whole image transfers inside the downtime window.)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"cruz"
 	"cruz/internal/apps/kvstore"
-	"cruz/internal/ckpt"
+	"cruz/internal/kernel"
+	"cruz/internal/mem"
+	"cruz/internal/sim"
 )
+
+// HotState models the in-memory working set a real service carries
+// alongside its request handling: an 8 MB cache with a rotating write
+// set. It is what makes the pre-copy convergence curve visible — the
+// kvstore table itself is tiny.
+type HotState struct {
+	Bytes   uint64 // cache size
+	PerTick int    // pages rewritten per tick
+	Base    uint64
+	Ticks   uint64
+}
+
+func (h *HotState) Step(ctx *kernel.ProcContext) kernel.StepResult {
+	pages := h.Bytes / mem.PageSize
+	if h.Base == 0 {
+		base, err := ctx.Mem().Alloc(h.Bytes, "cache")
+		if err != nil {
+			return kernel.Exit(0, 1)
+		}
+		h.Base = base
+		// Materialize the cache (demand-zero pages don't checkpoint).
+		for pn := uint64(0); pn < pages; pn++ {
+			if err := ctx.Mem().WriteUint64(base+pn*mem.PageSize, pn); err != nil {
+				return kernel.Exit(0, 1)
+			}
+		}
+		return kernel.Continue(5 * sim.Millisecond)
+	}
+	for i := 0; i < h.PerTick; i++ {
+		pn := (h.Ticks*uint64(h.PerTick) + uint64(i)) % pages
+		if err := ctx.Mem().WriteUint64(h.Base+pn*mem.PageSize, h.Ticks); err != nil {
+			return kernel.Exit(0, 1)
+		}
+	}
+	h.Ticks++
+	return kernel.Sleep(100*sim.Microsecond, 2*sim.Millisecond)
+}
 
 func init() {
 	cruz.RegisterProgram(&kvstore.Server{})
 	cruz.RegisterProgram(&kvstore.Client{})
+	cruz.RegisterProgram(&HotState{})
 }
 
 func main() {
+	stopcopy := flag.Bool("stopcopy", false, "disable pre-copy rounds (stop-and-copy baseline)")
+	flag.Parse()
+
 	cl, err := cruz.New(cruz.Config{Nodes: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Database server inside a pod on node 0.
+	// Database server plus its hot cache inside a pod on node 0.
 	dbPod, err := cl.NewPod(0, "db")
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := kvstore.NewServer(0)
-	if _, err := dbPod.Spawn("kvd", server); err != nil {
+	if _, err := dbPod.Spawn("kvd", kvstore.NewServer(0)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dbPod.Spawn("cache", &HotState{Bytes: 8 << 20, PerTick: 4}); err != nil {
+		log.Fatal(err)
+	}
+	job, err := cl.DefineJob("db", "db")
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -52,40 +107,36 @@ func main() {
 	fmt.Printf("t=%-8v client completed %d verified ops against node 0\n",
 		cl.Engine.Now(), client.Done)
 
-	// --- migrate the server pod: node 0 -> node 2 ------------------
-	fmt.Printf("t=%-8v migrating pod %q (IP %v) to node 2...\n",
-		cl.Engine.Now(), dbPod.Name(), dbPod.IP())
-
-	// 1. Disable the pod's communication (in-flight packets will be
-	//    recovered by TCP retransmission).
-	filter := dbPod.Kernel().Stack().Filter()
-	rule := filter.AddDropAddr(dbPod.IP())
-	// 2. Stop and capture.
-	stopped := false
-	dbPod.Stop(func() { stopped = true })
-	if !cl.RunUntil(func() bool { return stopped }, cruz.Second) {
-		log.Fatal("pod did not quiesce")
+	// --- live-migrate the server pod: node 0 -> node 2 --------------
+	opts := cruz.MigrateOptions{
+		Precopy: cruz.PrecopyConfig{MaxRounds: 10, DirtyThresholdPages: 32},
 	}
-	img, err := ckpt.Capture(dbPod, 1, ckpt.Options{})
+	if *stopcopy {
+		opts = cruz.MigrateOptions{} // freeze, copy everything, restore
+		fmt.Printf("t=%-8v stop-and-copy migrating pod %q (IP %v) to node 2...\n",
+			cl.Engine.Now(), dbPod.Name(), dbPod.IP())
+	} else {
+		fmt.Printf("t=%-8v live-migrating pod %q (IP %v) to node 2...\n",
+			cl.Engine.Now(), dbPod.Name(), dbPod.IP())
+	}
+	res, err := cl.Migrate(job, "db", 2, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// 3. Destroy the source instance; its VIF (IP+MAC) disappears from
-	//    node 0.
-	dbPod.Destroy()
-	filter.RemoveRule(rule)
-	// 4. Restore on node 2: same IP, same MAC, same TCP connections;
-	//    the restore announces the new location via gratuitous ARP.
-	newPod, err := ckpt.Restore(cl.Nodes[2].Kernel, img)
-	if err != nil {
-		log.Fatal(err)
+	for i, p := range res.RoundPages {
+		label := fmt.Sprintf("pre-copy round %d (pod running)", i)
+		if i == len(res.RoundPages)-1 {
+			label = "residual round   (pod frozen) "
+		}
+		fmt.Printf("           %s: %5d pages %8d KB\n", label, p, p*mem.PageSize/1024)
 	}
-	newPod.Resume()
-	fmt.Printf("t=%-8v pod restored on node 2, resuming\n", cl.Engine.Now())
+	fmt.Printf("t=%-8v pod live on node %d: downtime %v (total latency %v, %d KB streamed, %d msgs)\n",
+		cl.Engine.Now(), cl.PodNode("db").Index, res.Downtime, res.Latency,
+		res.BytesStreamed/1024, res.Messages)
 
 	opsBefore := client.Done
 	cl.Run(500 * cruz.Millisecond)
-	server2 := newPod.Process(1).Program().(*kvstore.Server)
+	server2 := cl.Pod("db").Process(1).Program().(*kvstore.Server)
 	fmt.Printf("t=%-8v client completed %d more verified ops against node 2\n",
 		cl.Engine.Now(), client.Done-opsBefore)
 	fmt.Printf("           client fault: %q   server fault: %q\n", client.Fault, server2.Fault)

@@ -146,6 +146,14 @@ func TestTreeLeaderFixture(t *testing.T) {
 	runFixture(t, "treeleader", Config{}, SpanLeak, LockOrder)
 }
 
+// TestMigrateFixture covers the code shapes live migration added: the
+// per-round phase span leaked across the round loop's abort and
+// convergence early returns, and the agent/stack (core↔tcpip) lock
+// ordering of the address-takeover path.
+func TestMigrateFixture(t *testing.T) {
+	runFixture(t, "migratefix", Config{}, SpanLeak, LockOrder)
+}
+
 // TestAllowFixture proves the //cruzvet:allow escape hatch: annotated
 // findings are silenced, counted as suppressions, and stale
 // directives are surfaced as unused.

@@ -1,0 +1,121 @@
+// Package migratefix is a cruzvet fixture for the code shapes live
+// migration introduced: per-round phase spans that must survive the
+// round loop's abort/convergence early returns, and the agent/stack
+// lock ordering of the address-takeover path (core installs the drop
+// filter and rebinds the VIF against tcpip state). The bug shapes here
+// are the ones the analyzers must keep catching in internal/core's
+// migrate paths.
+package migratefix
+
+import (
+	"sync"
+
+	"cruz/internal/sim"
+	"cruz/internal/trace"
+)
+
+// round is a stand-in for one pre-copy round's accounting.
+type round struct {
+	pages   int
+	aborted bool
+}
+
+// agent models the per-node daemon: its own lock plus the network
+// stack's state (the tcpip tier the takeover path re-enters).
+type agent struct {
+	mu    sync.Mutex
+	stack netStack
+}
+
+type netStack struct {
+	mu      sync.Mutex
+	filters int
+}
+
+// roundLeak is the round-loop bug shape: the per-round span is begun
+// before the abort check, and the aborted path returns without ending
+// it — exactly the early return a mid-migration abort takes.
+func roundLeak(tr *trace.Tracer, r round) int {
+	sp := tr.Begin("node", "phase", "migrate-round") // want `not ended on every return path`
+	if r.aborted {
+		return 0 // forgot sp.End()
+	}
+	sp.End()
+	return r.pages
+}
+
+// convergeLeak is the convergence loop: a non-converged round continues
+// to the next iteration and abandons its span.
+func convergeLeak(tr *trace.Tracer, rounds []round, threshold int) {
+	for _, r := range rounds {
+		sp := tr.Begin("node", "phase", "migrate-round") // want `not ended on every return path`
+		if r.pages > threshold {
+			continue // forgot sp.End()
+		}
+		sp.End()
+	}
+}
+
+// takeoverDiscard drops the takeover span on the floor.
+func takeoverDiscard(tr *trace.Tracer) {
+	tr.Begin("node", "phase", "takeover") // want `span discarded`
+}
+
+// roundOK ends the span on both the aborted and the streamed path.
+func roundOK(tr *trace.Tracer, r round) int {
+	sp := tr.Begin("node", "phase", "migrate-round")
+	defer sp.End()
+	if r.aborted {
+		return 0
+	}
+	return r.pages
+}
+
+// okEscapesToAdoption is the streaming shape: the round span outlives
+// the function and is ended by the destination's adoption ack, an event
+// path analysis inside one function must not judge.
+func okEscapesToAdoption(e *sim.Engine, tr *trace.Tracer) {
+	sp := tr.Begin("node", "phase", "migrate-stream")
+	e.Schedule(sim.Millisecond, func() { sp.End() })
+}
+
+// Lock ordering: the agent lock and the stack lock are two tiers; every
+// takeover path must take agent.mu before stack.mu.
+
+// takeoverFilter is the correct order: agent state first, then the
+// stack to install the drop filter and rebind the VIF.
+func takeoverFilter(a *agent) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stack.mu.Lock()
+	a.stack.filters++
+	a.stack.mu.Unlock()
+}
+
+// stackNotify inverts the order — the classic takeover deadlock: a
+// stack-side notification (gratuitous-ARP learn, socket wakeup)
+// re-enters the agent while still holding stack state.
+func stackNotify(a *agent) {
+	a.stack.mu.Lock()
+	a.mu.Lock() // want `lock-order cycle`
+	a.mu.Unlock()
+	a.stack.mu.Unlock()
+}
+
+// freezeHold parks on the scheduler while holding the stack — the
+// residual freeze must never block the engine under tcpip state.
+func freezeHold(e *sim.Engine, a *agent) {
+	a.stack.mu.Lock()
+	_ = e.RunFor(sim.Millisecond) // want `held across blocking scheduler yield`
+	a.stack.mu.Unlock()
+}
+
+// sequentialTiers takes the tiers one after another (never nested in
+// the inverse order): fine.
+func sequentialTiers(a *agent) {
+	a.stack.mu.Lock()
+	a.stack.filters--
+	a.stack.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

@@ -41,6 +41,10 @@ type Config struct {
 	DirtyPagesPerStep int
 	// Port is the halo-exchange TCP port.
 	Port uint16
+	// Linger keeps the rank alive (idle) after its last step instead of
+	// exiting, so tests can inspect the end-state memory of a finite run
+	// (an exited process's address space is reaped).
+	Linger bool
 }
 
 // DefaultConfig matches the calibration in DESIGN.md §5: run time scales
@@ -200,6 +204,9 @@ func (w *Worker) Step(ctx *kernel.ProcContext) kernel.StepResult {
 		if w.Cfg.Steps > 0 && w.StepsDone >= w.Cfg.Steps {
 			w.FinishedAt = ctx.Now()
 			w.Phase = phaseDone
+			if w.Cfg.Linger {
+				return kernel.Sleep(0, sim.Second)
+			}
 			return kernel.Exit(0, 0)
 		}
 		// Advance the model: touch a rotating set of grid pages.
@@ -283,6 +290,10 @@ func (w *Worker) Step(ctx *kernel.ProcContext) kernel.StepResult {
 		w.StepsDone++
 		w.Phase = phaseCompute
 		return kernel.Continue(0)
+
+	case phaseDone:
+		// Lingering rank: finished, parked.
+		return kernel.Sleep(0, sim.Second)
 	}
 	return w.fail("bad phase")
 }

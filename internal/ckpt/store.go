@@ -156,6 +156,17 @@ func (s *Store) Discard(pod string, seqs ...int) {
 	}
 }
 
+// Cached returns the in-memory decoded form of a blob-form image, with
+// no disk traffic modeled. A migration's restore-on-arrival merge uses
+// it: the adopted bytes passed through this daemon's memory moments ago,
+// so folding them into the held image costs CPU, not a read-back of what
+// was just written. Deduplicated (manifest-form) images keep no single
+// decoded representation and report false.
+func (s *Store) Cached(pod string, seq int) (*Image, bool) {
+	img, ok := s.images[pod][seq]
+	return img, ok
+}
+
 // LatestSeq returns the highest stored sequence number for a pod.
 func (s *Store) LatestSeq(pod string) (int, bool) {
 	seq, ok := s.latest[pod]
@@ -179,10 +190,17 @@ func (s *Store) Size(pod string, seq int) (int64, error) {
 // the read completes. Incremental images are returned as-is; use
 // LoadMerged to resolve a chain.
 func (s *Store) Load(pod string, seq int, done func(*Image, error)) {
+	s.LoadCtx(pod, seq, trace.SpanContext{}, done)
+}
+
+// LoadCtx is Load with a trace context: the store.load span becomes a
+// child of the given operation (a migration's restore-on-arrival merge)
+// so the disk read shows up on that op's critical path.
+func (s *Store) LoadCtx(pod string, seq int, ctx trace.SpanContext, done func(*Image, error)) {
 	blob, ok := s.blobs[pod][seq]
 	if !ok {
 		if _, mok := s.manifests[pod][seq]; mok {
-			s.loadManifest(pod, seq, false, trace.SpanContext{}, done)
+			s.loadManifest(pod, seq, false, ctx, done)
 			return
 		}
 		done(nil, fmt.Errorf("%w: %s/%d", ErrNoImage, pod, seq))
@@ -190,7 +208,7 @@ func (s *Store) Load(pod string, seq int, done func(*Image, error)) {
 	}
 	var sp trace.Span
 	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
-		sp = tr.Begin(s.disk.Name(), "ckpt", "store.load",
+		sp = tr.BeginChild(ctx, s.disk.Name(), "ckpt", "store.load",
 			trace.Str("pod", pod), trace.Int("seq", int64(seq)),
 			trace.Int("bytes", int64(len(blob))))
 	}

@@ -113,13 +113,15 @@ type Agent struct {
 
 // AgentStats counts agent activity.
 type AgentStats struct {
-	Checkpoints  uint64
-	Restores     uint64
-	Aborts       uint64
-	Replications uint64
-	ReplBytes    int64
-	ReplFailures uint64
-	Fetches      uint64
+	Checkpoints   uint64
+	Restores      uint64
+	Aborts        uint64
+	Replications  uint64
+	ReplBytes     int64
+	ReplFailures  uint64
+	Fetches       uint64
+	MigrationsOut uint64
+	MigrationsIn  uint64
 }
 
 // agentOp tracks one in-progress checkpoint or restart for a pod. The
@@ -147,6 +149,14 @@ type agentOp struct {
 	rounds    []*ckpt.LiveCapture
 	redirty   []func()
 	roundSeqs []int
+
+	// Migration bookkeeping (migrate-out ops): where the rounds stream,
+	// how many pages each round carried (residual last), and the bytes
+	// the delta transfers actually moved.
+	migrateTo  tcpip.AddrPort
+	roundPages []int
+	streamed   int64
+	stream     *ctl.Op // in-flight round transfer, cancelled on abort
 
 	// Trace spans for the op and its lifecycle phases. Zero values are
 	// inert, so paths that never begin a phase may End it freely.
@@ -272,6 +282,14 @@ func (a *Agent) onMsg(c *ctlConn, m *wireMsg) {
 			a.handleFetch(c, m)
 		case msgFetchPull:
 			a.handleFetchPull(c, m)
+		case msgMigrate:
+			a.startMigrateOut(c, m)
+		case msgMigrateTarget:
+			a.startMigrateIn(c, m)
+		case msgMigrateRestore:
+			a.handleMigrateRestore(m)
+		case msgMigrateCommit:
+			a.handleMigrateCommit(c, m)
 		case msgGroupCheckpoint, msgGroupRestart:
 			a.startGroupOp(c, m)
 		case msgGroupContinue:
@@ -320,6 +338,16 @@ func (a *Agent) beginPodOp(kind string, m *wireMsg, c msgSink) (*agentOp, error)
 		if op.filterID != 0 {
 			a.kern.Stack().Filter().RemoveRule(op.filterID)
 			op.filterID = 0
+		}
+		// A migration round transfer in flight when the op dies would
+		// otherwise sit out its full replication timeout (the far node
+		// may be dead and answer nothing).
+		if op.stream != nil {
+			s := op.stream
+			op.stream = nil
+			if s.Active() {
+				s.Fail(err)
+			}
 		}
 		// Discard the partial pre-copy epoch: release the rounds' COW
 		// snapshots (writes stop faulting), re-mark the pages whose only
@@ -854,11 +882,13 @@ func (a *Agent) startRestart(c msgSink, m *wireMsg) {
 
 // handleAbort rolls back an in-progress operation: remove the filter,
 // resume the pod, forget the op. Any image already written stays in the
-// store but is never committed by the coordinator.
+// store but is never committed by the coordinator. The pod key covers
+// every pod-scoped op kind — checkpoint, restart, migrate-out and
+// migrate-in all register their rollback through OnFail.
 func (a *Agent) handleAbort(m *wireMsg) {
-	op := a.podOp(m.Pod)
-	if op == nil {
+	o := a.table.Get(m.Pod)
+	if o == nil {
 		return
 	}
-	op.Fail(ErrAborted)
+	o.Fail(ErrAborted)
 }

@@ -669,6 +669,12 @@ func (c *Coordinator) onMsg(cc *ctlConn, m *wireMsg) {
 		case msgFetchDone:
 			c.handleFetchDone(m)
 			return
+		case msgMigrateDone:
+			c.handleMigrateDone(m)
+			return
+		case msgMigrateSrcDone:
+			c.handleMigrateSrcDone(m)
+			return
 		}
 		switch m.Type {
 		case msgGroupDisabled, msgGroupDone, msgGroupRestartDone, msgGroupContDone:

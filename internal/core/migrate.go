@@ -1,0 +1,868 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cruz/internal/ckpt"
+	"cruz/internal/ctl"
+	"cruz/internal/mem"
+	"cruz/internal/sim"
+	"cruz/internal/tcpip"
+	"cruz/internal/trace"
+	"cruz/internal/zap"
+)
+
+// Live migration (the paper's §4.2 VIF/IP/MAC move, composed with the
+// pre-copy and delta-replication machinery into a first-class primitive).
+//
+// The protocol has three parties: the coordinator C, the source agent S
+// and the destination agent D.
+//
+//	C -> D  migrate-target       arm a migrate-in op (restore-on-arrival)
+//	C -> S  migrate              start the pre-copy stream
+//	S:      per live round: COW capture, local save, offer/want/data
+//	        delta transfer into D's store; D pre-merges each round as it
+//	        lands, while the pod keeps running on S
+//	S:      on convergence: filter + freeze, capture the residual,
+//	        save + stream it, then hand over
+//	S -> D  migrate-restore      residual is in D's store; FrozeAt stamps
+//	                             the start of the downtime window
+//	D:      merge residual, filter, restore (VIF + TCP state install,
+//	        gratuitous ARP last), resume — downtime ends here
+//	D -> C  migrate-done         downtime report; commit point
+//	C -> S  migrate-commit       roll forward: destroy the source copy
+//	S -> C  migrate-src-done     rounds/bytes report; op complete
+//
+// Abort at any point before migrate-done rolls back like an aborted
+// pre-copy checkpoint: S releases the COW rounds, re-marks their pages
+// dirty, discards the uncommitted round images and resumes the pod; D
+// discards whatever rounds it adopted. After migrate-done the migration
+// only rolls forward — the pod is already live on D, so a late failure
+// of S merely leaves its (filtered, frozen) copy for Destroy.
+
+// ErrNoMigration reports an abort request with no migration in flight.
+var ErrNoMigration = errors.New("core: no migration in flight for job")
+
+// MigrateOptions tunes one live migration.
+type MigrateOptions struct {
+	// Incremental chains round 0 onto the source's newest stored
+	// checkpoint; the delta protocol then ships only what the
+	// destination's store is missing.
+	Incremental bool
+	// Dedup stores and streams the rounds content-addressed.
+	Dedup bool
+	// Pipeline segments the local round saves (encode ∥ write).
+	Pipeline bool
+	// Precopy bounds the live rounds. MaxRounds == 0 degenerates to
+	// stop-and-copy migration: one freeze covering the whole image — the
+	// baseline the ablation compares against.
+	Precopy PrecopyConfig
+}
+
+// MigrationResult reports one completed migration.
+type MigrationResult struct {
+	Pod  string
+	From tcpip.AddrPort
+	To   tcpip.AddrPort
+	// Seq is the image sequence the migration committed at the
+	// destination (the residual at the top of the round chain).
+	Seq int
+	// Rounds is how many live pre-copy rounds ran before the freeze.
+	Rounds int
+	// RoundPages is the per-round streamed page counts, residual last —
+	// the convergence curve.
+	RoundPages []int
+	// BytesStreamed is what the delta transfers actually moved.
+	BytesStreamed int64
+	// Downtime is the application-visible gap: source freeze to first
+	// instant the pod is live (resumed, filter removed, ARP announced)
+	// on the destination.
+	Downtime sim.Duration
+	// Latency is the whole operation, first message to commit.
+	Latency sim.Duration
+	// Messages counts control/stream messages on the coordinator's
+	// source and destination connections.
+	Messages int
+}
+
+// migrateOp is the coordinator's view of one in-flight migration.
+type migrateOp struct {
+	*ctl.Op
+	job       *Job
+	pod       string
+	memberIdx int
+	src, dst  tcpip.AddrPort
+	opts      MigrateOptions
+
+	downtime   sim.Duration
+	imageBytes int64
+	streamed   int64
+	roundPages []int
+	msgBase    int
+	span       trace.Span
+}
+
+// migrateMsgCount sums the message counters on the op's two connections.
+func (c *Coordinator) migrateMsgCount(op *migrateOp) int {
+	n := 0
+	for _, addr := range []tcpip.AddrPort{op.src, op.dst} {
+		if cc, ok := c.conns[addr]; ok {
+			n += cc.Sent + cc.Received
+		}
+	}
+	return n
+}
+
+// Migrate moves one pod of the job to the target node with pre-copy
+// streaming: the pod runs (and communicates) through the rounds and
+// freezes only for the residual dirty set plus address takeover. On
+// success the job's member record is re-homed to the target, so later
+// checkpoints and recoveries address the pod there.
+func (c *Coordinator) Migrate(job *Job, pod string, target tcpip.AddrPort, opts MigrateOptions, done func(*MigrationResult, error)) {
+	idx := -1
+	for i, m := range job.Members {
+		if m.Pod == pod {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		done(nil, fmt.Errorf("%w: %s", ErrUnknownPod, pod))
+		return
+	}
+	src := job.Members[idx].Agent
+	if src == target {
+		done(nil, fmt.Errorf("core: pod %s already lives on %s", pod, addrKey(target)))
+		return
+	}
+	if c.table.Get(recoveryKey(job.Name)) != nil {
+		done(nil, ErrOpInProgress)
+		return
+	}
+	// Like a pre-copy checkpoint, the migration consumes a block of
+	// sequence numbers: rounds chain through (seq-MaxRounds, seq) and
+	// only the residual at seq survives commit.
+	stride := opts.Precopy.MaxRounds + 1
+	c.nextSeq[job.Name] += stride
+	seq := c.nextSeq[job.Name]
+	o, err := c.table.Begin("migrate", job.Name, seq)
+	if err != nil {
+		c.nextSeq[job.Name] -= stride
+		done(nil, ErrOpInProgress)
+		return
+	}
+	op := &migrateOp{Op: o, job: job, pod: pod, memberIdx: idx, src: src, dst: target, opts: opts}
+	o.Data = op
+	if c.tr.Enabled() {
+		op.span = c.tr.BeginOp(c.stack.Name(), "core", "migrate",
+			trace.Str("job", job.Name), trace.Str("pod", pod),
+			trace.Int("seq", int64(seq)),
+			trace.Str("from", addrKey(src)), trace.Str("to", addrKey(target)))
+	}
+	// Failure before commit fans <abort> to both parties: the source
+	// rolls the pre-copy epoch back and resumes the pod, the destination
+	// discards the adopted rounds.
+	o.OnFail(func(_ *ctl.Op, err error) {
+		for _, addr := range []tcpip.AddrPort{src, target} {
+			addr := addr
+			c.cpu.Do(c.params.MsgCost, func() {
+				if cc, ok := c.conns[addr]; ok && cc.TCP().Established() {
+					cc.send(&wireMsg{Type: msgAbort, Seq: seq, Pod: pod, ctx: op.span.Context()})
+				}
+			})
+		}
+	})
+	o.OnFinish(func(_ *ctl.Op, err error) {
+		if err != nil {
+			op.span.End(trace.Str("err", err.Error()))
+			done(nil, err)
+			return
+		}
+		// Commit: the pod lives on the target now. Re-home the member so
+		// every later coordinated op addresses it there, and record the
+		// target as holder of the migrated image chain.
+		job.Members[idx].Agent = target
+		c.addHolder(pod, seq, target)
+		rounds := len(op.roundPages) - 1
+		if rounds < 0 {
+			rounds = 0
+		}
+		op.span.End(trace.Int("rounds", int64(rounds)),
+			trace.Int("downtime_us", int64(op.downtime/sim.Microsecond)))
+		done(&MigrationResult{
+			Pod: pod, From: src, To: target, Seq: seq,
+			Rounds:        rounds,
+			RoundPages:    op.roundPages,
+			BytesStreamed: op.streamed,
+			Downtime:      op.downtime,
+			Latency:       c.stack.Engine().Now().Sub(op.Started()),
+			Messages:      c.migrateMsgCount(op) - op.msgBase,
+		}, nil)
+	})
+	op.Expect("restored", pod)
+	op.Expect("cleared", pod)
+	c.connectAddrs([]tcpip.AddrPort{src, target}, func(cerr error) {
+		if cerr != nil {
+			op.Fail(cerr)
+			return
+		}
+		if !op.Active() {
+			return
+		}
+		op.msgBase = c.migrateMsgCount(op)
+		// Arm the destination first so its migrate-in op exists before
+		// the first round's delta transfer can land.
+		c.cpu.Do(c.params.MsgCost, func() {
+			cc, ok := c.conns[target]
+			if !ok || !cc.TCP().Established() {
+				op.Fail(fmt.Errorf("%w: %s", ErrNotConnected, addrKey(target)))
+				return
+			}
+			cc.send(&wireMsg{Type: msgMigrateTarget, Seq: seq, Pod: pod, ctx: op.span.Context()})
+		})
+		c.cpu.Do(c.params.MsgCost, func() {
+			cc, ok := c.conns[src]
+			if !ok || !cc.TCP().Established() {
+				op.Fail(fmt.Errorf("%w: %s", ErrNotConnected, addrKey(src)))
+				return
+			}
+			cc.send(&wireMsg{
+				Type:                  msgMigrate,
+				Seq:                   seq,
+				Pod:                   pod,
+				ctx:                   op.span.Context(),
+				Incremental:           opts.Incremental,
+				Dedup:                 opts.Dedup,
+				Pipeline:              opts.Pipeline,
+				PrecopyRounds:         opts.Precopy.MaxRounds,
+				PrecopyThresholdPages: opts.Precopy.DirtyThresholdPages,
+				PrecopyMinGain:        opts.Precopy.MinRoundGain,
+				Repl:                  &replPayload{PeerIP: target.Addr, PeerPort: target.Port},
+			})
+		})
+	})
+	if c.params.Timeout > 0 {
+		op.ArmTimeout(c.params.Timeout, fmt.Errorf("%w: timeout after %v", ErrAborted, c.params.Timeout))
+	}
+}
+
+// AbortMigration aborts the job's in-flight migration, if any: both
+// agents roll back and the pod keeps running on the source.
+func (c *Coordinator) AbortMigration(job string) error {
+	o := c.table.Get(job)
+	if o == nil {
+		return ErrNoMigration
+	}
+	if _, ok := o.Data.(*migrateOp); !ok {
+		return ErrNoMigration
+	}
+	o.Fail(ErrAborted)
+	return nil
+}
+
+// migrateOpFor locates the in-flight migration a report belongs to.
+func (c *Coordinator) migrateOpFor(pod string, seq int) *migrateOp {
+	var found *migrateOp
+	c.table.Each(func(o *ctl.Op) {
+		if found != nil || o.Seq != seq {
+			return
+		}
+		if op, ok := o.Data.(*migrateOp); ok && op.pod == pod {
+			found = op
+		}
+	})
+	return found
+}
+
+// handleMigrateDone is the commit point: the pod is live on the
+// destination. Record the downtime and tell the source to roll forward.
+func (c *Coordinator) handleMigrateDone(m *wireMsg) {
+	op := c.migrateOpFor(m.Pod, m.Seq)
+	if op == nil {
+		return
+	}
+	if c.tr.Enabled() {
+		c.tr.InstantCtx(op.span.Context(), c.stack.Name(), "core", "recv.migrate-done",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
+	}
+	if m.Err != "" {
+		op.Fail(fmt.Errorf("%w: pod %s: %s", ErrAgentFailed, m.Pod, m.Err))
+		return
+	}
+	if !op.Arrive("restored", m.Pod) {
+		return
+	}
+	op.downtime = m.BlockedDuration
+	op.imageBytes = m.ImageBytes
+	c.cpu.Do(c.params.MsgCost, func() {
+		if !op.Active() {
+			return
+		}
+		cc, ok := c.conns[op.src]
+		if !ok || !cc.TCP().Established() {
+			op.Fail(fmt.Errorf("%w: %s", ErrNotConnected, addrKey(op.src)))
+			return
+		}
+		cc.send(&wireMsg{Type: msgMigrateCommit, Seq: m.Seq, Pod: m.Pod, ctx: op.span.Context()})
+	})
+}
+
+// handleMigrateSrcDone completes the migration: the source destroyed its
+// copy and reported the stream accounting.
+func (c *Coordinator) handleMigrateSrcDone(m *wireMsg) {
+	op := c.migrateOpFor(m.Pod, m.Seq)
+	if op == nil {
+		return
+	}
+	if c.tr.Enabled() {
+		c.tr.InstantCtx(op.span.Context(), c.stack.Name(), "core", "recv.migrate-src-done",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
+	}
+	if m.Err != "" {
+		op.Fail(fmt.Errorf("%w: pod %s: %s", ErrAgentFailed, m.Pod, m.Err))
+		return
+	}
+	if !op.Arrive("cleared", m.Pod) {
+		return
+	}
+	op.roundPages = m.RoundPages
+	op.streamed = m.ImageBytes
+	if op.Cleared("restored") && op.Cleared("cleared") {
+		op.Finish()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Source agent side.
+
+// startMigrateOut begins the source half: pre-copy rounds streamed into
+// the destination's store while the pod runs, then the frozen residual
+// and the handover.
+func (a *Agent) startMigrateOut(c msgSink, m *wireMsg) {
+	pod, ok := a.pods[m.Pod]
+	if !ok || pod.Destroyed() {
+		a.fail(c, msgMigrateSrcDone, m, ErrUnknownPod)
+		return
+	}
+	if m.Repl == nil {
+		a.fail(c, msgMigrateSrcDone, m, fmt.Errorf("core: migrate without a destination"))
+		return
+	}
+	op, err := a.beginPodOp("migrate-out", m, c)
+	if err != nil {
+		a.fail(c, msgMigrateSrcDone, m, err)
+		return
+	}
+	op.precopy = m.PrecopyRounds > 0
+	op.migrateTo = tcpip.AddrPort{Addr: m.Repl.PeerIP, Port: m.Repl.PeerPort}
+	a.coordConn = c
+	a.Stats.MigrationsOut++
+	if a.tr.Enabled() {
+		op.span = a.tr.BeginChild(m.ctx, a.kern.Name(), "core", "agent.migrate-out",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)),
+			trace.Str("to", addrKey(op.migrateTo)))
+	}
+	a.runMigrateRound(c, m, pod, op, 0, 0, 0)
+}
+
+// runMigrateRound drives one live migration round and recurses, or hands
+// off to the residual freeze once another round is not worth taking. It
+// mirrors runPrecopy with one extra stage: after the round's local save,
+// the image streams to the destination through the delta protocol, and
+// the next round starts only once the destination has adopted it — the
+// stream is the pacing, exactly like pre-copy against a slow disk.
+func (a *Agent) runMigrateRound(c msgSink, m *wireMsg, pod *zap.Pod, op *agentOp, round, prevPages, baseSeq int) {
+	if op.Aborted() {
+		return
+	}
+	if round == 0 && m.Incremental {
+		if s, ok := a.store.LatestSeq(m.Pod); ok {
+			baseSeq = s
+		}
+	}
+	full := baseSeq == 0
+	candidate := pod.DirtyPages()
+	if full {
+		candidate = pod.ResidentPages()
+	}
+	converged := round >= m.PrecopyRounds ||
+		(m.PrecopyThresholdPages > 0 && candidate <= m.PrecopyThresholdPages) ||
+		(m.PrecopyMinGain > 0 && round > 0 &&
+			float64(candidate) > (1-m.PrecopyMinGain)*float64(prevPages))
+	if converged {
+		a.runMigrateResidual(c, m, pod, op, baseSeq)
+		return
+	}
+	seqR := m.Seq - m.PrecopyRounds + round
+	if a.tr.Enabled() {
+		op.phRound = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "migrate-round",
+			trace.Str("pod", m.Pod), trace.Int("round", int64(round)),
+			trace.Int("pages", int64(candidate)))
+	}
+	lc, err := ckpt.CaptureLive(pod, seqR, ckpt.Options{Incremental: !full, Hashes: m.Dedup, BaseSeq: baseSeq})
+	if err != nil {
+		op.Fail(err)
+		a.fail(c, msgMigrateSrcDone, m, err)
+		return
+	}
+	op.rounds = append(op.rounds, lc)
+	op.redirty = append(op.redirty, lc.Redirty)
+	op.roundPages = append(op.roundPages, candidate)
+	captureBytes := int64(lc.Pages()) * mem.PageSize
+	a.cpu.Do(a.params.CaptureCost+bytesCost(captureBytes, a.params.CaptureBPS), func() {
+		if op.Aborted() {
+			return
+		}
+		a.planImage(m, op, lc.Image, func(plan *ckpt.SavePlan, err error) {
+			if op.Aborted() {
+				return
+			}
+			if err != nil {
+				op.Fail(err)
+				a.fail(c, msgMigrateSrcDone, m, err)
+				return
+			}
+			op.roundSeqs = append(op.roundSeqs, seqR)
+			a.streamPlan(m.Pipeline, op, plan.TotalBytes, func() {
+				a.streamRound(c, m, op, seqR, func() {
+					lc.Release()
+					op.phRound.End(trace.Int("bytes", plan.TotalBytes))
+					a.runMigrateRound(c, m, pod, op, round+1, candidate, seqR)
+				})
+			})
+		})
+	})
+}
+
+// streamRound pushes the just-saved round image into the destination's
+// store through the offer/want/data delta exchange, invoking next once
+// the destination has adopted it.
+func (a *Agent) streamRound(c msgSink, m *wireMsg, op *agentOp, seq int, next func()) {
+	if op.Aborted() {
+		return
+	}
+	cc, err := a.peerConn(op.migrateTo)
+	if err != nil {
+		op.Fail(err)
+		a.fail(c, msgMigrateSrcDone, m, err)
+		return
+	}
+	ro := a.replicateOn(cc, m.Pod, seq, op.migrateTo, nil, op.span.Context(), func(n int64, rerr error) {
+		op.stream = nil
+		if op.Aborted() {
+			return
+		}
+		if rerr != nil {
+			op.Fail(rerr)
+			a.fail(c, msgMigrateSrcDone, m, rerr)
+			return
+		}
+		op.streamed += n
+		next()
+	})
+	if ro != nil && ro.Active() {
+		op.stream = ro
+	}
+}
+
+// runMigrateResidual is the freeze half: filter, stop, capture the
+// residual dirty set, save and stream it, then hand the pod over. The
+// downtime clock starts at quiescence (op.stoppedAt) and stops when the
+// destination resumes the restored pod.
+func (a *Agent) runMigrateResidual(c msgSink, m *wireMsg, pod *zap.Pod, op *agentOp, baseSeq int) {
+	incremental := baseSeq > 0
+	if a.tr.Enabled() {
+		op.phQuiesce = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "migrate-freeze",
+			trace.Str("pod", m.Pod))
+	}
+	a.cpu.Do(a.params.FilterCost, func() {
+		if op.Aborted() {
+			return
+		}
+		op.filterID = a.kern.Stack().Filter().AddDropAddr(pod.IP())
+		if a.tr.Enabled() {
+			a.tr.InstantCtx(op.span.Context(), a.kern.Name(), "core", "filter.install", trace.Str("pod", m.Pod))
+		}
+		pod.Stop(func() {
+			if op.Aborted() {
+				return
+			}
+			op.stoppedAt = a.kern.Engine().Now()
+			op.phQuiesce.End()
+			var captureBytes int64
+			for _, vpid := range pod.VPIDs() {
+				as := pod.Process(vpid).Mem()
+				if incremental {
+					captureBytes += int64(as.DirtyBytes())
+				} else {
+					captureBytes += int64(as.ResidentBytes())
+				}
+			}
+			op.roundPages = append(op.roundPages, int(captureBytes/mem.PageSize))
+			a.cpu.Do(a.params.CaptureCost+bytesCost(captureBytes, a.params.CaptureBPS), func() {
+				if op.Aborted() {
+					return
+				}
+				if a.tr.Enabled() {
+					op.phCapture = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "residual-capture",
+						trace.Str("pod", m.Pod))
+				}
+				img, err := ckpt.Capture(pod, m.Seq, ckpt.Options{Incremental: incremental, Hashes: m.Dedup, BaseSeq: baseSeq})
+				if err != nil {
+					op.Fail(err)
+					a.fail(c, msgMigrateSrcDone, m, err)
+					return
+				}
+				op.phCapture.End(trace.Int("mem_bytes", img.MemoryBytes()))
+				op.captured = true
+				// The residual's capture cleared dirty bits for pages whose
+				// image vanishes if the migration aborts.
+				op.redirty = append(op.redirty, func() {
+					for i := range img.Processes {
+						pi := &img.Processes[i]
+						if proc := pod.Process(pi.VPID); proc != nil {
+							for _, pn := range pi.Memory.PageNums {
+								proc.Mem().MarkDirty(pn)
+							}
+						}
+					}
+				})
+				a.planImage(m, op, img, func(plan *ckpt.SavePlan, err error) {
+					if op.Aborted() {
+						return
+					}
+					if err != nil {
+						op.Fail(err)
+						a.fail(c, msgMigrateSrcDone, m, err)
+						return
+					}
+					op.roundSeqs = append(op.roundSeqs, m.Seq)
+					if a.tr.Enabled() {
+						op.phWrite = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "residual-stream",
+							trace.Str("pod", m.Pod))
+					}
+					a.streamPlan(m.Pipeline, op, plan.TotalBytes, func() {
+						a.streamRound(c, m, op, m.Seq, func() {
+							op.phWrite.End(trace.Int("bytes", plan.TotalBytes))
+							// Handover: every byte of state is in the
+							// destination's store. One agent-to-agent hop
+							// keeps the freeze path short.
+							cc, cerr := a.peerConn(op.migrateTo)
+							if cerr != nil {
+								op.Fail(cerr)
+								a.fail(c, msgMigrateSrcDone, m, cerr)
+								return
+							}
+							cc.send(&wireMsg{Type: msgMigrateRestore, Seq: m.Seq, Pod: m.Pod,
+								FrozeAt: op.stoppedAt, ctx: op.span.Context()})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// handleMigrateCommit rolls the source forward: the pod is live on the
+// destination, so the frozen source copy and its uncommitted round
+// images go away. The round chain now lives (only) in the destination's
+// store, which is exactly where a later restart of the pod will run.
+func (a *Agent) handleMigrateCommit(c msgSink, m *wireMsg) {
+	op := a.podOp(m.Pod)
+	if op == nil || op.Seq != m.Seq {
+		return
+	}
+	pod := a.pods[m.Pod]
+	a.cpu.Do(a.params.FilterCost, func() {
+		for _, lc := range op.rounds {
+			lc.Release()
+		}
+		if pod != nil && !pod.Destroyed() {
+			pod.Destroy()
+		}
+		if op.filterID != 0 {
+			a.kern.Stack().Filter().RemoveRule(op.filterID)
+			op.filterID = 0
+		}
+		if len(op.roundSeqs) > 0 {
+			a.store.Discard(m.Pod, op.roundSeqs...)
+			op.roundSeqs = nil
+		}
+		// Clear the rollback state before Finish: the op completes
+		// cleanly, nothing must re-mark pages of a destroyed pod.
+		op.rounds = nil
+		op.redirty = nil
+		roundPages := op.roundPages
+		streamed := op.streamed
+		op.endSpans(trace.Str("outcome", "migrated"))
+		op.Finish()
+		c.send(&wireMsg{
+			Type:       msgMigrateSrcDone,
+			Seq:        m.Seq,
+			Pod:        m.Pod,
+			RoundPages: roundPages,
+			ImageBytes: streamed,
+			ctx:        op.span.Context(),
+		})
+	})
+}
+
+// ---------------------------------------------------------------------
+// Destination agent side.
+
+// migrateInOp tracks the destination half: adopt the streamed rounds,
+// pre-merge them into a restorable image while the pod still runs on the
+// source, then take over on migrate-restore.
+type migrateInOp struct {
+	*ctl.Op
+	pod  string
+	conn msgSink // coordinator connection for the final migrate-done
+
+	// held is the running merge of every adopted round — always a full
+	// (non-incremental) image, so the freeze-path work is one small
+	// residual merge plus the restore, never a chain walk.
+	held    *ckpt.Image
+	merging bool
+	pending []int // adopted seqs waiting to merge, in arrival order
+	adopted []int // every adopted seq, for discard on abort
+
+	frozeAt    sim.Time
+	restoreReq bool
+	filterID   int
+	restored   *zap.Pod
+
+	span      trace.Span
+	phMerge   trace.Span
+	phRestore trace.Span
+}
+
+func (op *migrateInOp) endSpans(args ...trace.Arg) {
+	op.phMerge.End(args...)
+	op.phRestore.End(args...)
+	op.span.End(args...)
+}
+
+// startMigrateIn arms the destination: rounds adopted for this pod from
+// now on pre-merge toward a restorable image.
+func (a *Agent) startMigrateIn(c msgSink, m *wireMsg) {
+	o, err := a.table.Begin("migrate-in", m.Pod, m.Seq)
+	if err != nil {
+		a.fail(c, msgMigrateDone, m, ErrBusy)
+		return
+	}
+	op := &migrateInOp{Op: o, pod: m.Pod, conn: c}
+	o.Data = op
+	if a.tr.Enabled() {
+		op.span = a.tr.BeginChild(m.ctx, a.kern.Name(), "core", "agent.migrate-in",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)))
+	}
+	o.OnFail(func(_ *ctl.Op, err error) {
+		a.Stats.Aborts++
+		if op.filterID != 0 {
+			a.kern.Stack().Filter().RemoveRule(op.filterID)
+			op.filterID = 0
+		}
+		// A pod restored but not yet committed is destroyed: the source
+		// still holds the authoritative copy and resumes it on its own
+		// abort path.
+		if op.restored != nil && !op.restored.Destroyed() {
+			op.restored.Destroy()
+		}
+		if len(op.adopted) > 0 {
+			a.store.Discard(op.pod, op.adopted...)
+		}
+		op.endSpans(trace.Str("outcome", "aborted"))
+	})
+}
+
+// migrateRoundArrived hooks each adopted delta transfer: if a migrate-in
+// op is armed for the pod, the round joins the pre-merge queue.
+func (a *Agent) migrateRoundArrived(pod string, seq int) {
+	o := a.table.Get(pod)
+	if o == nil {
+		return
+	}
+	op, ok := o.Data.(*migrateInOp)
+	if !ok || op.Aborted() {
+		return
+	}
+	op.adopted = append(op.adopted, seq)
+	op.pending = append(op.pending, seq)
+	a.migrateMerge(op)
+}
+
+// migrateMerge drains the pending queue one round at a time. The first
+// round loads merged (resolving any base chain the delta protocol
+// skipped because this store already held it); later rounds load alone
+// and fold into the held image. All of this runs while the pod is still
+// live on the source — only the residual's merge can land inside the
+// freeze window.
+func (a *Agent) migrateMerge(op *migrateInOp) {
+	if op.merging || len(op.pending) == 0 || op.Aborted() {
+		return
+	}
+	seq := op.pending[0]
+	op.pending = op.pending[1:]
+	op.merging = true
+	if a.tr.Enabled() {
+		op.phMerge = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "migrate-merge",
+			trace.Str("pod", op.pod), trace.Int("seq", int64(seq)))
+	}
+	// Fast path: the round was adopted moments ago, so its decoded form
+	// is still in this daemon's memory — fold it at CPU speed instead of
+	// reading back what was just written. The read-back paths below
+	// remain for the cases where the bytes genuinely are not in memory:
+	// deduplicated rounds (chunk reassembly) and a first round whose base
+	// chain the delta protocol skipped because this store already held it
+	// on disk.
+	if inc, ok := a.store.Cached(op.pod, seq); ok && (op.held != nil || !inc.Incremental) {
+		if op.held == nil {
+			a.mergeDone(op, inc, nil)
+			return
+		}
+		a.cpu.Do(bytesCost(inc.MemoryBytes(), a.params.CaptureBPS), func() {
+			if op.Aborted() {
+				return
+			}
+			merged, merr := ckpt.Merge(op.held, inc)
+			a.mergeDone(op, merged, merr)
+		})
+		return
+	}
+	if op.held == nil {
+		a.store.LoadMergedCtx(op.pod, seq, op.span.Context(), func(img *ckpt.Image, err error) {
+			a.mergeDone(op, img, err)
+		})
+		return
+	}
+	a.store.LoadCtx(op.pod, seq, op.span.Context(), func(inc *ckpt.Image, err error) {
+		if err != nil {
+			a.mergeDone(op, nil, err)
+			return
+		}
+		// Folding the increment is an in-memory page copy at the capture
+		// rate.
+		a.cpu.Do(bytesCost(inc.MemoryBytes(), a.params.CaptureBPS), func() {
+			if op.Aborted() {
+				return
+			}
+			merged, merr := ckpt.Merge(op.held, inc)
+			a.mergeDone(op, merged, merr)
+		})
+	})
+}
+
+// mergeDone finishes one pre-merge step and continues: more pending
+// rounds, or — when the source has already handed over — the takeover.
+func (a *Agent) mergeDone(op *migrateInOp, img *ckpt.Image, err error) {
+	op.merging = false
+	if op.Aborted() {
+		return
+	}
+	if err != nil {
+		op.phMerge.End(trace.Str("err", err.Error()))
+		a.fail(op.conn, msgMigrateDone, &wireMsg{Seq: op.Seq, Pod: op.pod, ctx: op.span.Context()}, err)
+		op.Fail(err)
+		return
+	}
+	op.held = img
+	op.phMerge.End(trace.Int("mem_bytes", img.MemoryBytes()))
+	if len(op.pending) > 0 {
+		a.migrateMerge(op)
+		return
+	}
+	if op.restoreReq {
+		a.finishMigrateRestore(op)
+	}
+}
+
+// handleMigrateRestore is the source's handover: the residual is in the
+// local store (its adoption acknowledgment is what released the source
+// to send this). Take over as soon as the pre-merge queue drains.
+func (a *Agent) handleMigrateRestore(m *wireMsg) {
+	o := a.table.Get(m.Pod)
+	if o == nil || o.Seq != m.Seq {
+		return
+	}
+	op, ok := o.Data.(*migrateInOp)
+	if !ok || op.Aborted() {
+		return
+	}
+	op.frozeAt = m.FrozeAt
+	op.restoreReq = true
+	if !op.merging && len(op.pending) == 0 {
+		a.finishMigrateRestore(op)
+	}
+}
+
+// finishMigrateRestore performs the address takeover: install the drop
+// filter for the pod's address, restore the image — which rebinds the
+// VIF (IP and MAC move to this node's NIC), reinstates the live TCP
+// state, and announces the new location with a gratuitous ARP *after*
+// the TCP state exists, so a peer's very next segment finds a socket
+// ready to accept it — then resume. Downtime is freeze to this resume.
+func (a *Agent) finishMigrateRestore(op *migrateInOp) {
+	img := op.held
+	if img == nil {
+		err := fmt.Errorf("core: migrate-restore before any round arrived")
+		a.fail(op.conn, msgMigrateDone, &wireMsg{Seq: op.Seq, Pod: op.pod, ctx: op.span.Context()}, err)
+		op.Fail(err)
+		return
+	}
+	if a.tr.Enabled() {
+		op.phRestore = a.tr.BeginChild(op.span.Context(), a.kern.Name(), trace.PhaseCat, "takeover",
+			trace.Str("pod", op.pod))
+	}
+	a.cpu.Do(a.params.FilterCost+a.params.CaptureCost, func() {
+		if op.Aborted() {
+			return
+		}
+		// Filter first: restored TCP state re-issues its unacknowledged
+		// segments immediately, which must not escape before the commit.
+		op.filterID = a.kern.Stack().Filter().AddDropAddr(img.Net.IP)
+		if old := a.pods[op.pod]; old != nil && !old.Destroyed() {
+			old.Destroy()
+		}
+		pod, rerr := ckpt.Restore(a.kern, img)
+		if rerr != nil {
+			op.phRestore.End(trace.Str("err", rerr.Error()))
+			a.fail(op.conn, msgMigrateDone, &wireMsg{Seq: op.Seq, Pod: op.pod, ctx: op.span.Context()}, rerr)
+			op.Fail(rerr)
+			return
+		}
+		op.restored = pod
+		a.pods[op.pod] = pod
+		a.cpu.Do(a.params.FilterCost, func() {
+			if op.Aborted() {
+				return
+			}
+			pod.Resume()
+			a.kern.Stack().Filter().RemoveRule(op.filterID)
+			op.filterID = 0
+			// Re-announce now that the pod is resumed and unfiltered.
+			// Restore already broadcast a gratuitous ARP, but the source
+			// pod still exists until commit; announcing again from the
+			// final network state closes any window in which the switch
+			// re-learned the old port. A quiescent pod (a server owing
+			// its peers no data) would never source a frame on its own,
+			// so a stale CAM entry would black-hole it forever.
+			pod.AnnounceLocation()
+			a.Stats.MigrationsIn++
+			now := a.kern.Engine().Now()
+			downtime := now.Sub(op.frozeAt)
+			op.phRestore.End(trace.Int("downtime_us", int64(downtime/sim.Microsecond)))
+			op.endSpans()
+			op.Finish()
+			op.conn.send(&wireMsg{
+				Type:            msgMigrateDone,
+				Seq:             op.Seq,
+				Pod:             op.pod,
+				LocalDuration:   now.Sub(op.Started()),
+				BlockedDuration: downtime,
+				ImageBytes:      img.MemoryBytes(),
+				ctx:             op.span.Context(),
+			})
+		})
+	})
+}

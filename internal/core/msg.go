@@ -57,6 +57,20 @@ const (
 	msgFetchPull
 	msgFetchDone
 
+	// Live migration (§4.2 taken live): the coordinator arms the
+	// destination (migrate-target), directs the source to stream pre-copy
+	// rounds into the destination's store (migrate), the source hands the
+	// frozen residual over agent-to-agent (migrate-restore), the
+	// destination reports takeover (migrate-done), and the coordinator
+	// commits by telling the source to destroy its copy (migrate-commit,
+	// acknowledged by migrate-src-done).
+	msgMigrate
+	msgMigrateTarget
+	msgMigrateRestore
+	msgMigrateDone
+	msgMigrateCommit
+	msgMigrateSrcDone
+
 	// Hierarchical coordination (two-level tree): the root exchanges
 	// these with group leaders instead of per-pod messages with every
 	// member. Leaders relay the per-pod messages above to their group and
@@ -91,6 +105,13 @@ var msgNames = map[msgType]string{
 	msgFetch:        "fetch",
 	msgFetchPull:    "fetch-pull",
 	msgFetchDone:    "fetch-done",
+
+	msgMigrate:        "migrate",
+	msgMigrateTarget:  "migrate-target",
+	msgMigrateRestore: "migrate-restore",
+	msgMigrateDone:    "migrate-done",
+	msgMigrateCommit:  "migrate-commit",
+	msgMigrateSrcDone: "migrate-src-done",
 
 	msgGroupCheckpoint:  "group-checkpoint",
 	msgGroupRestart:     "group-restart",
@@ -149,6 +170,14 @@ type wireMsg struct {
 	// Load (on pong) is how many live pods the agent hosts — the
 	// coordinator's placement signal.
 	Load int
+
+	// Migration. FrozeAt (on migrate-restore) is the source-side instant
+	// the pod quiesced — the start of the downtime window the destination
+	// closes on first resume. RoundPages (on migrate-src-done) is the
+	// per-round streamed page counts, residual last — the convergence
+	// record the result reports.
+	FrozeAt    sim.Time
+	RoundPages []int
 
 	// Hierarchical coordination. Job names the coordinated operation a
 	// group message belongs to (group messages address a whole group, so

@@ -213,6 +213,10 @@ func (c *Coordinator) declareFailed(n *nodeInfo) {
 			if d.involves(n.addr) {
 				victims = append(victims, o)
 			}
+		case *migrateOp:
+			if d.src == n.addr || d.dst == n.addr {
+				victims = append(victims, o)
+			}
 		}
 	})
 	for _, o := range victims {

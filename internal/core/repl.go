@@ -34,7 +34,12 @@ type replOp struct {
 	// coord, when set, receives the <replicated> placement report the
 	// coordinator's holder registry feeds on.
 	coord msgSink
-	span  trace.Span
+	// onDone, when set, fires exactly once when the exchange completes:
+	// with the transferred byte count on success, or the failure error.
+	// Migration rounds use it to pace the stream — the next round starts
+	// only once the destination has adopted this one.
+	onDone func(int64, error)
+	span   trace.Span
 }
 
 // fetchOp is the target side of a coordinator-directed fetch: this agent
@@ -88,17 +93,23 @@ func (a *Agent) startReplication(pod string, seq, replicas int, coord msgSink, c
 			a.Stats.ReplFailures++
 			continue
 		}
-		a.replicateOn(cc, pod, seq, peer, coord, ctx)
+		a.replicateOn(cc, pod, seq, peer, coord, ctx, nil)
 	}
 }
 
 // replicateOn runs one offer/want/data exchange for (pod, seq) over cc.
-func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord msgSink, ctx trace.SpanContext) {
+// onDone (optional) observes the exchange's completion. It returns the
+// exchange's op (nil if one was already in flight) so callers that pace
+// on the transfer — migration rounds — can cancel it on abort.
+func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord msgSink, ctx trace.SpanContext, onDone func(int64, error)) *ctl.Op {
 	o, err := a.table.Begin("replicate", replKey(pod, seq, cc.TCP().RemoteAddr()), seq)
 	if err != nil {
-		return // this exchange is already in flight
+		if onDone != nil {
+			onDone(0, ErrBusy)
+		}
+		return nil // this exchange is already in flight
 	}
-	op := &replOp{Op: o, pod: pod, peer: peer, conn: cc, coord: coord}
+	op := &replOp{Op: o, pod: pod, peer: peer, conn: cc, coord: coord, onDone: onDone}
 	o.Data = op
 	if a.tr.Enabled() {
 		op.span = a.tr.BeginChild(ctx, a.kern.Name(), "core", "agent.replicate",
@@ -107,11 +118,14 @@ func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPor
 	o.OnFail(func(_ *ctl.Op, err error) {
 		a.Stats.ReplFailures++
 		op.span.End(trace.Str("err", err.Error()))
+		if op.onDone != nil {
+			op.onDone(0, err)
+		}
 	})
 	offer, oerr := a.store.ExportOffer(pod, seq)
 	if oerr != nil {
 		o.Fail(oerr)
-		return
+		return nil
 	}
 	send := func() {
 		cc.send(&wireMsg{Type: msgReplOffer, Seq: seq, Pod: pod, ctx: op.span.Context(), Repl: &replPayload{
@@ -120,6 +134,7 @@ func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPor
 	}
 	o.ArmRetries(a.params.ReplTimeout, 1, func(*ctl.Op) { send() }, ErrReplTimeout)
 	send()
+	return o
 }
 
 // replOpFor locates the initiator-side op a reply on cc belongs to.
@@ -196,6 +211,7 @@ func (a *Agent) handleReplData(c *ctlConn, m *wireMsg) {
 			}
 			c.send(&wireMsg{Type: msgReplDone, Seq: m.Seq, Pod: m.Pod, ctx: m.ctx, Repl: &replPayload{Bytes: tx.TotalBytes}})
 			a.finishFetch(m.Pod, m.Seq, tx.TotalBytes)
+			a.migrateRoundArrived(m.Pod, m.Seq)
 		})
 	})
 }
@@ -223,6 +239,9 @@ func (a *Agent) handleReplDone(c *ctlConn, m *wireMsg) {
 		}})
 	}
 	op.Finish()
+	if op.onDone != nil {
+		op.onDone(n, nil)
+	}
 }
 
 // handleFetch is the recovery pull, target side: the coordinator directs
@@ -271,7 +290,7 @@ func (a *Agent) handleFetchPull(c *ctlConn, m *wireMsg) {
 		a.fail(c, msgReplOffer, m, ckpt.ErrNoImage)
 		return
 	}
-	a.replicateOn(c, m.Pod, m.Seq, tcpip.AddrPort{}, nil, m.ctx)
+	a.replicateOn(c, m.Pod, m.Seq, tcpip.AddrPort{}, nil, m.ctx, nil)
 }
 
 // finishFetch completes a pending fetch after the adopted transfer lands.

@@ -1,0 +1,49 @@
+package ctl
+
+import (
+	"testing"
+
+	"cruz/internal/sim"
+)
+
+// BenchmarkMigrationStream models a migration's bulk control-plane
+// traffic: a stream of large (megabyte-class) frames — pre-copy rounds —
+// interleaved with small control frames, framed over simulated gigabit
+// TCP. The allocs/op figure is the headline for the two-tier frame pool:
+// before the bulk tier, every frame above framePoolBufCap allocated its
+// full size.
+func BenchmarkMigrationStream(b *testing.B) {
+	const rounds = 8
+	bulk := make([]byte, 1<<20)
+	ctrl := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := newRig(b)
+		rcvd := 0
+		NewConn(r.b, func(_ *Conn, payload []byte) { rcvd += len(payload) }, nil)
+		ca := NewConn(r.a, func(*Conn, []byte) {}, nil)
+		b.StartTimer()
+
+		want := 0
+		for round := 0; round < rounds; round++ {
+			// Successive rounds shrink, like a converging dirty set.
+			frame := bulk[:len(bulk)>>uint(round)]
+			if err := ca.Send(frame); err != nil {
+				b.Fatal(err)
+			}
+			if err := ca.Send(ctrl); err != nil {
+				b.Fatal(err)
+			}
+			want += len(frame) + len(ctrl)
+			r.engine.RunFor(50 * sim.Millisecond)
+		}
+		if rcvd != want {
+			b.Fatalf("received %d of %d bytes", rcvd, want)
+		}
+		if ca.Pool.Hits == 0 {
+			b.Fatal("frame pool never hit on a repetitive bulk stream")
+		}
+	}
+}

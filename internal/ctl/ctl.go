@@ -40,14 +40,23 @@ type Conn struct {
 	scratch []byte
 	// fpool recycles small frame buffers: SendCtx draws from it and
 	// drain returns a buffer once its frame is fully inside the TCP send
-	// buffer (which copies). Bulk frames above framePoolBufCap bypass it.
+	// buffer (which copies). Bulk frames above framePoolBufCap draw from
+	// the large tier lpool instead.
 	fpool [][]byte
+	// lpool is the bulk tier: a handful of recycled large buffers,
+	// best-fit matched, with capacities rounded to powers of two so a
+	// stream of similar-size bulk frames (checkpoint replication,
+	// migration rounds) reuses one buffer instead of allocating
+	// megabytes per frame.
+	lpool [][]byte
 
 	// Sent and Received count frames, for message-complexity accounting.
 	Sent, Received int
 	// Blocked counts the times a send had to wait for buffer space —
 	// the backpressure events a hard-error path would have failed on.
 	Blocked int
+	// Pool counts frame-buffer recycling on the send path.
+	Pool PoolStats
 }
 
 // wframe is one queued output frame: the full buffer plus how much of it
@@ -58,32 +67,71 @@ type wframe struct {
 	off int
 }
 
-// Frame-pool sizing: control messages are small; checkpoint replication
-// frames are megabytes and are not worth pooling.
+// Frame-pool sizing: control messages are small and pool densely; bulk
+// frames (checkpoint replication, migration rounds) are megabytes, so a
+// few recycled buffers cover a whole stream.
 const (
 	framePoolBufCap = 4096
 	framePoolMax    = 16
+	largePoolMax    = 4
 )
 
-// getFrameBuf returns a length-n frame buffer, pooled when small.
+// PoolStats counts frame-buffer pool traffic, for the bulk-path
+// allocation ablation.
+type PoolStats struct {
+	Hits   uint64 // frames served from a recycled buffer
+	Misses uint64 // frames that had to allocate
+}
+
+// getFrameBuf returns a length-n frame buffer, pooled when small and
+// best-fit recycled from the bulk tier when large.
 func (c *Conn) getFrameBuf(n int) []byte {
 	if n <= framePoolBufCap {
 		if last := len(c.fpool) - 1; last >= 0 {
 			b := c.fpool[last]
 			c.fpool = c.fpool[:last]
+			c.Pool.Hits++
 			return b[:n]
 		}
+		c.Pool.Misses++
 		return make([]byte, n, framePoolBufCap)
 	}
-	return make([]byte, n)
+	best := -1
+	for i, b := range c.lpool {
+		if cap(b) >= n && (best < 0 || cap(b) < cap(c.lpool[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		b := c.lpool[best]
+		c.lpool[best] = c.lpool[len(c.lpool)-1]
+		c.lpool = c.lpool[:len(c.lpool)-1]
+		c.Pool.Hits++
+		return b[:n]
+	}
+	// Round the capacity up to a power of two: the next bulk frame in
+	// the stream is rarely identical in size, but it fits a recycled
+	// buffer at most 2x larger.
+	capN := framePoolBufCap
+	for capN < n {
+		capN <<= 1
+	}
+	c.Pool.Misses++
+	return make([]byte, n, capN)
 }
 
-// putFrameBuf recycles a fully-sent frame buffer.
+// putFrameBuf recycles a fully-sent frame buffer into its tier.
 func (c *Conn) putFrameBuf(b []byte) {
-	if cap(b) != framePoolBufCap || len(c.fpool) >= framePoolMax {
-		return
+	switch {
+	case cap(b) == framePoolBufCap:
+		if len(c.fpool) < framePoolMax {
+			c.fpool = append(c.fpool, b[:0])
+		}
+	case cap(b) > framePoolBufCap:
+		if len(c.lpool) < largePoolMax {
+			c.lpool = append(c.lpool, b[:0])
+		}
 	}
-	c.fpool = append(c.fpool, b[:0])
 }
 
 // NewConn wraps tc. It takes over the connection's notify callback.

@@ -11,12 +11,12 @@ import (
 )
 
 type rig struct {
-	t      *testing.T
+	t      testing.TB
 	engine *sim.Engine
 	a, b   *tcpip.TCPConn
 }
 
-func newRig(t *testing.T) *rig {
+func newRig(t testing.TB) *rig {
 	t.Helper()
 	r := &rig{t: t, engine: sim.NewEngine(5)}
 	sw := ether.NewSwitch(r.engine)

@@ -304,6 +304,14 @@ func JSONBench(nodeCounts []int, ckpts int, scale float64) (*BenchReport, error)
 		}
 	}
 
+	// A10 live migration: pod slm-1 of a 4-worker ring bounced to a
+	// spare node and back, live (pre-copy + address takeover) and
+	// stop-and-copy; migrate_n4/downtime_ms against
+	// migrate_n4/stopcopy_downtime_ms is the headline pair.
+	if err := migrateBench(rep, ckpts, scale); err != nil {
+		return nil, err
+	}
+
 	// A9 scaling ablation: flat versus hierarchical coordination at 8,
 	// 64, and 256 pods, plus the engine's wall-clock throughput while
 	// each cell ran.

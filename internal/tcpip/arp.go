@@ -131,7 +131,13 @@ func (s *Stack) handleARP(a *ARPPacket) {
 	if known || wanted || a.Gratuitous {
 		s.arp.learn(a.SenderIP, a.SenderMAC)
 	}
-	if a.Op != arpRequest {
+	if a.Op != arpRequest || a.Gratuitous {
+		// A gratuitous ARP is an announcement, not a question (RFC 5227):
+		// never answer it. During a migration's handover window both the
+		// frozen source VIF and the restored destination VIF hold the
+		// address; if the stale source answered the destination's
+		// announcement, its reply would re-teach the switch the dead
+		// port and peers would black-hole until the source is destroyed.
 		return
 	}
 	// Answer requests for any of our interfaces' addresses.
