@@ -14,10 +14,13 @@ vet:
 # cruzvet is the in-tree determinism-and-invariant lint suite
 # (internal/analysis, driven by cmd/cruzvet): no wall-clock/ambient
 # entropy in sim-side packages, no map-order leaking into sim-visible
-# state, spans ended on every path, no lock-order cycles. The build
-# fails on any unsuppressed finding; see DESIGN.md "Determinism rules".
+# state, spans ended on every path, no lock-order cycles, pool buffers
+# returned exactly once, ctl ops always completed, trace contexts
+# propagated, no dropped errors on sim-side paths. The build fails on
+# any unsuppressed finding and (-strict-allow) on any stale
+# //cruzvet:allow directive; see DESIGN.md "Determinism rules".
 cruzvet:
-	$(GO) run ./cmd/cruzvet ./...
+	$(GO) run ./cmd/cruzvet -stats -strict-allow ./...
 
 build:
 	$(GO) build ./...

@@ -35,6 +35,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned in the loaded file set.
@@ -155,6 +156,14 @@ type Suite struct {
 	directives []*Directive
 	raw        []Diagnostic // pre-suppression findings
 	malformed  []Diagnostic // bad //cruzvet:allow comments
+
+	// Interprocedural summary state (summary.go): the whole-program
+	// funcKey → FuncEffects table and the set of packages already
+	// summarized into it.
+	effects     map[string]*FuncEffects
+	effectsDone map[string]bool
+
+	timings map[string]time.Duration // per-analyzer wall time
 }
 
 // NewSuite builds a suite over the given analyzers.
@@ -281,6 +290,9 @@ func (s *Suite) Run(pkgs []*Package) *Result {
 	for _, a := range s.Analyzers {
 		known[a.Name] = true
 	}
+	if s.timings == nil {
+		s.timings = make(map[string]time.Duration)
+	}
 	for _, pkg := range pkgs {
 		s.fset = pkg.Fset
 		s.collectDirectives(pkg.Fset, pkg.Files, known)
@@ -293,12 +305,16 @@ func (s *Suite) Run(pkgs []*Package) *Result {
 				TypesInfo: pkg.Info,
 				Suite:     s,
 			}
+			t0 := time.Now() //cruzvet:allow nodeterminism per-analyzer wall-time for -stats; analysis tooling runs on the host, not in the sim
 			a.Run(pass)
+			s.timings[a.Name] += time.Since(t0) //cruzvet:allow nodeterminism per-analyzer wall-time for -stats; analysis tooling runs on the host, not in the sim
 		}
 	}
 	for _, a := range s.Analyzers {
 		if a.Finish != nil {
+			t0 := time.Now() //cruzvet:allow nodeterminism per-analyzer wall-time for -stats; analysis tooling runs on the host, not in the sim
 			a.Finish(s)
+			s.timings[a.Name] += time.Since(t0) //cruzvet:allow nodeterminism per-analyzer wall-time for -stats; analysis tooling runs on the host, not in the sim
 		}
 	}
 
@@ -356,7 +372,30 @@ func diagLess(a, b Diagnostic) bool {
 	if a.Pos.Column != b.Pos.Column {
 		return a.Pos.Column < b.Pos.Column
 	}
-	return a.Analyzer < b.Analyzer
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	// Message is the final tiebreak so equal-position findings from one
+	// analyzer still sort deterministically (back-to-back runs must be
+	// byte-identical).
+	return a.Message < b.Message
+}
+
+// AnalyzerTime is one analyzer's cumulative wall time across Run and
+// Finish, for -stats output.
+type AnalyzerTime struct {
+	Analyzer string
+	Duration time.Duration
+}
+
+// Timings returns per-analyzer wall time in registration order. Only
+// meaningful after Run.
+func (s *Suite) Timings() []AnalyzerTime {
+	out := make([]AnalyzerTime, 0, len(s.Analyzers))
+	for _, a := range s.Analyzers {
+		out = append(out, AnalyzerTime{Analyzer: a.Name, Duration: s.timings[a.Name]})
+	}
+	return out
 }
 
 // Stats summarizes a result per analyzer for -stats output.

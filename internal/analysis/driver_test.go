@@ -23,13 +23,48 @@ func TestCruzvetStatsOutput(t *testing.T) {
 	s := string(out)
 	for _, re := range []string{
 		`(?m)^cruzvet: 1 packages, 0 findings, 3 suppressed$`,
-		`(?m)^\s+nodeterminism\s+0 findings, 2 suppressed$`,
-		`(?m)^\s+maporder\s+0 findings, 1 suppressed$`,
+		`(?m)^\s+nodeterminism\s+0 findings, 2 suppressed \([0-9]`,
+		`(?m)^\s+maporder\s+0 findings, 1 suppressed \([0-9]`,
+		`(?m)^\s+load\+typecheck\s+[0-9]`,
 		`(?m)allowed .*allowok\.go.*reason: host timestamp`,
 		`(?m)stale //cruzvet:allow spanleak`,
 	} {
 		if !regexp.MustCompile(re).MatchString(s) {
 			t.Errorf("cruzvet -stats output missing %q:\n%s", re, s)
+		}
+	}
+}
+
+// TestCruzvetStrictAllow proves -strict-allow turns a stale directive
+// into a gating failure: the allowok fixture carries one on purpose.
+func TestCruzvetStrictAllow(t *testing.T) {
+	cmd := exec.Command("go", "run", "../../cmd/cruzvet",
+		"-strict-allow",
+		"-simside", fixtureImport+"allowok",
+		"./testdata/src/allowok")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("cruzvet -strict-allow exited zero despite a stale directive:\n%s", out)
+	}
+	if !strings.Contains(string(out), "stale //cruzvet:allow spanleak") {
+		t.Errorf("cruzvet -strict-allow did not name the stale directive:\n%s", out)
+	}
+}
+
+// TestCruzvetList pins the default analyzer roster: all eight must be
+// registered in the driver.
+func TestCruzvetList(t *testing.T) {
+	cmd := exec.Command("go", "run", "../../cmd/cruzvet", "-list")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cruzvet -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{
+		"nodeterminism", "maporder", "spanleak", "lockorder",
+		"poolleak", "oplifecycle", "ctxprop", "errdrop",
+	} {
+		if !regexp.MustCompile(`(?m)^` + name + `\s`).MatchString(string(out)) {
+			t.Errorf("cruzvet -list missing analyzer %q:\n%s", name, out)
 		}
 	}
 }

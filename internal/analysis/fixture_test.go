@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -154,6 +156,57 @@ func TestMigrateFixture(t *testing.T) {
 	runFixture(t, "migratefix", Config{}, SpanLeak, LockOrder)
 }
 
+func TestPoolLeakFixture(t *testing.T) {
+	runFixture(t, "poolleakfix", Config{}, PoolLeak)
+}
+
+func TestOpLifecycleFixture(t *testing.T) {
+	runFixture(t, "oplifefix", Config{}, OpLifecycle)
+}
+
+func TestCtxPropFixture(t *testing.T) {
+	runFixture(t, "ctxpropfix", Config{}, CtxProp)
+}
+
+func TestErrDropFixture(t *testing.T) {
+	runFixture(t, "errdropfix",
+		Config{SimSide: []string{fixtureImport + "errdropfix"}}, ErrDrop)
+}
+
+// TestAllowNewFixture proves the //cruzvet:allow escape hatch covers
+// the v2 analyzers: one finding per analyzer, each annotated, zero
+// unsuppressed, zero stale.
+func TestAllowNewFixture(t *testing.T) {
+	cfg := Config{SimSide: []string{fixtureImport + "allownew"}}
+	pkgs := loadFixture(t, "allownew")
+	suite := NewSuite(cfg, PoolLeak, OpLifecycle, CtxProp, ErrDrop)
+	res := suite.Run(pkgs)
+	if len(res.Diags) != 0 {
+		t.Errorf("allownew: want 0 unsuppressed findings, got %d:", len(res.Diags))
+		for _, d := range res.Diags {
+			t.Errorf("  %s", d)
+		}
+	}
+	if len(res.Suppressed) != 4 {
+		t.Errorf("allownew: want 4 suppressed findings (one per v2 analyzer), got %d:", len(res.Suppressed))
+		for _, sup := range res.Suppressed {
+			t.Errorf("  %s", sup.Diagnostic)
+		}
+	}
+	byAnalyzer := make(map[string]int)
+	for _, sup := range res.Suppressed {
+		byAnalyzer[sup.Analyzer]++
+	}
+	for _, name := range []string{"poolleak", "oplifecycle", "ctxprop", "errdrop"} {
+		if byAnalyzer[name] != 1 {
+			t.Errorf("allownew: want exactly 1 %s suppression, got %d", name, byAnalyzer[name])
+		}
+	}
+	if len(res.Unused) != 0 {
+		t.Errorf("allownew: want no stale directives, got %+v", res.Unused)
+	}
+}
+
 // TestAllowFixture proves the //cruzvet:allow escape hatch: annotated
 // findings are silenced, counted as suppressions, and stale
 // directives are surfaced as unused.
@@ -228,23 +281,92 @@ func TestAllowBadFixture(t *testing.T) {
 	}
 }
 
+// allAnalyzers returns the full default suite, in the same order
+// cmd/cruzvet registers them.
+func allAnalyzers() []*Analyzer {
+	return []*Analyzer{NoDeterminism, MapOrder, SpanLeak, LockOrder,
+		PoolLeak, OpLifecycle, CtxProp, ErrDrop}
+}
+
+// loadTree loads and type-checks the whole module once per test
+// process; TestCleanTree and TestDeterministicOutput share the result
+// (packages are read-only to the suite).
+var treeOnce sync.Once
+var treePkgs []*Package
+var treeErr error
+
+func loadTree(t *testing.T) []*Package {
+	t.Helper()
+	treeOnce.Do(func() { treePkgs, treeErr = Load("", "cruz/...") })
+	if treeErr != nil {
+		t.Fatal(treeErr)
+	}
+	return treePkgs
+}
+
 // TestCleanTree is the enforcement test: the whole module must be free
-// of unsuppressed findings. It is the same invocation `make check`
-// gates on, so a regression fails both.
+// of unsuppressed findings under all eight analyzers. It is the same
+// invocation `make check` gates on, so a regression fails both.
 func TestCleanTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole tree")
 	}
-	pkgs, err := Load("", "cruz/...")
-	if err != nil {
-		t.Fatal(err)
-	}
-	suite := NewSuite(Config{}, NoDeterminism, MapOrder, SpanLeak, LockOrder)
+	pkgs := loadTree(t)
+	suite := NewSuite(Config{}, allAnalyzers()...)
 	res := suite.Run(pkgs)
 	for _, d := range res.Diags {
 		t.Errorf("%s", d)
 	}
 	if res.Packages < 20 {
 		t.Errorf("suspiciously few packages analyzed: %d", res.Packages)
+	}
+}
+
+// formatResult renders everything cruzvet prints from a Result (minus
+// wall-clock timings) so determinism can be asserted byte-for-byte.
+func formatResult(suite *Suite, res *Result) string {
+	var b strings.Builder
+	for _, d := range res.Diags {
+		fmt.Fprintln(&b, d)
+	}
+	for _, st := range suite.Stats(res) {
+		fmt.Fprintf(&b, "%s %d %d\n", st.Analyzer, st.Findings, st.Suppressed)
+	}
+	for _, sup := range res.Suppressed {
+		fmt.Fprintf(&b, "allowed %s: [%s] %s (%s)\n", sup.Pos, sup.Analyzer, sup.Message, sup.Reason)
+	}
+	for _, u := range res.Unused {
+		fmt.Fprintf(&b, "stale %s %s\n", u.Analyzer, u.Pos)
+	}
+	return b.String()
+}
+
+// TestDeterministicOutput runs the full eight-analyzer suite twice
+// back-to-back over the same whole-tree load and requires byte-identical
+// output and identical per-analyzer stats: analyzer scheduling,
+// fact-merging Finish hooks, and diagnostic sorting must not leak map
+// iteration order.
+func TestDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole tree")
+	}
+	pkgs := loadTree(t)
+	run := func() (string, []Stats) {
+		suite := NewSuite(Config{}, allAnalyzers()...)
+		res := suite.Run(pkgs)
+		return formatResult(suite, res), suite.Stats(res)
+	}
+	out1, stats1 := run()
+	out2, stats2 := run()
+	if out1 != out2 {
+		t.Errorf("back-to-back cruzvet runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
+	}
+	if len(stats1) != len(stats2) {
+		t.Fatalf("stats length differs: %d vs %d", len(stats1), len(stats2))
+	}
+	for i := range stats1 {
+		if stats1[i] != stats2[i] {
+			t.Errorf("stats[%d] differ: %+v vs %+v", i, stats1[i], stats2[i])
+		}
 	}
 }

@@ -39,10 +39,10 @@ var sinkMethodPrefixes = []string{"Send", "Write", "Encode", "Emit", "Print", "F
 // qualifiedSinks maps funcKey identifiers to a short description, for
 // sinks whose names do not match the prefix heuristic.
 var qualifiedSinks = map[string]string{
-	"cruz/internal/trace.(Tracer).Instant": "emits a trace event",
-	"cruz/internal/trace.(Tracer).Counter": "emits a trace event",
-	"cruz/internal/trace.(Tracer).Begin":   "emits a trace event",
-	"cruz/internal/trace.(Span).End":       "emits a trace event",
+	"cruz/internal/trace.(Tracer).Instant":  "emits a trace event",
+	"cruz/internal/trace.(Tracer).Counter":  "emits a trace event",
+	"cruz/internal/trace.(Tracer).Begin":    "emits a trace event",
+	"cruz/internal/trace.(Span).End":        "emits a trace event",
 	"cruz/internal/sim.(Engine).Schedule":   "enqueues a scheduler event",
 	"cruz/internal/sim.(Engine).ScheduleAt": "enqueues a scheduler event",
 	"cruz/internal/sim.(Engine).NewTicker":  "enqueues a scheduler event",

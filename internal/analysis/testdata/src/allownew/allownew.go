@@ -1,0 +1,48 @@
+// Package allownew is a cruzvet fixture: one real finding from each of
+// the four v2 analyzers (poolleak, oplifecycle, ctxprop, errdrop),
+// each silenced by a //cruzvet:allow directive with a reason. The
+// suite must report zero unsuppressed findings here and count all four
+// suppressions for -stats.
+package allownew
+
+import (
+	"errors"
+
+	"cruz/internal/ctl"
+	"cruz/internal/trace"
+)
+
+type pool struct{ free [][]byte }
+
+func (p *pool) getFrameBuf(n int) []byte { return make([]byte, n) }
+func (p *pool) putFrameBuf(b []byte)     { p.free = append(p.free, b[:0]) }
+
+var errBoom = errors.New("boom")
+
+func fails() error { return errBoom }
+
+func Leak(p *pool, bad bool) {
+	//cruzvet:allow poolleak one-shot diagnostic buffer, pool hit rate irrelevant here
+	b := p.getFrameBuf(8)
+	if bad {
+		return
+	}
+	p.putFrameBuf(b)
+}
+
+func Orphan(tb *ctl.Table) {
+	op, err := tb.Begin("job", "k", 1)
+	if err != nil {
+		return
+	}
+	//cruzvet:allow oplifecycle set cleared by a test-only harness outside the analyzed tree
+	op.Expect("neverarrives", "n1")
+	op.Finish()
+}
+
+//cruzvet:allow ctxprop this is the trace sink itself: the context terminates here by design
+func DroppedCtx(ctx trace.SpanContext) {}
+
+func FireAndForget() {
+	fails() //cruzvet:allow errdrop best-effort warmup, failure is benign and retried
+}

@@ -1,0 +1,84 @@
+// Package ctxpropfix is a cruzvet fixture for the ctxprop analyzer:
+// trace contexts dropped by a function (directly or transitively
+// through a helper that ignores them), plain Send where the op's
+// context was available, discarded FrameCtx reads, and the propagation
+// shapes that must stay silent — SendCtx, BeginChild, struct stores,
+// field reads, and helpers that propagate.
+package ctxpropfix
+
+import (
+	"cruz/internal/ctl"
+	"cruz/internal/trace"
+)
+
+func Dropped(ctx trace.SpanContext) { // want `trace context ctx is dropped`
+}
+
+// ZeroOnly uses the context only for a liveness check — the causal
+// edge still dies here.
+func ZeroOnly(ctx trace.SpanContext) bool { // want `trace context ctx is dropped`
+	return ctx.Zero()
+}
+
+// dropsIt and Transitive are the interprocedural case: passing the
+// context to a helper whose summary does not propagate it is still a
+// severed edge — at both levels.
+func dropsIt(ctx trace.SpanContext) bool { // want `trace context ctx is dropped`
+	return ctx.Zero()
+}
+
+func Transitive(ctx trace.SpanContext) { // want `trace context ctx is dropped`
+	dropsIt(ctx)
+}
+
+// BadSend sends a zero context while the op's context sits unused in a
+// parameter: the receive side adopts an empty parent.
+func BadSend(c *ctl.Conn, ctx trace.SpanContext) error {
+	if err := c.SendCtx(nil, ctx); err != nil {
+		return err
+	}
+	return c.Send(nil) // want `plain Send carries a zero trace context`
+}
+
+func BadFrameCtx(c *ctl.Conn) {
+	c.FrameCtx() // want `frame context discarded`
+}
+
+// OkSend propagates via the wire.
+func OkSend(c *ctl.Conn, ctx trace.SpanContext) error {
+	return c.SendCtx(nil, ctx)
+}
+
+// forward/OkHelper: propagation through a summarized helper.
+func forward(c *ctl.Conn, ctx trace.SpanContext) error {
+	return c.SendCtx(nil, ctx)
+}
+
+func OkHelper(c *ctl.Conn, ctx trace.SpanContext) error {
+	return forward(c, ctx)
+}
+
+// pending mimics core's wireMsg: storing the context hands it to an
+// event-driven consumer.
+type pending struct{ ctx trace.SpanContext }
+
+func OkStored(ctx trace.SpanContext) *pending {
+	return &pending{ctx: ctx}
+}
+
+// OkChild adopts the context into a child span.
+func OkChild(tr *trace.Tracer, ctx trace.SpanContext) {
+	sp := tr.BeginChild(ctx, "n1", "fixture", "phase")
+	sp.End()
+}
+
+// OkFieldRead is manual adoption: stamping the op id somewhere.
+func OkFieldRead(ctx trace.SpanContext) uint64 {
+	return uint64(ctx.Op)
+}
+
+// OkFrameCtx adopts the wire context at the decode site.
+func OkFrameCtx(c *ctl.Conn, tr *trace.Tracer) {
+	sp := tr.BeginChild(c.FrameCtx(), "n1", "fixture", "decode")
+	sp.End()
+}

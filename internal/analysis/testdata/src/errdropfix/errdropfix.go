@@ -1,0 +1,59 @@
+// Package errdropfix is a cruzvet fixture for the errdrop analyzer:
+// discarded error results from module-internal callees on sim-side
+// paths — bare call statements, blank assignments, deferred calls —
+// and the shapes that must stay silent: handled errors and callees
+// whose summary proves (transitively) that they only ever return nil.
+package errdropfix
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func mightFail(x bool) error {
+	if x {
+		return errBoom
+	}
+	return nil
+}
+
+// alwaysNil and wrapsNil are the interprocedural NilErr cases: provably
+// infallible, one and two levels deep, so dropping them is fine.
+func alwaysNil() error { return nil }
+
+func wrapsNil() error { return alwaysNil() }
+
+func fetch(x bool) (int, error) {
+	if x {
+		return 0, errBoom
+	}
+	return 1, nil
+}
+
+func Bad(x bool) {
+	mightFail(x) // want `error result of mightFail discarded on a sim-side path`
+}
+
+func BadBlank(x bool) {
+	_ = mightFail(x) // want `error result of mightFail assigned to _ on a sim-side path`
+}
+
+func BadPair(x bool) int {
+	n, _ := fetch(x) // want `error result of fetch assigned to _`
+	return n
+}
+
+func BadDefer(x bool) {
+	defer mightFail(x) // want `deferred error result of mightFail discarded`
+}
+
+func OkNil() {
+	alwaysNil()
+	wrapsNil()
+}
+
+func OkHandled(x bool) error {
+	if err := mightFail(x); err != nil {
+		return err
+	}
+	return nil
+}

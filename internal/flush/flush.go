@@ -248,11 +248,14 @@ func (a *Agent) onMsg(c *fConn, m *fWireMsg) {
 func (a *Agent) startCheckpoint(c *fConn, m *fWireMsg) {
 	pod, ok := a.pods[m.Pod]
 	if !ok || pod.Destroyed() {
-		c.send(&fWireMsg{Type: fDone, Seq: m.Seq, Pod: m.Pod, Err: ErrUnknownPod.Error()})
+		// Error replies ride the coordinator's own conn: if that conn is
+		// dead the coordinator already lost this agent, and no op was
+		// created here to clean up.
+		c.send(&fWireMsg{Type: fDone, Seq: m.Seq, Pod: m.Pod, Err: ErrUnknownPod.Error()}) //cruzvet:allow errdrop reply on the coordinator's conn; nothing to recover agent-side
 		return
 	}
 	if a.op != nil {
-		c.send(&fWireMsg{Type: fDone, Seq: m.Seq, Pod: m.Pod, Err: ErrBusy.Error()})
+		c.send(&fWireMsg{Type: fDone, Seq: m.Seq, Pod: m.Pod, Err: ErrBusy.Error()}) //cruzvet:allow errdrop reply on the coordinator's conn; nothing to recover agent-side
 		return
 	}
 	op := &agentOp{
@@ -295,18 +298,23 @@ func (a *Agent) startCheckpoint(c *fConn, m *fWireMsg) {
 			if err != nil {
 				continue
 			}
-			op.markerSent++
-			if a.tr.Enabled() {
-				a.tr.Instant(a.kern.Name(), "flush", "marker.send",
-					trace.Str("to", mem.Pod), trace.Int("channels", int64(len(positions))))
-			}
-			pc.send(&fWireMsg{
+			// A failed marker send is the same situation as a missing peer
+			// conn above: the peer stalls in drain and the coordinator's
+			// job-level failure handling takes over.
+			if err := pc.send(&fWireMsg{
 				Type:      fMarker,
 				Seq:       op.seq,
 				Pod:       mem.Pod,
 				FromPod:   op.podName,
 				Positions: positions,
-			})
+			}); err != nil {
+				continue
+			}
+			op.markerSent++
+			if a.tr.Enabled() {
+				a.tr.Instant(a.kern.Name(), "flush", "marker.send",
+					trace.Str("to", mem.Pod), trace.Int("channels", int64(len(positions))))
+			}
 		}
 		a.pollDrain(op)
 	})
@@ -400,6 +408,7 @@ func (a *Agent) saveLocal(op *agentOp) {
 		if err != nil {
 			phCapture.End(trace.Str("err", err.Error()))
 			op.span.End(trace.Str("err", err.Error()))
+			//cruzvet:allow errdrop failure reply on the coordinator's conn; local op state clears either way
 			op.conn.send(&fWireMsg{Type: fDone, Seq: op.seq, Pod: op.podName, Err: err.Error()})
 			a.op = nil
 			return
@@ -430,7 +439,7 @@ func (a *Agent) saveLocal(op *agentOp) {
 				op.span.End(trace.Str("err", serr.Error()))
 			}
 			op.saved = true
-			op.conn.send(msg)
+			op.conn.send(msg) //cruzvet:allow errdrop fDone reply on the coordinator's conn; the agent op is complete regardless
 		})
 	})
 }
@@ -445,6 +454,7 @@ func (a *Agent) handleContinue(m *fWireMsg) {
 	op.pod.Resume()
 	op.phCommit.End()
 	op.span.End()
+	//cruzvet:allow errdrop fContinueDone reply on the coordinator's conn; the pod resumed and the op cleared
 	op.conn.send(&fWireMsg{
 		Type:          fContinueDone,
 		Seq:           m.Seq,
@@ -593,7 +603,9 @@ func (c *Coordinator) Checkpoint(job *Job, done func(*Result, error)) {
 				return
 			}
 			op.res.CoordinatorMessages += 1
-			fc.send(&fWireMsg{Type: fCheckpoint, Seq: seq, Pod: m.Pod, Members: members})
+			if err := fc.send(&fWireMsg{Type: fCheckpoint, Seq: seq, Pod: m.Pod, Members: members}); err != nil {
+				c.fail(op, fmt.Errorf("%w: send to %s: %v", ErrAgent, m.Agent, err))
+			}
 		})
 	}
 }
@@ -647,7 +659,9 @@ func (c *Coordinator) onMsg(_ *fConn, m *fWireMsg) {
 					c.cpu.Do(c.params.MsgCost, func() {
 						if fc, ok := c.conns[mem.Agent]; ok {
 							op.res.CoordinatorMessages++
-							fc.send(&fWireMsg{Type: fContinue, Seq: op.seq, Pod: mem.Pod})
+							if err := fc.send(&fWireMsg{Type: fContinue, Seq: op.seq, Pod: mem.Pod}); err != nil {
+								c.fail(op, fmt.Errorf("%w: continue to %s: %v", ErrAgent, mem.Agent, err))
+							}
 						}
 					})
 				}

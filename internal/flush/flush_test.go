@@ -1,6 +1,7 @@
 package flush
 
 import (
+	"errors"
 	"testing"
 
 	"cruz/internal/ckpt"
@@ -258,5 +259,38 @@ func TestFlushDrainsInFlightData(t *testing.T) {
 		if p.Fault != "" {
 			t.Fatalf("prog %d fault: %s", i, p.Fault)
 		}
+	}
+}
+
+// TestFlushCheckpointFailsFastOnDeadAgentConn is the regression test for
+// a hang cruzvet's errdrop analyzer surfaced: the coordinator discarded
+// the error from the fCheckpoint fan-out send, so a control conn that
+// died after Connect left the op pending forever — done was never
+// invoked and the job stayed busy. A dead conn must fail the checkpoint
+// the same way a missing conn does.
+func TestFlushCheckpointFailsFastOnDeadAgentConn(t *testing.T) {
+	r := newRig(t, 2)
+	r.run(100 * sim.Millisecond)
+	// Kill one established control conn out from under the coordinator.
+	for _, fc := range r.coord.conns {
+		fc.TCP().Destroy()
+		break
+	}
+	var cerr error
+	fired := false
+	r.coord.Checkpoint(r.job, func(res *Result, err error) {
+		cerr, fired = err, true
+	})
+	for i := 0; i < 100 && !fired; i++ {
+		r.run(20 * sim.Millisecond)
+	}
+	if !fired {
+		t.Fatal("checkpoint callback never fired: dead-conn send error was dropped")
+	}
+	if cerr == nil {
+		t.Fatal("checkpoint reported success over a dead agent conn")
+	}
+	if !errors.Is(cerr, ErrAgent) {
+		t.Fatalf("checkpoint error = %v, want ErrAgent", cerr)
 	}
 }

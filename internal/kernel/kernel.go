@@ -361,7 +361,7 @@ func (k *Kernel) exitProcess(p *Process, code int) {
 	}
 	sort.Ints(fdns)
 	for _, fdn := range fdns {
-		p.closeFD(fdn)
+		p.closeFD(fdn) //cruzvet:allow errdrop exit teardown over the proc's own fd table; EBADF cannot happen for keys of p.fds
 	}
 	delete(k.procs, p.pid)
 	k.Stats.ProcsExited++

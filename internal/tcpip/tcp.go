@@ -570,6 +570,7 @@ func (c *TCPConn) sendControl(flags Flags, seq, ack uint32) {
 	}
 	c.lastWndAdvertised = uint32(seg.Window)
 	c.Stats.SegsSent++
+	//cruzvet:allow errdrop segment transmit is best-effort; a no-route failure looks like loss and the RTO recovers it
 	c.stack.sendIP(&Packet{
 		Src:   c.tuple.Local.Addr,
 		Dst:   c.tuple.Remote.Addr,
@@ -601,6 +602,7 @@ func (c *TCPConn) transmitSeg(g *inflightSeg) {
 	g.sentAt = c.stack.engine.Now()
 	c.Stats.SegsSent++
 	c.Stats.BytesSent += uint64(len(g.data))
+	//cruzvet:allow errdrop segment transmit is best-effort; a no-route failure looks like loss and the RTO recovers it
 	c.stack.sendIP(&Packet{
 		Src:   c.tuple.Local.Addr,
 		Dst:   c.tuple.Remote.Addr,
@@ -879,7 +881,7 @@ func (s *Stack) rxTCP(p *Packet, seg *Segment) {
 			Seq:     seg.Ack,
 			Ack:     seg.Seq + seg.seqLen(),
 		}
-		s.sendIP(&Packet{Src: p.Dst, Dst: p.Src, Proto: ProtoTCP, TTL: 64, Body: rst})
+		s.sendIP(&Packet{Src: p.Dst, Dst: p.Src, Proto: ProtoTCP, TTL: 64, Body: rst}) //cruzvet:allow errdrop RST is fire-and-forget per TCP semantics
 	}
 }
 

@@ -158,6 +158,6 @@ func (d *FlightDump) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "flight dump @%v trigger=%s reason=%s window=%v events=%d\n",
 		d.At, d.Trigger, d.Reason, d.Window, len(d.Events))
-	WriteTimeline(&b, d.Events)
+	WriteTimeline(&b, d.Events) //cruzvet:allow errdrop writes to a strings.Builder cannot fail
 	return b.String()
 }
