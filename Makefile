@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race cruzvet bench gobench scale-smoke migrate-smoke trace-demo
+.PHONY: check build test vet race cruzvet bench gobench scale-smoke migrate-smoke ec-smoke trace-demo
 
 check: vet cruzvet build test race
 
@@ -65,6 +65,15 @@ scale-smoke:
 migrate-smoke:
 	$(GO) run ./cmd/cruzbench -exp migrate -scale 0.25
 	$(GO) run ./cmd/cruzsim -scenario migrate
+
+# Erasure-coding smoke: the double-node-loss reconstruction test (4+2
+# striping, kill a shard holder and a primary, byte-identical restore)
+# plus the cruzsim scenario that narrates the same recovery. Exercises
+# the RS codec, shard placement/distribution, the background pacer, and
+# the reconstruct-restore path end to end.
+ec-smoke:
+	$(GO) test -run 'TestErasureCodedRecovery|TestECFallbackToReplication' -v .
+	$(GO) run ./cmd/cruzsim -scenario failover -ec 4+2
 
 # Worked example from README: quickstart scenario with a Chrome trace.
 trace-demo:

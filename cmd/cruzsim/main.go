@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cruzsim -scenario quickstart|migrate|failover|periodic [-nodes 4] [-group 0] [-seed 1]
-//	        [-precopy] [-trace out.json] [-v]
+//	        [-ec m+r] [-precopy] [-trace out.json] [-v]
 //
 // Scenarios:
 //
@@ -16,7 +16,12 @@
 //	            external client keeps issuing verified operations.
 //	failover    An slm job loses a machine; lease-expiry detection and
 //	            replicated checkpoints restart its pod automatically on a
-//	            spare node, printing the MTTR phase breakdown.
+//	            spare node, printing the MTTR phase breakdown. With
+//	            -ec m+r (e.g. -ec 4+2) checkpoints are erasure-coded into
+//	            m+r shard subsets instead of replicated, and the scenario
+//	            kills TWO nodes — a shard holder and then a pod's host —
+//	            forcing the new home to reconstruct the image from the m
+//	            surviving shard subsets.
 //	periodic    An slm job checkpoints every 2s using the Fig. 4 optimized
 //	            protocol; prints per-checkpoint latencies and overheads.
 //
@@ -65,6 +70,7 @@ func main() {
 		nodes    = flag.Int("nodes", 4, "application nodes")
 		group    = flag.Int("group", 0, "coordination group size: 0 = flat fan-out, >1 = two-level tree (try ⌈√nodes⌉ for wide rings)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		ecStr    = flag.String("ec", "", "failover: erasure-code checkpoints m+r (e.g. 4+2) and kill two nodes")
 		dedup    = flag.Bool("dedup", false, "periodic: store checkpoints content-addressed with the pipelined save path")
 		precopy  = flag.Bool("precopy", false, "periodic: pre-copy rounds — stream live, freeze only the residual dirty set")
 	)
@@ -79,7 +85,14 @@ func main() {
 	case "migrate":
 		err = migrate(*seed)
 	case "failover":
-		err = failover(*nodes, *seed)
+		if *ecStr != "" {
+			var ec cruz.ECParams
+			if ec, err = cruz.ParseECParams(*ecStr); err == nil {
+				err = failoverEC(*nodes, *seed, ec)
+			}
+		} else {
+			err = failover(*nodes, *seed)
+		}
 	case "periodic":
 		err = periodic(*nodes, *seed, *dedup, *precopy)
 	default:
@@ -392,6 +405,105 @@ func failover(nodes int, seed int64) error {
 	}
 	w := cl.Pod(victimPod).Process(1).Program().(*slm.Worker)
 	stamp(cl, "ring healthy at step %d after automatic failover", w.StepsDone)
+	return emitTrace(cl)
+}
+
+// failoverEC is the failover scenario under erasure-coded durability:
+// the ring's checkpoints stripe into m+r shard subsets instead of full
+// replicas, and the scenario kills two nodes — first a shard holder,
+// then a pod's own host — so no surviving node has a full image and the
+// new home must pull m shard subsets and reconstruct.
+func failoverEC(nodes int, seed int64, ec cruz.ECParams) error {
+	shards := ec.M + ec.R
+	// A 3-worker ring plus enough extra nodes that every pod has m+r
+	// ring peers to hold shards, with one to spare as a restart target
+	// after the double kill.
+	ringSize := 3
+	if nodes > ringSize+shards+1 {
+		ringSize = nodes - shards - 1
+	}
+	total := ringSize + shards + 1
+	cl, err := cruz.New(cruz.Config{
+		Nodes: total, EC: ec, AutoRecover: true,
+		Seed: seed, Trace: tracing(),
+	})
+	if err != nil {
+		return err
+	}
+	job, workers, err := slmJob(cl, ringSize)
+	if err != nil {
+		return err
+	}
+	cl.Run(500 * cruz.Millisecond)
+	stamp(cl, "slm ring of %d running at step %d on a %d-node cluster (EC %s)",
+		ringSize, workers[0].StepsDone, total, ec)
+
+	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{Dedup: true})
+	if err != nil {
+		return err
+	}
+	stamp(cl, "checkpoint %d committed (latency %v, %.1f MB images)",
+		res.Seq, res.Latency, float64(res.TotalImageBytes)/(1<<20))
+	ok := cl.RunUntil(func() bool {
+		for i := 0; i < ringSize; i++ {
+			if cl.Coordinator.KnownECShards(fmt.Sprintf("slm-%d", i), res.Seq) < shards {
+				return false
+			}
+		}
+		return true
+	}, 30*cruz.Second)
+	if !ok {
+		return fmt.Errorf("shard distribution never completed")
+	}
+	var shardBytes int64
+	for i := range cl.Nodes {
+		shardBytes += cl.Nodes[i].Agent.Stats.ECShardBytes
+	}
+	stamp(cl, "every image striped %s across %d holders (%.1f MB shipped = %.2fx the images; k=%d replication would be %dx)",
+		ec, shards, float64(shardBytes)/(1<<20),
+		float64(shardBytes)/float64(res.TotalImageBytes), ec.R+1, ec.R+1)
+
+	// First loss: a shard-holding node with no pods. Wait out its lease
+	// so the coordinator has declared it dead before the second loss.
+	holder := ringSize + 1
+	stamp(cl, "node %d (a shard holder) fails — %d of %d shard positions left, still >= m=%d", holder, shards-1, shards, ec.M)
+	cl.FailNode(holder)
+	cl.Run(600 * cruz.Millisecond)
+
+	victim := 1
+	victimPod := fmt.Sprintf("slm-%d", victim)
+	stamp(cl, "node %d (hosting %s) fails too — no surviving node holds a full image", victim, victimPod)
+	cl.FailNode(victim)
+
+	if !cl.AwaitRecovery(1, 30*cruz.Second) {
+		return fmt.Errorf("automatic recovery never completed")
+	}
+	if err := cl.RecoveryErr(); err != nil {
+		return err
+	}
+	rec := cl.Recoveries()[0]
+	stamp(cl, "lease on %s expired; failure detected in %v", rec.FailedNode, rec.Detect)
+	for _, p := range rec.Pods {
+		how := "replica already local, no transfer"
+		if p.Reconstructed {
+			how = fmt.Sprintf("reconstructed from %d shard subsets (first: %s)", ec.M, p.From)
+		} else if p.Transferred {
+			how = fmt.Sprintf("image fetched from %s", p.From)
+		}
+		stamp(cl, "pod %s re-homed to %s (%s)", p.Pod, p.To, how)
+	}
+	stamp(cl, "job restarted from checkpoint %d: MTTR %v = detect %v + place %v + transfer %v (decode %v of it) + restart %v",
+		rec.Seq, rec.MTTR, rec.Detect, rec.Place, rec.Transfer, rec.Reconstruct, rec.Restart)
+
+	cl.Run(500 * cruz.Millisecond)
+	for i := 0; i < ringSize; i++ {
+		ww := cl.Pod(fmt.Sprintf("slm-%d", i)).Process(1).Program().(*slm.Worker)
+		if ww.Fault != "" {
+			return fmt.Errorf("worker %d fault: %s", i, ww.Fault)
+		}
+	}
+	w := cl.Pod(victimPod).Process(1).Program().(*slm.Worker)
+	stamp(cl, "ring healthy at step %d after losing two nodes under %s coding", w.StepsDone, ec)
 	return emitTrace(cl)
 }
 

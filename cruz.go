@@ -75,7 +75,13 @@ type (
 	Addr = tcpip.Addr
 	// AddrPort is an address-port endpoint.
 	AddrPort = tcpip.AddrPort
+	// ECParams selects Reed-Solomon erasure coding for checkpoint
+	// durability: M data + R parity shards per stripe (see Config.EC).
+	ECParams = ckpt.ECParams
 )
+
+// ParseECParams parses an "m+r" string (e.g. "4+2") into ECParams.
+func ParseECParams(s string) (ECParams, error) { return ckpt.ParseECParams(s) }
 
 // Common virtual durations, re-exported for callers of Run.
 const (
@@ -83,6 +89,12 @@ const (
 	Millisecond = sim.Millisecond
 	Second      = sim.Second
 )
+
+// DefaultBackgroundBPS is the token-bucket rate applied to background
+// durability traffic (replica streams, EC shard pushes) when Config.EC
+// is enabled and Agent.BackgroundBPS is unset: half a gigabit link, so
+// checkpoint distribution leaves headroom for foreground rounds.
+const DefaultBackgroundBPS int64 = 64 << 20
 
 // RegisterProgram must be called for every concrete Program type that
 // will be checkpointed (usually from an init function).
@@ -122,6 +134,16 @@ type Config struct {
 	// overrides per call). With at least one replica, a failed node's
 	// pods can restart elsewhere with no manual CopyImages.
 	Replicas int
+	// EC switches checkpoint durability from whole-image replication to
+	// Reed-Solomon erasure coding: each dedup checkpoint's chunks are
+	// striped into groups of EC.M data shards, EC.R parity shards are
+	// computed, and each of the first M+R ring peers stores one shard per
+	// stripe (rotated placement) — the image survives any R node losses
+	// for (M+R)/M× storage instead of (1+R)×. Requires Dedup checkpoints
+	// and at least M+R peers; otherwise the agent falls back to R-way
+	// replication. Recovery reconstructs from any M live holders when no
+	// full copy survives. Zero value disables EC.
+	EC ECParams
 	// AutoRecover puts every job defined with DefineJob under the
 	// coordinator's heartbeat/lease failure detector: a detected node
 	// failure automatically restarts affected jobs from the newest
@@ -255,6 +277,16 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Coordinator.MsgCost == 0 {
 		cfg.Coordinator = core.DefaultCoordinatorParams()
 	}
+	if cfg.EC.Enabled() {
+		if err := cfg.EC.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Agent.BackgroundBPS == 0 {
+			// EC distribution is background traffic; pace it by default so
+			// shard pushes cannot starve foreground protocol rounds.
+			cfg.Agent.BackgroundBPS = DefaultBackgroundBPS
+		}
+	}
 	if cfg.GroupSize != 0 {
 		cfg.Coordinator.GroupSize = cfg.GroupSize
 	}
@@ -299,6 +331,9 @@ func New(cfg Config) (*Cluster, error) {
 		agent, err := core.NewAgent(n.Kernel, n.Store, cfg.Agent)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.EC.Enabled() {
+			agent.SetEC(cfg.EC)
 		}
 		n.Agent = agent
 		if cfg.FlushBaseline {

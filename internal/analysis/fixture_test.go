@@ -168,6 +168,14 @@ func TestCtxPropFixture(t *testing.T) {
 	runFixture(t, "ctxpropfix", Config{}, CtxProp)
 }
 
+// TestECFixture covers the code shapes the erasure-coded storage tier
+// added: a pooled shard buffer leaked across the decode-failure early
+// return, and reconstruct helpers that drop the recovery op's trace
+// context (directly, transitively, and via a plain Send).
+func TestECFixture(t *testing.T) {
+	runFixture(t, "ecfix", Config{}, PoolLeak, CtxProp)
+}
+
 func TestErrDropFixture(t *testing.T) {
 	runFixture(t, "errdropfix",
 		Config{SimSide: []string{fixtureImport + "errdropfix"}}, ErrDrop)

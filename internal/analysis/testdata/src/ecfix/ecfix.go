@@ -1,0 +1,90 @@
+// Package ecfix is a cruzvet fixture for the code shapes the
+// erasure-coded storage tier added: pooled shard buffers leaked across
+// a decode-failure early return (poolleak), and reconstruct helpers
+// that sever the recovery op's causal edge by dropping its trace
+// context (ctxprop) — plus the clean variants of both, which are how
+// the real internal/core EC paths are written.
+package ecfix
+
+import (
+	"errors"
+
+	"cruz/internal/ctl"
+	"cruz/internal/trace"
+)
+
+// holder mimics the shard-exchange side of the EC protocol: shard
+// blocks travel in pooled frame buffers.
+type holder struct {
+	pool [][]byte
+}
+
+func (h *holder) getFrameBuf(n int) []byte { return make([]byte, n) }
+func (h *holder) putFrameBuf(b []byte)     { h.pool = append(h.pool, b[:0]) }
+
+var errShortStripe = errors.New("ecfix: not enough shards")
+
+// DecodeLeak is the bug shape the fixture exists for: the stripe's
+// scratch buffer goes back to the pool on the success path only — the
+// decode-failure early return leaks it.
+func (h *holder) DecodeLeak(shards [][]byte, m int) error {
+	buf := h.getFrameBuf(1 << 12) // want `buffer buf from .*getFrameBuf is not returned to the frame pool on every return path`
+	if len(shards) < m {
+		return errShortStripe
+	}
+	for _, s := range shards {
+		copy(buf, s)
+	}
+	h.putFrameBuf(buf)
+	return nil
+}
+
+// DecodeOK is the same routine written correctly: the deferred put
+// covers the failure return too.
+func (h *holder) DecodeOK(shards [][]byte, m int) error {
+	buf := h.getFrameBuf(1 << 12)
+	defer h.putFrameBuf(buf)
+	if len(shards) < m {
+		return errShortStripe
+	}
+	for _, s := range shards {
+		copy(buf, s)
+	}
+	return nil
+}
+
+// ReconstructDropsCtx severs the recovery op's causal chain: the
+// coordinator's fetch context arrives and dies here, so the decode
+// work never appears under the recovery span tree.
+func reconstructDropsCtx(ctx trace.SpanContext, stripes int) int { // want `trace context ctx is dropped`
+	return stripes
+}
+
+// PullShards is the transitive case: handing the context to a helper
+// that drops it is just as severed one frame up.
+func PullShards(ctx trace.SpanContext, stripes int) int { // want `trace context ctx is dropped`
+	return reconstructDropsCtx(ctx, stripes)
+}
+
+// FetchDoneBadSend reports reconstruction completion with a plain Send
+// while the op's context sits right there: the coordinator's MTTR
+// decomposition would adopt an empty parent.
+func FetchDoneBadSend(c *ctl.Conn, ctx trace.SpanContext) error {
+	if err := c.SendCtx(nil, ctx); err != nil {
+		return err
+	}
+	return c.Send(nil) // want `plain Send carries a zero trace context`
+}
+
+// ReconstructOK adopts the fetch context into the decode span — the
+// shape internal/core's finishECReconstruct uses.
+func ReconstructOK(tr *trace.Tracer, ctx trace.SpanContext, stripes int) int {
+	sp := tr.BeginChild(ctx, "n1", "ecfix", "reconstruct")
+	defer sp.End()
+	return stripes
+}
+
+// ServeOK propagates the context onto the wire with the shard payload.
+func ServeOK(c *ctl.Conn, ctx trace.SpanContext) error {
+	return c.SendCtx(nil, ctx)
+}

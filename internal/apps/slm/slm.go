@@ -45,6 +45,13 @@ type Config struct {
 	// exiting, so tests can inspect the end-state memory of a finite run
 	// (an exited process's address space is reaped).
 	Linger bool
+	// UniquePages salts every grid page with the rank so page content is
+	// distinct across (rank, page, step). The default fill (pn^rank)
+	// yields the same page SET in every rank — fine for latency
+	// experiments, but it lets content-addressed dedup collapse one
+	// pod's image against another's, which degenerates storage-tier
+	// byte measurements.
+	UniquePages bool
 }
 
 // DefaultConfig matches the calibration in DESIGN.md §5: run time scales
@@ -152,7 +159,11 @@ func (w *Worker) Step(ctx *kernel.ProcContext) kernel.StepResult {
 		// a real model initializes its whole field).
 		pages := w.Cfg.GridBytes / mem.PageSize
 		for pn := uint64(0); pn < pages; pn++ {
-			if err := ctx.Mem().WriteUint64(base+pn*mem.PageSize, pn^uint64(w.Rank)); err != nil {
+			val := pn ^ uint64(w.Rank)
+			if w.Cfg.UniquePages {
+				val = pn*0x9E3779B97F4A7C15 + uint64(w.Rank)
+			}
+			if err := ctx.Mem().WriteUint64(base+pn*mem.PageSize, val); err != nil {
 				return w.fail("grid init: " + err.Error())
 			}
 		}
@@ -213,7 +224,11 @@ func (w *Worker) Step(ctx *kernel.ProcContext) kernel.StepResult {
 		pages := w.Cfg.GridBytes / mem.PageSize
 		for i := 0; i < w.Cfg.DirtyPagesPerStep; i++ {
 			pn := (uint64(w.StepsDone)*uint64(w.Cfg.DirtyPagesPerStep) + uint64(i)) % pages
-			if err := ctx.Mem().WriteUint64(w.Grid+pn*mem.PageSize, uint64(w.StepsDone)); err != nil {
+			val := uint64(w.StepsDone)
+			if w.Cfg.UniquePages {
+				val = (uint64(w.StepsDone)+1)*0x9E3779B97F4A7C15 + uint64(w.Rank)<<32 + pn
+			}
+			if err := ctx.Mem().WriteUint64(w.Grid+pn*mem.PageSize, val); err != nil {
 				return w.fail("grid update: " + err.Error())
 			}
 		}

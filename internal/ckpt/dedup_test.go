@@ -292,10 +292,11 @@ func normalizeImage(t *testing.T, img *Image) *Image {
 }
 
 func TestRestorePathsEquivalent(t *testing.T) {
-	// Property: the same checkpoint chain restored five ways — in-memory
+	// Property: the same checkpoint chain restored six ways — in-memory
 	// image merge, blob store, deduplicated manifests, deduplicated
-	// manifests after Compact, and a pre-copy chain of live COW rounds
-	// topped by a stopped residual — yields byte-identical memory and
+	// manifests after Compact, a pre-copy chain of live COW rounds
+	// topped by a stopped residual, and a 4+2 erasure-coded set decoded
+	// with two shard positions lost — yields byte-identical memory and
 	// identical TCP state. Exercised against a pod with a live
 	// mid-stream TCP connection plus a memory-churning worker.
 	r := newRig(t, 3)
@@ -441,6 +442,62 @@ func TestRestorePathsEquivalent(t *testing.T) {
 			r.run(10 * sim.Second)
 		}
 		routes[name] = load(s, 3)
+	}
+
+	// Route F: erasure coding with losses. The chain is striped 4+2 on a
+	// source store; the destination receives the chain manifests and
+	// only four of the six rotated shard positions (holders 1 and 3
+	// dead — the R-loss worst case), so every stripe whose surviving
+	// positions miss a data shard must be decoded before restore.
+	{
+		src := NewStore(r.kernels[0].Disk())
+		for _, img := range imgs {
+			saveDeduped(src, img)
+		}
+		p := ECParams{M: 4, R: 2}
+		done := false
+		src.SaveEC("eq", 3, p, func(_ *ECPlan, err error) {
+			if err != nil {
+				t.Errorf("SaveEC: %v", err)
+			}
+			done = true
+		})
+		r.run(10 * sim.Second)
+		if !done {
+			t.Fatal("EC save never completed")
+		}
+		set, ok := src.ECSetFor("eq", 3)
+		if !ok {
+			t.Fatal("EC set not registered")
+		}
+		manifests := make(map[int][]byte)
+		for _, cs := range set.Chain {
+			blob, merr := src.manifests["eq"][cs].Encode()
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			manifests[cs] = blob
+		}
+		var blocks []ChunkData
+		seen := make(map[mem.PageHash]bool)
+		for _, holder := range []int{0, 2, 4, 5} { // holders 1 and 3 lost
+			for _, h := range set.HolderHashes(holder) {
+				if seen[h] {
+					continue
+				}
+				seen[h] = true
+				blocks = append(blocks, ChunkData{Hash: h, Data: src.chunks[h].data})
+			}
+		}
+		dst := NewStore(r.kernels[2].Disk())
+		rec, rerr := dst.ReconstructEC(set, manifests, blocks)
+		if rerr != nil {
+			t.Fatalf("ReconstructEC: %v", rerr)
+		}
+		if rec.DecodedChunks == 0 {
+			t.Fatal("reconstruction decoded nothing — the loss pattern exercised no parity")
+		}
+		routes["ec"] = load(dst, 3)
 	}
 
 	wantNorm := normalizeImage(t, want)

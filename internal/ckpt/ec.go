@@ -1,0 +1,905 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cruz/internal/mem"
+	"cruz/internal/trace"
+)
+
+// Erasure-coded durability tier: instead of shipping k full replicas of
+// every committed checkpoint (k× bytes on the wire and on disk), the
+// distinct dedup chunks of a checkpoint chain are packed into stripes of
+// m chunks and extended with r Reed-Solomon parity blocks, so surviving
+// any r node losses costs ~(1+r/m)× instead of k×. The codec is
+// stdlib-only GF(256) arithmetic with precomputed exp/log/mul tables and
+// a Vandermonde-derived systematic matrix: the m data shards of a stripe
+// ARE the chunks (content-addressed, dedup-shared like everything else),
+// and parity blocks enter the same chunk table under their own content
+// hash, so the existing offer/want/data delta protocol ships shards with
+// no new wire format for bulk data.
+
+// ErrECShards is returned when too few shards survive to reconstruct a
+// stripe (fewer than m of its m+r shards are available).
+var ErrECShards = errors.New("ckpt: too few shards to reconstruct stripe")
+
+// ECParams configures the erasure-coding tier: each stripe holds M data
+// chunks and R parity blocks, and any M of the M+R shards reconstruct
+// the stripe. Zero params disable EC.
+type ECParams struct {
+	M int
+	R int
+}
+
+// Enabled reports whether erasure coding is configured.
+func (p ECParams) Enabled() bool { return p.M > 0 && p.R > 0 }
+
+// Validate checks the parameters against the GF(256) field bound.
+func (p ECParams) Validate() error {
+	if p.M < 1 || p.R < 1 {
+		return fmt.Errorf("ckpt: EC params %d+%d: need m >= 1 and r >= 1", p.M, p.R)
+	}
+	if p.M+p.R > 255 {
+		return fmt.Errorf("ckpt: EC params %d+%d: m+r must be <= 255", p.M, p.R)
+	}
+	return nil
+}
+
+// String renders the params in the conventional "m+r" form.
+func (p ECParams) String() string { return fmt.Sprintf("%d+%d", p.M, p.R) }
+
+// ParseECParams parses the "m+r" form ("4+2").
+func ParseECParams(s string) (ECParams, error) {
+	var p ECParams
+	i := strings.IndexByte(s, '+')
+	if i < 0 {
+		return p, fmt.Errorf("ckpt: EC spec %q: want \"m+r\" (e.g. 4+2)", s)
+	}
+	if _, err := fmt.Sscanf(s, "%d+%d", &p.M, &p.R); err != nil {
+		return p, fmt.Errorf("ckpt: EC spec %q: %v", s, err)
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// ECStripe is one stripe of the shard manifest: up to M data chunk
+// hashes (only the final stripe of a set may be shorter — the missing
+// tail positions are implicit all-zero padding blocks) plus the R parity
+// block hashes computed over them.
+type ECStripe struct {
+	Data   []mem.PageHash
+	Parity []mem.PageHash
+}
+
+// ECSet is the shard manifest for one erasure-coded checkpoint: which
+// distinct chunks of the chain ending at Seq were packed into which
+// stripe, and the content hashes of the parity blocks extending each
+// stripe. The set plus any M of a stripe's M+R shards reconstructs
+// every chunk in the stripe.
+type ECSet struct {
+	Pod     string
+	Seq     int
+	M, R    int
+	Chain   []int // manifest chain, newest-first
+	Stripes []ECStripe
+}
+
+// Encode serializes the shard manifest for the wire.
+func (set *ECSet) Encode() ([]byte, error) {
+	b, err := encodeToBytes(set)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: encode EC set: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeECSet parses an encoded shard manifest.
+func DecodeECSet(b []byte) (*ECSet, error) {
+	var set ECSet
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&set); err != nil {
+		return nil, fmt.Errorf("ckpt: decode EC set: %w", err)
+	}
+	return &set, nil
+}
+
+// Shards returns the total shard count per stripe.
+func (set *ECSet) Shards() int { return set.M + set.R }
+
+// ShardIndex maps (stripe, holder) to the shard index the holder at ring
+// position h stores for that stripe — a rotation, so consecutive stripes
+// place their parity on different nodes and no node ever holds two
+// shards of one stripe (the placement invariant that makes any R node
+// losses survivable).
+func (set *ECSet) ShardIndex(stripe, holder int) int {
+	return (stripe + holder) % set.Shards()
+}
+
+// shardHash resolves one shard index of a stripe to its content hash.
+// ok=false marks an implicit zero-padding position (short tail stripe).
+func (set *ECSet) shardHash(stripe, idx int) (mem.PageHash, bool) {
+	st := &set.Stripes[stripe]
+	if idx < set.M {
+		if idx >= len(st.Data) {
+			return mem.PageHash{}, false
+		}
+		return st.Data[idx], true
+	}
+	return st.Parity[idx-set.M], true
+}
+
+// HolderHashes lists the distinct content hashes of every shard the
+// holder at ring position h must store, in deterministic stripe order.
+func (set *ECSet) HolderHashes(holder int) []mem.PageHash {
+	seen := make(map[mem.PageHash]bool)
+	var out []mem.PageHash
+	for s := range set.Stripes {
+		h, ok := set.shardHash(s, set.ShardIndex(s, holder))
+		if !ok || seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, h)
+	}
+	return out
+}
+
+// DataBytes is the logical chunk payload the set protects.
+func (set *ECSet) DataBytes() int64 {
+	var n int64
+	for i := range set.Stripes {
+		n += int64(len(set.Stripes[i].Data)) * mem.PageSize
+	}
+	return n
+}
+
+// ParityBytes is the parity payload the set adds.
+func (set *ECSet) ParityBytes() int64 {
+	var n int64
+	for i := range set.Stripes {
+		n += int64(len(set.Stripes[i].Parity)) * mem.PageSize
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// GF(256) Reed-Solomon codec. Field: polynomial 0x11d, generator 2.
+
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+	gfMul [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[byte(x)] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			gfMul[a][b] = gfExp[int(gfLog[a])+int(gfLog[b])]
+		}
+	}
+}
+
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+type gfMatrix [][]byte
+
+func newGFMatrix(rows, cols int) gfMatrix {
+	m := make(gfMatrix, rows)
+	buf := make([]byte, rows*cols)
+	for i := range m {
+		m[i] = buf[i*cols : (i+1)*cols]
+	}
+	return m
+}
+
+// vandermonde builds the rows×cols matrix with row i = [i^0, i^1, ...].
+// Distinct evaluation points make every square row-submatrix invertible.
+func vandermonde(rows, cols int) gfMatrix {
+	m := newGFMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		e := byte(1)
+		for j := 0; j < cols; j++ {
+			m[i][j] = e
+			e = gfMul[e][byte(i)]
+		}
+		if i == 0 {
+			// 0^0 = 1, 0^j = 0 for j > 0.
+			for j := 1; j < cols; j++ {
+				m[0][j] = 0
+			}
+			m[0][0] = 1
+		}
+	}
+	return m
+}
+
+func (m gfMatrix) mulMat(b gfMatrix) gfMatrix {
+	rows, inner, cols := len(m), len(b), len(b[0])
+	out := newGFMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for k := 0; k < inner; k++ {
+			c := m[i][k]
+			if c == 0 {
+				continue
+			}
+			mt := &gfMul[c]
+			for j := 0; j < cols; j++ {
+				out[i][j] ^= mt[b[k][j]]
+			}
+		}
+	}
+	return out
+}
+
+// invert Gauss-Jordan-inverts a square matrix in place on a copy.
+func (m gfMatrix) invert() (gfMatrix, error) {
+	n := len(m)
+	work := newGFMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(work[i], m[i])
+		work[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("ckpt: singular shard matrix")
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if p := work[col][col]; p != 1 {
+			for j := 0; j < 2*n; j++ {
+				work[col][j] = gfDiv(work[col][j], p)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			c := work[r][col]
+			mt := &gfMul[c]
+			for j := 0; j < 2*n; j++ {
+				work[r][j] ^= mt[work[col][j]]
+			}
+		}
+	}
+	inv := newGFMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(inv[i], work[i][n:])
+	}
+	return inv, nil
+}
+
+// ecMatrixCache memoizes the systematic encode matrix per (m, r): the
+// (m+r)×m Vandermonde matrix normalized so its top m rows are the
+// identity (data shards pass through unchanged; the bottom r rows are
+// the parity coefficients). Any m rows remain invertible.
+var (
+	ecMatrixMu    sync.Mutex
+	ecMatrixCache = map[ECParams]gfMatrix{}
+)
+
+func ecEncodeMatrix(p ECParams) gfMatrix {
+	ecMatrixMu.Lock()
+	defer ecMatrixMu.Unlock()
+	if m, ok := ecMatrixCache[p]; ok {
+		return m
+	}
+	v := vandermonde(p.M+p.R, p.M)
+	top := newGFMatrix(p.M, p.M)
+	for i := 0; i < p.M; i++ {
+		copy(top[i], v[i])
+	}
+	topInv, err := top.invert()
+	if err != nil {
+		// Vandermonde top squares are always invertible; reaching this
+		// means the field tables are corrupt — fail loudly.
+		panic(err)
+	}
+	enc := v.mulMat(topInv)
+	ecMatrixCache[p] = enc
+	return enc
+}
+
+// ecEncodeStripe computes the r parity blocks for one stripe. data holds
+// up to m chunk blocks (nil or missing tail entries are implicit zero
+// pages and contribute nothing).
+func ecEncodeStripe(enc gfMatrix, p ECParams, data [][]byte) [][]byte {
+	parity := make([][]byte, p.R)
+	buf := make([]byte, p.R*mem.PageSize)
+	for j := range parity {
+		parity[j] = buf[j*mem.PageSize : (j+1)*mem.PageSize]
+	}
+	for i, d := range data {
+		if d == nil {
+			continue
+		}
+		for j := 0; j < p.R; j++ {
+			c := enc[p.M+j][i]
+			if c == 0 {
+				continue
+			}
+			mt := &gfMul[c]
+			out := parity[j]
+			for b, v := range d {
+				out[b] ^= mt[v]
+			}
+		}
+	}
+	return parity
+}
+
+// ecDecodeStripe reconstructs all m data blocks of a stripe from any m
+// available shards. have lists the shard indexes present, blocks the
+// matching shard bytes (nil = implicit zero block for a padding index).
+func ecDecodeStripe(enc gfMatrix, p ECParams, have []int, blocks [][]byte) ([][]byte, error) {
+	if len(have) < p.M {
+		return nil, ErrECShards
+	}
+	sub := newGFMatrix(p.M, p.M)
+	for k := 0; k < p.M; k++ {
+		copy(sub[k], enc[have[k]])
+	}
+	inv, err := sub.invert()
+	if err != nil {
+		return nil, err
+	}
+	data := make([][]byte, p.M)
+	buf := make([]byte, p.M*mem.PageSize)
+	for i := range data {
+		data[i] = buf[i*mem.PageSize : (i+1)*mem.PageSize]
+	}
+	for i := 0; i < p.M; i++ {
+		for k := 0; k < p.M; k++ {
+			c := inv[i][k]
+			if c == 0 || blocks[k] == nil {
+				continue
+			}
+			mt := &gfMul[c]
+			out := data[i]
+			for b, v := range blocks[k] {
+				out[b] ^= mt[v]
+			}
+		}
+	}
+	return data, nil
+}
+
+// ecParallel fans fn(i) for i in [0, n) over a worker pool — the same
+// encode-parallelism shape as the pipelined save path, but for CPU-bound
+// stripe math. Each index writes only its own output slot, so the result
+// is deterministic regardless of scheduling.
+func ecParallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() { //cruzvet:allow nodeterminism host-CPU parity math inside one event; wg.Wait blocks before the event returns and each index writes only its own slot
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------
+// Store integration: planning, holder-side adoption, reconstruction.
+
+// ECPlan is the synchronous half of an erasure-coded save: stripes are
+// assembled, parity blocks computed and resident in the chunk table, and
+// the shard manifest registered. ParityBytes of disk writing remain for
+// the caller (SaveEC wraps it in a single write).
+type ECPlan struct {
+	Pod         string
+	Seq         int
+	Set         *ECSet
+	Stripes     int
+	DataBytes   int64
+	ParityBytes int64
+}
+
+// PlanECSave packs the distinct chunks of the manifest chain ending at
+// (pod, seq) into stripes of p.M chunks, computes p.R parity blocks per
+// stripe across a worker pool, and registers the shard manifest. The set
+// takes a chunk-table reference on every data and parity block it covers
+// — stripe-granularity refcounts, so Compact and Discard can never free
+// a chunk whose stripe parity is still live (reconstructing any chunk of
+// a stripe needs all of it). An older EC set for the same pod is
+// superseded and its references released.
+func (s *Store) PlanECSave(pod string, seq int, p ECParams) (*ECPlan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	offer, err := s.ExportOffer(pod, seq)
+	if err != nil {
+		return nil, err
+	}
+	if !offer.Dedup {
+		return nil, fmt.Errorf("ckpt: EC save %s/%d: checkpoint is not deduplicated", pod, seq)
+	}
+	set := &ECSet{Pod: pod, Seq: seq, M: p.M, R: p.R, Chain: offer.Chain}
+	enc := ecEncodeMatrix(p)
+	nStripes := (len(offer.Hashes) + p.M - 1) / p.M
+	set.Stripes = make([]ECStripe, nStripes)
+	parities := make([][][]byte, nStripes)
+	ecParallel(nStripes, func(i int) {
+		lo := i * p.M
+		hi := lo + p.M
+		if hi > len(offer.Hashes) {
+			hi = len(offer.Hashes)
+		}
+		hashes := offer.Hashes[lo:hi]
+		data := make([][]byte, len(hashes))
+		for j, h := range hashes {
+			data[j] = s.chunks[h].data
+		}
+		parities[i] = ecEncodeStripe(enc, p, data)
+		set.Stripes[i].Data = append([]mem.PageHash(nil), hashes...)
+	})
+	plan := &ECPlan{Pod: pod, Seq: seq, Set: set, Stripes: nStripes}
+	plan.DataBytes = int64(len(offer.Hashes)) * mem.PageSize
+
+	// Install parity blocks in the chunk table under their content hash
+	// and take the set's stripe references (data and parity alike).
+	for i := range set.Stripes {
+		set.Stripes[i].Parity = make([]mem.PageHash, p.R)
+		for j, blk := range parities[i] {
+			h := mem.HashBlock(blk)
+			set.Stripes[i].Parity[j] = h
+			if e, ok := s.chunks[h]; ok {
+				e.refs++
+				s.stats.DupChunks++
+			} else {
+				s.chunks[h] = &chunkEntry{data: blk, refs: 1}
+				s.stats.NewChunks++
+				s.stats.NewChunkBytes += mem.PageSize
+				plan.ParityBytes += mem.PageSize
+			}
+		}
+		for _, h := range set.Stripes[i].Data {
+			s.chunks[h].refs++
+		}
+	}
+
+	if old, ok := s.ecsets[pod]; ok {
+		for oseq := range old {
+			if oseq < seq {
+				s.dropECSet(pod, oseq)
+			}
+		}
+	}
+	if s.ecsets[pod] == nil {
+		s.ecsets[pod] = make(map[int]*ECSet)
+	}
+	s.ecsets[pod][seq] = set
+	return plan, nil
+}
+
+// SaveEC is the one-call form: plan, then a single disk write of the
+// parity bytes. done receives the completed plan once the write lands.
+func (s *Store) SaveEC(pod string, seq int, p ECParams, done func(*ECPlan, error)) {
+	plan, err := s.PlanECSave(pod, seq, p)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	var sp trace.Span
+	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
+		sp = tr.Begin(s.disk.Name(), "ckpt", "store.save_ec",
+			trace.Str("pod", pod), trace.Int("seq", int64(seq)),
+			trace.Int("stripes", int64(plan.Stripes)),
+			trace.Int("parity_bytes", plan.ParityBytes))
+	}
+	s.disk.Write(plan.ParityBytes, func() {
+		sp.End()
+		done(plan, nil)
+	})
+}
+
+// ECSetFor returns the registered shard manifest for (pod, seq).
+func (s *Store) ECSetFor(pod string, seq int) (*ECSet, bool) {
+	set, ok := s.ecsets[pod][seq]
+	return set, ok
+}
+
+// DropECSet unregisters a shard manifest, releasing its stripe
+// references (parity blocks nothing else references are freed).
+func (s *Store) DropECSet(pod string, seq int) { s.dropECSet(pod, seq) }
+
+func (s *Store) dropECSet(pod string, seq int) {
+	set, ok := s.ecsets[pod][seq]
+	if !ok {
+		return
+	}
+	for i := range set.Stripes {
+		st := &set.Stripes[i]
+		for _, h := range st.Data {
+			s.releaseChunk(h)
+		}
+		for _, h := range st.Parity {
+			s.releaseChunk(h)
+		}
+	}
+	delete(s.ecsets[pod], seq)
+	if len(s.ecsets[pod]) == 0 {
+		delete(s.ecsets, pod)
+	}
+}
+
+func (s *Store) releaseChunk(h mem.PageHash) {
+	e, ok := s.chunks[h]
+	if !ok {
+		return
+	}
+	e.refs--
+	if e.refs == 0 {
+		delete(s.chunks, h)
+		s.stats.FreedChunks++
+		s.stats.FreedBytes += mem.PageSize
+	}
+}
+
+// ECHeld records a holder's side of one erasure-coded checkpoint: the
+// shard manifest, this node's ring position (which shard of each stripe
+// it stores), and the raw chain manifests so recovery metadata survives
+// the primary.
+type ECHeld struct {
+	Set       *ECSet
+	Holder    int
+	Manifests map[int][]byte
+}
+
+// ECMissingFor answers a shard offer with the chain manifests and shard
+// blocks this store lacks — the EC analogue of MissingFor, consulting
+// held raw manifests as well as decoded ones so re-offers of an
+// unchanged chain cost nothing.
+func (s *Store) ECMissingFor(o *Offer) (needSeqs []int, needHashes []mem.PageHash) {
+	for _, cs := range o.Chain {
+		if _, ok := s.ecManifests[o.Pod][cs]; ok {
+			continue
+		}
+		if _, ok := s.manifests[o.Pod][cs]; ok {
+			continue
+		}
+		needSeqs = append(needSeqs, cs)
+	}
+	for _, h := range o.Hashes {
+		if _, ok := s.chunks[h]; !ok {
+			needHashes = append(needHashes, h)
+		}
+	}
+	return needSeqs, needHashes
+}
+
+// AdoptECShards installs a holder's shard delta: the shard manifest,
+// this node's ring position, the chain manifests it was missing (kept as
+// raw blobs — a holder stores metadata it cannot fully resolve), and the
+// missing shard blocks. Every block the held set covers takes a chunk
+// reference so the holder's own GC cannot free it. An older held set for
+// the same pod is superseded. done fires once the adopted bytes land on
+// disk.
+func (s *Store) AdoptECShards(set *ECSet, holder int, manifests map[int][]byte, chunks []ChunkData, ctx trace.SpanContext, done func(int64, error)) {
+	var total int64
+	for _, cd := range chunks {
+		if _, ok := s.chunks[cd.Hash]; !ok {
+			s.chunks[cd.Hash] = &chunkEntry{data: cd.Data}
+			s.stats.NewChunks++
+			s.stats.NewChunkBytes += int64(len(cd.Data))
+		}
+		total += int64(len(cd.Data))
+	}
+	want := set.HolderHashes(holder)
+	for _, h := range want {
+		e, ok := s.chunks[h]
+		if !ok {
+			done(0, fmt.Errorf("ckpt: adopt EC %s/%d: missing shard block %v", set.Pod, set.Seq, h))
+			return
+		}
+		e.refs++
+	}
+	if s.ecManifests[set.Pod] == nil {
+		s.ecManifests[set.Pod] = make(map[int][]byte)
+	}
+	for seq, blob := range manifests {
+		s.ecManifests[set.Pod][seq] = blob
+		total += int64(len(blob))
+	}
+	if old, ok := s.ecHeld[set.Pod]; ok {
+		for oseq := range old {
+			if oseq < set.Seq {
+				s.dropECHeld(set.Pod, oseq)
+			}
+		}
+	}
+	if s.ecHeld[set.Pod] == nil {
+		s.ecHeld[set.Pod] = make(map[int]*ECHeld)
+	}
+	held := &ECHeld{Set: set, Holder: holder, Manifests: make(map[int][]byte)}
+	for _, cs := range set.Chain {
+		if blob, ok := s.ecManifests[set.Pod][cs]; ok {
+			held.Manifests[cs] = blob
+		} else if m, ok := s.manifests[set.Pod][cs]; ok {
+			// The chain manifest arrived earlier through ordinary
+			// replication; serve reconstructs from the decoded form.
+			if blob, err := m.Encode(); err == nil {
+				held.Manifests[cs] = blob
+			}
+		}
+	}
+	s.ecHeld[set.Pod][set.Seq] = held
+	if total <= 0 {
+		done(0, nil)
+		return
+	}
+	var sp trace.Span
+	if tr := trace.FromEngine(s.disk.Engine()); tr.Enabled() {
+		sp = tr.BeginChild(ctx, s.disk.Name(), "ckpt", "store.adopt_ec",
+			trace.Str("pod", set.Pod), trace.Int("seq", int64(set.Seq)),
+			trace.Int("holder", int64(holder)), trace.Int("bytes", total))
+	}
+	s.disk.Write(total, func() {
+		sp.End()
+		done(total, nil)
+	})
+}
+
+func (s *Store) dropECHeld(pod string, seq int) {
+	held, ok := s.ecHeld[pod][seq]
+	if !ok {
+		return
+	}
+	for _, h := range held.Set.HolderHashes(held.Holder) {
+		s.releaseChunk(h)
+	}
+	delete(s.ecHeld[pod], seq)
+	if len(s.ecHeld[pod]) == 0 {
+		delete(s.ecHeld, pod)
+	}
+}
+
+// ECHeldFor returns this node's held shard set for (pod, seq).
+func (s *Store) ECHeldFor(pod string, seq int) (*ECHeld, bool) {
+	held, ok := s.ecHeld[pod][seq]
+	return held, ok
+}
+
+// ECHeldSeq returns the newest seq this node holds shards for.
+func (s *Store) ECHeldSeq(pod string) (int, bool) {
+	best, found := 0, false
+	for seq := range s.ecHeld[pod] {
+		if !found || seq > best {
+			best, found = seq, true
+		}
+	}
+	return best, found
+}
+
+// ECServe assembles this holder's contribution to a reconstruction: the
+// shard manifest, the chain manifests, and every shard block it holds.
+func (s *Store) ECServe(pod string, seq int) (*ECSet, map[int][]byte, []ChunkData, error) {
+	held, ok := s.ecHeld[pod][seq]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("%w: %s/%d (no held shards)", ErrNoImage, pod, seq)
+	}
+	var blocks []ChunkData
+	for _, h := range held.Set.HolderHashes(held.Holder) {
+		if e, ok := s.chunks[h]; ok {
+			blocks = append(blocks, ChunkData{Hash: h, Data: e.data})
+		}
+	}
+	return held.Set, held.Manifests, blocks, nil
+}
+
+// ECRecovery summarizes a reconstruction: how many chunks had to be
+// decoded from parity versus arrived directly, and the bytes installed.
+type ECRecovery struct {
+	Chunks         int
+	DecodedChunks  int
+	DecodedStripes int
+	// TotalBytes is every installed data chunk's bytes. A caller that
+	// already wrote the directly-arrived shard blocks to disk as they
+	// landed charges only DecodedBytes at decode time.
+	TotalBytes int64
+	// DecodedBytes is the subset of TotalBytes that had to be decoded
+	// from parity rather than arriving as a shard block.
+	DecodedBytes int64
+}
+
+// ReconstructEC rebuilds the checkpoint chain of an erasure-coded set
+// from shard blocks gathered off any M surviving holders: stripes whose
+// data chunks all arrived install directly; stripes missing data decode
+// it from parity (any M of M+R shards), across the same worker pool as
+// encode. Recovered chunks are verified against their content hash, the
+// chain manifests are installed, and the store is left restart-ready
+// (LoadMerged resolves the chain). The caller charges disk and CPU.
+func (s *Store) ReconstructEC(set *ECSet, manifests map[int][]byte, blocks []ChunkData) (*ECRecovery, error) {
+	p := ECParams{M: set.M, R: set.R}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	avail := make(map[mem.PageHash][]byte, len(blocks))
+	for _, cd := range blocks {
+		avail[cd.Hash] = cd.Data
+	}
+	lookup := func(h mem.PageHash) []byte {
+		if d, ok := avail[h]; ok {
+			return d
+		}
+		if e, ok := s.chunks[h]; ok {
+			return e.data
+		}
+		return nil
+	}
+	enc := ecEncodeMatrix(p)
+	rec := &ECRecovery{}
+	type stripeOut struct {
+		decoded bool
+		data    [][]byte // recovered blocks for missing data hashes, aligned to Stripes[i].Data
+		err     error
+	}
+	outs := make([]stripeOut, len(set.Stripes))
+	ecParallel(len(set.Stripes), func(i int) {
+		st := &set.Stripes[i]
+		missing := false
+		for _, h := range st.Data {
+			if lookup(h) == nil {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			return
+		}
+		// Gather any M available shards: data positions first (including
+		// implicit zero padding), then parity.
+		var have []int
+		var shards [][]byte
+		for idx := 0; idx < set.M+set.R && len(have) < set.M; idx++ {
+			h, real := set.shardHash(i, idx)
+			if !real {
+				have = append(have, idx)
+				shards = append(shards, nil) // zero padding block
+				continue
+			}
+			if d := lookup(h); d != nil {
+				have = append(have, idx)
+				shards = append(shards, d)
+			}
+		}
+		data, err := ecDecodeStripe(enc, p, have, shards)
+		if err != nil {
+			outs[i] = stripeOut{err: fmt.Errorf("%w: %s/%d stripe %d (%d of %d shards)",
+				ErrECShards, set.Pod, set.Seq, i, len(have), set.Shards())}
+			return
+		}
+		out := stripeOut{decoded: true, data: make([][]byte, len(st.Data))}
+		for j, h := range st.Data {
+			if lookup(h) != nil {
+				continue
+			}
+			if got := mem.HashBlock(data[j]); got != h {
+				out.err = fmt.Errorf("ckpt: reconstruct %s/%d stripe %d chunk %d: hash mismatch",
+					set.Pod, set.Seq, i, j)
+				break
+			}
+			out.data[j] = data[j]
+		}
+		outs[i] = out
+	})
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+	}
+	// Install every data chunk (direct or decoded) into the chunk table;
+	// the chain manifests then take their references as in Adopt.
+	for i := range set.Stripes {
+		st := &set.Stripes[i]
+		if outs[i].decoded {
+			rec.DecodedStripes++
+		}
+		for j, h := range st.Data {
+			rec.Chunks++
+			if _, ok := s.chunks[h]; ok {
+				continue
+			}
+			var d []byte
+			if db, ok := avail[h]; ok {
+				d = db
+			} else if outs[i].data != nil {
+				d = outs[i].data[j]
+				rec.DecodedChunks++
+				rec.DecodedBytes += int64(len(d))
+			}
+			if d == nil {
+				return nil, fmt.Errorf("ckpt: reconstruct %s/%d: chunk %v unresolved", set.Pod, set.Seq, h)
+			}
+			s.chunks[h] = &chunkEntry{data: d}
+			s.stats.NewChunks++
+			s.stats.NewChunkBytes += int64(len(d))
+			rec.TotalBytes += int64(len(d))
+		}
+	}
+	seqs := append([]int(nil), set.Chain...)
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		if _, ok := s.manifests[set.Pod][seq]; ok {
+			continue
+		}
+		blob, ok := manifests[seq]
+		if !ok {
+			return nil, fmt.Errorf("ckpt: reconstruct %s/%d: missing chain manifest %d", set.Pod, set.Seq, seq)
+		}
+		m, err := DecodeManifest(blob)
+		if err != nil {
+			return nil, err
+		}
+		for i := range m.Procs {
+			for _, ref := range m.Procs[i].Pages {
+				e, ok := s.chunks[ref.Hash]
+				if !ok {
+					return nil, fmt.Errorf("ckpt: reconstruct %s/%d: missing chunk %v", set.Pod, seq, ref.Hash)
+				}
+				e.refs++
+				s.stats.DupChunks++
+			}
+		}
+		if s.manifests[set.Pod] == nil {
+			s.manifests[set.Pod] = make(map[int]*Manifest)
+			s.manifestBytes[set.Pod] = make(map[int]int64)
+		}
+		s.manifests[set.Pod][seq] = m
+		s.manifestBytes[set.Pod][seq] = int64(len(blob))
+		if seq > s.latest[set.Pod] {
+			s.latest[set.Pod] = seq
+		}
+		rec.TotalBytes += int64(len(blob))
+	}
+	return rec, nil
+}

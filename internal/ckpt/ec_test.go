@@ -1,0 +1,364 @@
+package ckpt
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cruz/internal/mem"
+	"cruz/internal/sim"
+	"cruz/internal/zap"
+)
+
+// ecRand is a tiny deterministic generator for codec test payloads.
+type ecRand uint64
+
+func (r *ecRand) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = ecRand(x)
+	return x
+}
+
+func ecTestBlocks(seed uint64, n int) [][]byte {
+	r := ecRand(seed | 1)
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, mem.PageSize)
+		for j := 0; j < mem.PageSize; j += 8 {
+			v := r.next()
+			for k := 0; k < 8; k++ {
+				b[j+k] = byte(v >> (8 * k))
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestGFFieldSanity(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if gfMul[a][1] != byte(a) {
+			t.Fatalf("a*1 != a for a=%d", a)
+		}
+		inv := gfDiv(1, byte(a))
+		if gfMul[a][inv] != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+	}
+	// Distributivity spot checks across the table diagonal.
+	for a := 3; a < 256; a += 7 {
+		for b := 5; b < 256; b += 11 {
+			c := byte((a * 31) & 0xff)
+			left := gfMul[a][b^int(c)&0xff]
+			right := gfMul[a][b] ^ gfMul[a][c]
+			if left != right {
+				t.Fatalf("distributivity fails at a=%d b=%d c=%d", a, b, c)
+			}
+		}
+	}
+}
+
+func TestECCodecAnyMLosses(t *testing.T) {
+	for _, p := range []ECParams{{M: 2, R: 1}, {M: 4, R: 2}, {M: 5, R: 3}} {
+		enc := ecEncodeMatrix(p)
+		data := ecTestBlocks(uint64(p.M*100+p.R), p.M)
+		parity := ecEncodeStripe(enc, p, data)
+		total := p.M + p.R
+		shard := func(i int) []byte {
+			if i < p.M {
+				return data[i]
+			}
+			return parity[i-p.M]
+		}
+		// Try every m-subset of surviving shards (small totals, cheap).
+		var trySubset func(start int, have []int)
+		trySubset = func(start int, have []int) {
+			if len(have) == p.M {
+				blocks := make([][]byte, p.M)
+				for k, idx := range have {
+					blocks[k] = shard(idx)
+				}
+				got, err := ecDecodeStripe(enc, p, append([]int(nil), have...), blocks)
+				if err != nil {
+					t.Fatalf("%v: decode from %v: %v", p, have, err)
+				}
+				for i := range data {
+					if !reflect.DeepEqual(got[i], data[i]) {
+						t.Fatalf("%v: decode from %v: data block %d differs", p, have, i)
+					}
+				}
+				return
+			}
+			for i := start; i < total; i++ {
+				trySubset(i+1, append(have, i))
+			}
+		}
+		trySubset(0, nil)
+
+		// Fewer than m shards must fail.
+		if _, err := ecDecodeStripe(enc, p, []int{0}, [][]byte{data[0]}); !errors.Is(err, ErrECShards) {
+			t.Fatalf("%v: want ErrECShards with 1 shard, got %v", p, err)
+		}
+	}
+}
+
+func TestECCodecPaddedTail(t *testing.T) {
+	p := ECParams{M: 4, R: 2}
+	enc := ecEncodeMatrix(p)
+	// Short stripe: only 2 real blocks, positions 2..3 implicit zeros.
+	data := ecTestBlocks(7, 2)
+	full := [][]byte{data[0], data[1], nil, nil}
+	parity := ecEncodeStripe(enc, p, full)
+	// Lose both real data blocks; decode from padding + parity.
+	have := []int{2, 3, 4, 5}
+	blocks := [][]byte{nil, nil, parity[0], parity[1]}
+	got, err := ecDecodeStripe(enc, p, have, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], data[0]) || !reflect.DeepEqual(got[1], data[1]) {
+		t.Fatal("padded-tail decode does not recover the real blocks")
+	}
+	zero := make([]byte, mem.PageSize)
+	if !reflect.DeepEqual(got[2], zero) || !reflect.DeepEqual(got[3], zero) {
+		t.Fatal("padding positions did not decode to zero blocks")
+	}
+}
+
+func TestParseECParams(t *testing.T) {
+	p, err := ParseECParams("4+2")
+	if err != nil || p.M != 4 || p.R != 2 {
+		t.Fatalf("ParseECParams(4+2) = %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "4", "0+2", "4+0", "300+1", "x+y"} {
+		if _, err := ParseECParams(bad); err == nil {
+			t.Fatalf("ParseECParams(%q) succeeded", bad)
+		}
+	}
+	if p.String() != "4+2" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+// ecCaptureChain checkpoints a memWorker pod twice (full + incremental)
+// into the rig store's dedup form and returns the merged ground truth.
+func ecCaptureChain(t *testing.T, r *rig, pod *zap.Pod) *Image {
+	t.Helper()
+	save := func(img *Image) {
+		done := false
+		r.store.SaveDeduped(img, func(_ *SavePlan, err error) {
+			if err != nil {
+				t.Errorf("SaveDeduped: %v", err)
+			}
+			done = true
+		})
+		r.run(10 * sim.Second)
+		if !done {
+			t.Fatal("dedup save never completed")
+		}
+	}
+	img1 := r.stopAndCapture(pod, 1, Options{Hashes: true})
+	save(img1)
+	pod.Resume()
+	r.run(30 * sim.Millisecond)
+	img2 := r.stopAndCapture(pod, 2, Options{Hashes: true, Incremental: true})
+	save(img2)
+	merged, err := Merge(img1, img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+func TestECSaveReconstructRestore(t *testing.T) {
+	r := newRig(t, 2)
+	pod, _ := zap.New(r.kernels[0], "ecpod", zap.NetConfig{IP: podIP(0), MAC: podMAC(0)})
+	pod.Spawn("w", &memWorker{HeapSize: 48 * mem.PageSize})
+	r.run(30 * sim.Millisecond)
+	truth := ecCaptureChain(t, r, pod)
+	pod.Destroy()
+
+	p := ECParams{M: 4, R: 2}
+	var plan *ECPlan
+	r.store.SaveEC("ecpod", 2, p, func(pl *ECPlan, err error) {
+		if err != nil {
+			t.Errorf("SaveEC: %v", err)
+		}
+		plan = pl
+	})
+	r.run(10 * sim.Second)
+	if plan == nil {
+		t.Fatal("SaveEC never completed")
+	}
+	set := plan.Set
+	if set.M != 4 || set.R != 2 || len(set.Chain) != 2 {
+		t.Fatalf("unexpected set shape: %+v", set)
+	}
+	if got := plan.ParityBytes; got <= 0 || got > plan.DataBytes {
+		t.Fatalf("parity bytes %d out of range (data %d)", got, plan.DataBytes)
+	}
+
+	// Simulate distribution: each of the m+r holders takes its rotated
+	// shard subset; no holder's set may contain two shards of a stripe
+	// (guaranteed by rotation) and together they cover everything.
+	manifests := make(map[int][]byte)
+	for _, cs := range set.Chain {
+		blob, err := r.store.manifests["ecpod"][cs].Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		manifests[cs] = blob
+	}
+	holderBlocks := make([][]ChunkData, set.Shards())
+	for h := 0; h < set.Shards(); h++ {
+		for _, hash := range set.HolderHashes(h) {
+			holderBlocks[h] = append(holderBlocks[h], ChunkData{Hash: hash, Data: r.store.chunks[hash].data})
+		}
+	}
+
+	// Kill r holders (any r): reconstruct from every m-survivor choice of
+	// a rotating window to cover varied index mixes.
+	for kill := 0; kill < set.Shards(); kill++ {
+		target := NewStore(r.kernels[1].Disk())
+		var blocks []ChunkData
+		for h := 0; h < set.Shards(); h++ {
+			if h == kill || h == (kill+1)%set.Shards() {
+				continue // two dead holders
+			}
+			blocks = append(blocks, holderBlocks[h]...)
+		}
+		rec, err := target.ReconstructEC(set, manifests, blocks)
+		if err != nil {
+			t.Fatalf("kill %d: %v", kill, err)
+		}
+		if rec.DecodedStripes == 0 {
+			t.Fatalf("kill %d: expected at least one decoded stripe", kill)
+		}
+		var img *Image
+		target.LoadMerged("ecpod", 2, func(i *Image, err error) {
+			if err != nil {
+				t.Errorf("LoadMerged: %v", err)
+			}
+			img = i
+		})
+		r.run(10 * sim.Second)
+		if img == nil {
+			t.Fatal("load never completed")
+		}
+		want, got := normalizeImage(t, truth), normalizeImage(t, img)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("kill %d: reconstructed image differs from ground truth", kill)
+		}
+	}
+
+	// With only m-1 surviving holders a stripe cannot be rebuilt.
+	target := NewStore(r.kernels[1].Disk())
+	var blocks []ChunkData
+	for h := 0; h < set.M-1; h++ {
+		blocks = append(blocks, holderBlocks[h]...)
+	}
+	if _, err := target.ReconstructEC(set, manifests, blocks); !errors.Is(err, ErrECShards) {
+		t.Fatalf("want ErrECShards with m-1 holders, got %v", err)
+	}
+}
+
+// TestECCompactKeepsStripeChunks is the satellite-2 regression: Compact
+// folds a chain and frees chunks no manifest references — but a chunk
+// covered by a live EC stripe must survive, or reconstruction of the
+// stripe's other chunks breaks. The EC set's stripe-granularity
+// references keep it resident; dropping the set releases it.
+func TestECCompactKeepsStripeChunks(t *testing.T) {
+	r := newRig(t, 1)
+	pod, _ := zap.New(r.kernels[0], "gc", zap.NetConfig{IP: podIP(0), MAC: podMAC(0)})
+	pod.Spawn("w", &memWorker{HeapSize: 32 * mem.PageSize})
+	r.run(30 * sim.Millisecond)
+	ecCaptureChain(t, r, pod)
+	pod.Destroy()
+
+	var plan *ECPlan
+	r.store.SaveEC("gc", 1, ECParams{M: 4, R: 2}, func(pl *ECPlan, err error) {
+		if err != nil {
+			t.Errorf("SaveEC: %v", err)
+		}
+		plan = pl
+	})
+	r.run(10 * sim.Second)
+	if plan == nil {
+		t.Fatal("SaveEC never completed")
+	}
+	set := plan.Set
+
+	// Compact folds seq 1+2 into a synthetic full manifest at seq 2.
+	// Pages overwritten between the captures drop out of the merged
+	// manifest — but their chunks sit in live stripes of the seq-1 set.
+	r.store.Compact("gc", nil)
+	r.run(10 * sim.Second)
+	for i := range set.Stripes {
+		for _, h := range set.Stripes[i].Data {
+			if _, ok := r.store.chunks[h]; !ok {
+				t.Fatalf("stripe %d: data chunk %v freed while its EC set is live", i, h)
+			}
+		}
+		for _, h := range set.Stripes[i].Parity {
+			if _, ok := r.store.chunks[h]; !ok {
+				t.Fatalf("stripe %d: parity block %v freed while its EC set is live", i, h)
+			}
+		}
+	}
+
+	// Dropping the set releases the stripe references; chunks only the
+	// folded-away seq-1 manifest needed are now freed.
+	before := r.store.ChunkCount()
+	r.store.DropECSet("gc", 1)
+	if after := r.store.ChunkCount(); after >= before {
+		t.Fatalf("DropECSet freed nothing (chunks %d -> %d)", before, after)
+	}
+	// Everything the live (compacted) manifest references must remain.
+	for i := range r.store.manifests["gc"][2].Procs {
+		for _, ref := range r.store.manifests["gc"][2].Procs[i].Pages {
+			if _, ok := r.store.chunks[ref.Hash]; !ok {
+				t.Fatalf("live manifest chunk %v freed by DropECSet", ref.Hash)
+			}
+		}
+	}
+}
+
+func TestECSupersedeAndDiscard(t *testing.T) {
+	r := newRig(t, 1)
+	pod, _ := zap.New(r.kernels[0], "sup", zap.NetConfig{IP: podIP(0), MAC: podMAC(0)})
+	pod.Spawn("w", &memWorker{HeapSize: 16 * mem.PageSize})
+	r.run(30 * sim.Millisecond)
+	ecCaptureChain(t, r, pod)
+	pod.Destroy()
+
+	save := func(seq int) *ECSet {
+		var plan *ECPlan
+		r.store.SaveEC("sup", seq, ECParams{M: 2, R: 1}, func(pl *ECPlan, err error) {
+			if err != nil {
+				t.Errorf("SaveEC(%d): %v", seq, err)
+			}
+			plan = pl
+		})
+		r.run(10 * sim.Second)
+		if plan == nil {
+			t.Fatalf("SaveEC(%d) never completed", seq)
+		}
+		return plan.Set
+	}
+	save(1)
+	save(2) // supersedes seq 1
+	if _, ok := r.store.ECSetFor("sup", 1); ok {
+		t.Fatal("seq-1 EC set not superseded by seq-2 save")
+	}
+	if _, ok := r.store.ECSetFor("sup", 2); !ok {
+		t.Fatal("seq-2 EC set missing")
+	}
+	// Discarding the sequence drops its set and releases references.
+	r.store.Discard("sup", 2)
+	if _, ok := r.store.ECSetFor("sup", 2); ok {
+		t.Fatal("Discard left the EC set registered")
+	}
+}

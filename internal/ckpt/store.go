@@ -34,6 +34,15 @@ type Store struct {
 	chunks        map[mem.PageHash]*chunkEntry
 	autoCompact   int
 	stats         StoreStats
+
+	// Erasure-coded half: shard manifests registered by PlanECSave (the
+	// primary's view), shard sets held for other nodes' checkpoints, and
+	// raw chain-manifest blobs a holder keeps without resolving. EC sets
+	// hold chunk references at stripe granularity, so a chunk stays
+	// resident while any stripe parity covering it is live.
+	ecsets      map[string]map[int]*ECSet
+	ecHeld      map[string]map[int]*ECHeld
+	ecManifests map[string]map[int][]byte
 }
 
 type chunkEntry struct {
@@ -51,6 +60,9 @@ func NewStore(disk *kernel.Disk) *Store {
 		manifests:     make(map[string]map[int]*Manifest),
 		manifestBytes: make(map[string]map[int]int64),
 		chunks:        make(map[mem.PageHash]*chunkEntry),
+		ecsets:        make(map[string]map[int]*ECSet),
+		ecHeld:        make(map[string]map[int]*ECHeld),
+		ecManifests:   make(map[string]map[int][]byte),
 	}
 }
 
@@ -136,6 +148,7 @@ func (s *Store) Discard(pod string, seqs ...int) {
 			delete(s.manifests[pod], seq)
 			delete(s.manifestBytes[pod], seq)
 		}
+		s.dropECSet(pod, seq)
 	}
 	// Recompute the pod's latest sequence (max is order-insensitive).
 	maxSeq, found := 0, false

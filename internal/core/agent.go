@@ -51,6 +51,12 @@ type AgentParams struct {
 	// ReplTimeout bounds one replication or fetch exchange; an offer is
 	// retried once before the operation fails. Zero disables.
 	ReplTimeout sim.Duration
+	// BackgroundBPS rate-limits the node's ctl.TierBackground traffic
+	// (durability replication and erasure-coded shard distribution)
+	// through a shared token bucket, so it never saturates a link a
+	// pre-copy stream or foreground pod traffic is using. Zero disables
+	// pacing (pre-EC behavior).
+	BackgroundBPS int64
 }
 
 // DefaultAgentParams returns costs calibrated for the paper's testbed.
@@ -98,6 +104,13 @@ type Agent struct {
 	table    *ctl.Table
 	listener *tcpip.TCPListener
 
+	// ec, when enabled, stripes committed deduplicated checkpoints M+R
+	// across the first M+R ring peers instead of fully replicating them.
+	ec ckpt.ECParams
+	// pacer is the node's shared token bucket for TierBackground frames
+	// (nil = unpaced).
+	pacer *ctl.Pacer
+
 	// peers is the replication ring: where committed checkpoints stream,
 	// in preference order. peerConns are lazily dialed agent-to-agent
 	// control connections.
@@ -122,6 +135,15 @@ type AgentStats struct {
 	Fetches       uint64
 	MigrationsOut uint64
 	MigrationsIn  uint64
+
+	// Erasure-coded durability: completed holder exchanges, the shard
+	// bytes they moved, failed exchanges, and — on recovery targets —
+	// reconstructions run and chunks decoded from parity.
+	ECDistributions     uint64
+	ECShardBytes        int64
+	ECFailures          uint64
+	Reconstructs        uint64
+	ReconstructedChunks uint64
 }
 
 // agentOp tracks one in-progress checkpoint or restart for a pod. The
@@ -152,11 +174,13 @@ type agentOp struct {
 
 	// Migration bookkeeping (migrate-out ops): where the rounds stream,
 	// how many pages each round carried (residual last), and the bytes
-	// the delta transfers actually moved.
+	// the delta transfers actually moved. baseQuery holds the deferred
+	// <migrate> request while the round-0 base negotiation is in flight.
 	migrateTo  tcpip.AddrPort
 	roundPages []int
 	streamed   int64
 	stream     *ctl.Op // in-flight round transfer, cancelled on abort
+	baseQuery  *wireMsg
 
 	// Trace spans for the op and its lifecycle phases. Zero values are
 	// inert, so paths that never begin a phase may End it freely.
@@ -201,6 +225,9 @@ func NewAgent(kern *kernel.Kernel, store *ckpt.Store, params AgentParams) (*Agen
 	addr, ok := kern.Stack().FirstAddr()
 	if !ok {
 		return nil, tcpip.ErrNoRoute
+	}
+	if params.BackgroundBPS > 0 {
+		a.pacer = ctl.NewPacer(kern.Engine(), params.BackgroundBPS, 0)
 	}
 	l, err := kern.Stack().ListenTCP(tcpip.AddrPort{Addr: addr, Port: params.Port}, 16)
 	if err != nil {
@@ -252,7 +279,10 @@ func (a *Agent) acceptLoop() {
 		if err != nil {
 			return
 		}
-		newCtlConn(tc, a.onMsg, nil)
+		cc := newCtlConn(tc, a.onMsg, nil)
+		if a.pacer != nil {
+			cc.SetPacer(a.pacer)
+		}
 	}
 }
 
@@ -282,8 +312,26 @@ func (a *Agent) onMsg(c *ctlConn, m *wireMsg) {
 			a.handleFetch(c, m)
 		case msgFetchPull:
 			a.handleFetchPull(c, m)
+		case msgECOffer:
+			a.handleECOffer(c, m)
+		case msgECWant:
+			a.handleECWant(c, m)
+		case msgECData:
+			a.handleECData(c, m)
+		case msgECDone:
+			a.handleECDone(c, m)
+		case msgECFetch:
+			a.handleECFetch(c, m)
+		case msgECPull:
+			a.handleECPull(c, m)
+		case msgECShards:
+			a.handleECShards(c, m)
 		case msgMigrate:
 			a.startMigrateOut(c, m)
+		case msgMigrateBase:
+			a.handleMigrateBase(c, m)
+		case msgMigrateBaseAck:
+			a.handleMigrateBaseAck(m)
 		case msgMigrateTarget:
 			a.startMigrateIn(c, m)
 		case msgMigrateRestore:
@@ -727,11 +775,11 @@ func (a *Agent) writeImage(c msgSink, m *wireMsg, pod *zap.Pod, op *agentOp, pla
 			// the checkpoint is reported.
 			a.store.Compact(m.Pod, nil)
 		}
-		if op.replicas > 0 {
-			// Stream the committed image to peer replicas, off the
-			// critical path of the coordinated cycle but inside the
-			// checkpoint's span tree.
-			a.startReplication(m.Pod, m.Seq, op.replicas, c, op.span.Context())
+		if op.replicas > 0 || a.ec.Enabled() {
+			// Stream the committed image's durability copies — erasure-
+			// coded shards or full replicas — off the critical path of
+			// the coordinated cycle but inside the checkpoint's span tree.
+			a.startDurability(m.Pod, m.Seq, op.replicas, m.Dedup, c, op.span.Context())
 		}
 		if op.resumed {
 			// COW: the pod resumed before the write finished; the

@@ -214,6 +214,18 @@ type Coordinator struct {
 	// holders records which agents hold each committed (pod, seq) image —
 	// fed by commits, <replicated> reports, and completed fetches.
 	holders map[string]map[int]map[tcpip.AddrPort]bool
+	// ecHolders records which agents hold each erasure-coded shard set's
+	// subsets, by ring position — fed by <ec-holding> reports. Recovery
+	// consults it when no full image survives: any M live positions
+	// reconstruct.
+	ecHolders map[string]map[int]*ecSetHolders
+}
+
+// ecSetHolders is the shard registry for one erasure-coded (pod, seq):
+// the data-shard count M and each ring position's holder.
+type ecSetHolders struct {
+	m     int
+	byPos map[int]tcpip.AddrPort
 }
 
 // coordOp is one coordinated checkpoint or restart: the lifecycle lives
@@ -252,6 +264,7 @@ func NewCoordinator(stack *tcpip.Stack, params CoordinatorParams) *Coordinator {
 		nextSeq:    make(map[string]int),
 		nodeByAddr: make(map[tcpip.AddrPort]*nodeInfo),
 		holders:    make(map[string]map[int]map[tcpip.AddrPort]bool),
+		ecHolders:  make(map[string]map[int]*ecSetHolders),
 	}
 }
 
@@ -665,6 +678,9 @@ func (c *Coordinator) onMsg(cc *ctlConn, m *wireMsg) {
 			return
 		case msgReplicated:
 			c.handleReplicated(m)
+			return
+		case msgECHolding:
+			c.handleECHolding(m)
 			return
 		case msgFetchDone:
 			c.handleFetchDone(m)

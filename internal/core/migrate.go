@@ -363,7 +363,59 @@ func (a *Agent) startMigrateOut(c msgSink, m *wireMsg) {
 			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)),
 			trace.Str("to", addrKey(op.migrateTo)))
 	}
+	// Round-0 base negotiation: a non-incremental migration would open
+	// with a full round, but if the destination already replicates this
+	// pod's newest stored checkpoint — background durability put it
+	// there — round 0 can stream just the delta against that shared
+	// base. One query/ack round trip, off the freeze path (the pod is
+	// still live).
+	if !m.Incremental {
+		if base, ok := a.store.LatestSeq(m.Pod); ok && a.store.HasSeq(m.Pod, base) {
+			cc, cerr := a.peerConn(op.migrateTo)
+			if cerr == nil {
+				op.conn = c
+				op.baseQuery = m
+				cc.send(&wireMsg{Type: msgMigrateBase, Seq: base, Pod: m.Pod, ctx: op.span.Context()})
+				return
+			}
+		}
+	}
 	a.runMigrateRound(c, m, pod, op, 0, 0, 0)
+}
+
+// handleMigrateBase is the destination side of the round-0 base
+// negotiation: report whether this store holds the source's newest
+// checkpoint chain (Incremental carries the verdict on the ack).
+func (a *Agent) handleMigrateBase(c *ctlConn, m *wireMsg) {
+	c.send(&wireMsg{Type: msgMigrateBaseAck, Seq: m.Seq, Pod: m.Pod, ctx: m.ctx,
+		Incremental: a.store.HasSeq(m.Pod, m.Seq)})
+}
+
+// handleMigrateBaseAck resumes the deferred migrate-out: if the
+// destination holds the queried base, round 0 streams incrementally
+// against it; otherwise the full opening round proceeds as before.
+func (a *Agent) handleMigrateBaseAck(m *wireMsg) {
+	op := a.podOp(m.Pod)
+	if op == nil || op.baseQuery == nil || op.Aborted() {
+		return
+	}
+	mq := op.baseQuery
+	op.baseQuery = nil
+	pod := a.pods[m.Pod]
+	if pod == nil || pod.Destroyed() {
+		op.Fail(ErrUnknownPod)
+		a.fail(op.conn, msgMigrateSrcDone, mq, ErrUnknownPod)
+		return
+	}
+	baseSeq := 0
+	if m.Incremental {
+		baseSeq = m.Seq
+		if a.tr.Enabled() {
+			a.tr.InstantCtx(op.span.Context(), a.kern.Name(), "core", "migrate.base-reuse",
+				trace.Str("pod", m.Pod), trace.Int("base", int64(baseSeq)))
+		}
+	}
+	a.runMigrateRound(op.conn, mq, pod, op, 0, 0, baseSeq)
 }
 
 // runMigrateRound drives one live migration round and recurses, or hands
@@ -448,7 +500,7 @@ func (a *Agent) streamRound(c msgSink, m *wireMsg, op *agentOp, seq int, next fu
 		a.fail(c, msgMigrateSrcDone, m, err)
 		return
 	}
-	ro := a.replicateOn(cc, m.Pod, seq, op.migrateTo, nil, op.span.Context(), func(n int64, rerr error) {
+	ro := a.replicateOn(cc, m.Pod, seq, op.migrateTo, nil, op.span.Context(), ctl.TierStream, func(n int64, rerr error) {
 		op.stream = nil
 		if op.Aborted() {
 			return

@@ -84,6 +84,31 @@ const (
 	msgGroupDone
 	msgGroupRestartDone
 	msgGroupContDone
+
+	// Erasure-coded durability: the primary streams each holder its
+	// rotated shard subset through the same offer/want/data delta shape
+	// (ec-offer/ec-want/ec-data/ec-done), the holder's adoption is
+	// reported to the coordinator (ec-holding), and recovery pulls the
+	// surviving shard sets — ec-fetch directs the new home node, ec-pull
+	// asks each holder for its shards, ec-shards answers — so the target
+	// can reconstruct any missing chunks from m of m+r shards.
+	msgECOffer
+	msgECWant
+	msgECData
+	msgECDone
+	msgECHolding
+	msgECFetch
+	msgECPull
+	msgECShards
+
+	// Migration round-0 base negotiation: before an opening full round,
+	// the source asks the destination whether it already holds the pod's
+	// replicated checkpoint chain at the source's latest sequence
+	// (migrate-base); if so (migrate-base-ack), the first pre-copy round
+	// streams the delta against that held chain instead of the full
+	// image.
+	msgMigrateBase
+	msgMigrateBaseAck
 )
 
 var msgNames = map[msgType]string{
@@ -121,6 +146,18 @@ var msgNames = map[msgType]string{
 	msgGroupDone:        "group-done",
 	msgGroupRestartDone: "group-restart-done",
 	msgGroupContDone:    "group-cont-done",
+
+	msgECOffer:   "ec-offer",
+	msgECWant:    "ec-want",
+	msgECData:    "ec-data",
+	msgECDone:    "ec-done",
+	msgECHolding: "ec-holding",
+	msgECFetch:   "ec-fetch",
+	msgECPull:    "ec-pull",
+	msgECShards:  "ec-shards",
+
+	msgMigrateBase:    "migrate-base",
+	msgMigrateBaseAck: "migrate-base-ack",
 }
 
 func (t msgType) String() string {
@@ -198,6 +235,12 @@ type wireMsg struct {
 	// set it in the message literal; handlers read it to parent their
 	// spans (zero when the message belongs to no traced operation).
 	ctx trace.SpanContext
+
+	// tier is the send-path priority (unexported like ctx — it shapes
+	// transmission, not the payload). Zero is TierForeground; bulk
+	// durability data messages set TierBackground so they yield to
+	// control traffic and migration rounds and pass the node's pacer.
+	tier ctl.Tier
 }
 
 // GroupMember is one entry of a leader's relay list: the pod and the
@@ -241,6 +284,17 @@ type replPayload struct {
 	// now holds the image.
 	PeerIP   tcpip.Addr
 	PeerPort uint16
+
+	// EC: the encoded shard manifest, the destination holder's ring
+	// position (which shard of each stripe it stores), and — on ec-fetch
+	// — the surviving holders the reconstructing node must pull from
+	// (Pod field unused). ECM, on ec-holding, is the set's data-shard
+	// count: the coordinator needs it to judge whether enough holders
+	// survive to reconstruct.
+	ECSet   []byte
+	Holder  int
+	ECM     int
+	Sources []GroupMember
 }
 
 // msgSink is where an agent's protocol replies go: the control
@@ -281,7 +335,7 @@ func (c *ctlConn) send(m *wireMsg) error {
 	if err := gob.NewEncoder(&c.encBuf).Encode(m); err != nil {
 		return fmt.Errorf("core: encode %v: %w", m.Type, err)
 	}
-	if err := c.Conn.SendCtx(c.encBuf.Bytes(), m.ctx); err != nil {
+	if err := c.Conn.SendTierCtx(c.encBuf.Bytes(), m.ctx, m.tier); err != nil {
 		return fmt.Errorf("core: send %v: %w", m.Type, err)
 	}
 	return nil

@@ -48,10 +48,14 @@ type RecoveredPod struct {
 	Pod string
 	// From is the surviving replica the image came from; To the new home
 	// node. Transferred is false when the new home already held the
-	// image (replication made the fetch free).
-	From        string
-	To          string
-	Transferred bool
+	// image (replication made the fetch free). Reconstructed marks a pod
+	// whose image no surviving node held whole: the new home pulled the
+	// shard subsets of M live erasure-code holders (From names the first)
+	// and decoded the chain locally.
+	From          string
+	To            string
+	Transferred   bool
+	Reconstructed bool
 }
 
 // RecoveryResult reports one automatic recovery, with MTTR split into
@@ -72,6 +76,11 @@ type RecoveryResult struct {
 	Transfer sim.Duration
 	Restart  sim.Duration
 	MTTR     sim.Duration
+	// Reconstruct is the longest per-pod erasure decode window, for pods
+	// no surviving node held whole. It happens on the new home inside the
+	// transfer phase, so it is a decomposition of Transfer, not an extra
+	// MTTR term; zero when every image came from a full replica.
+	Reconstruct sim.Duration
 	// TransferBytes is what the fetches actually moved.
 	TransferBytes int64
 	// RestartResult is the underlying coordinated restart's report.
@@ -87,6 +96,7 @@ type recoveryOp struct {
 	seq        int
 	assign     map[string]tcpip.AddrPort // failed pod -> new home agent
 	pods       []RecoveredPod
+	ecSources  map[string][]tcpip.AddrPort // reconstructed pod -> shard holders to pull
 
 	detect        sim.Duration
 	placeStart    sim.Time
@@ -95,6 +105,7 @@ type recoveryOp struct {
 	transfer      sim.Duration
 	restartStart  sim.Time
 	transferBytes int64
+	reconstruct   sim.Duration // max per-pod decode window
 
 	span       trace.Span
 	phPlace    trace.Span
@@ -282,6 +293,26 @@ func (c *Coordinator) holderNodes(pod string, seq int) []*nodeInfo {
 	return out
 }
 
+// KnownHolders returns how many agents the coordinator records as
+// holding the full image chain for (pod, seq): the commit holder plus
+// every <replicated> report received so far. Harnesses that kill nodes
+// gate on it — an agent-side replication counter ticks in the event that
+// *enqueues* the placement report, one network flight before the
+// registry learns of the copy.
+func (c *Coordinator) KnownHolders(pod string, seq int) int {
+	return len(c.holders[pod][seq])
+}
+
+// KnownECShards returns how many ring positions of the erasure-coded
+// shard set for (pod, seq) have reported adoption (same gating role as
+// KnownHolders for EC durability).
+func (c *Coordinator) KnownECShards(pod string, seq int) int {
+	if set := c.ecHolders[pod][seq]; set != nil {
+		return len(set.byPos)
+	}
+	return 0
+}
+
 // addHolder records that addr holds the image chain for (pod, seq).
 func (c *Coordinator) addHolder(pod string, seq int, addr tcpip.AddrPort) {
 	if c.holders[pod] == nil {
@@ -314,6 +345,64 @@ func (c *Coordinator) handleReplicated(m *wireMsg) {
 	}
 }
 
+// handleECHolding feeds an agent's shard placement report into the EC
+// registry: the peer at ring position Repl.Holder now stores its shard
+// subset of (pod, seq), and the set decodes from any Repl.ECM holders.
+func (c *Coordinator) handleECHolding(m *wireMsg) {
+	if m.Repl == nil {
+		return
+	}
+	if c.ecHolders[m.Pod] == nil {
+		c.ecHolders[m.Pod] = make(map[int]*ecSetHolders)
+	}
+	set := c.ecHolders[m.Pod][m.Seq]
+	if set == nil {
+		set = &ecSetHolders{m: m.Repl.ECM, byPos: make(map[int]tcpip.AddrPort)}
+		c.ecHolders[m.Pod][m.Seq] = set
+	}
+	set.byPos[m.Repl.Holder] = tcpip.AddrPort{Addr: m.Repl.PeerIP, Port: m.Repl.PeerPort}
+	if c.tr.Enabled() {
+		c.tr.Instant(c.stack.Name(), "core", "ec.holding",
+			trace.Str("pod", m.Pod), trace.Int("seq", int64(m.Seq)),
+			trace.Int("shard", int64(m.Repl.Holder)))
+	}
+}
+
+// ecLiveHolders returns the live shard holders of (pod, seq) in ring-
+// position order (deterministic) plus the set's data-shard count M.
+// Positions are distinct, so any M entries carry M distinct shards per
+// stripe — the decode threshold. M is 0 when no set was registered.
+func (c *Coordinator) ecLiveHolders(pod string, seq int) ([]tcpip.AddrPort, int) {
+	set := c.ecHolders[pod][seq]
+	if set == nil {
+		return nil, 0
+	}
+	maxPos := 0
+	for pos := range set.byPos {
+		if pos > maxPos {
+			maxPos = pos
+		}
+	}
+	var out []tcpip.AddrPort
+	for pos := 0; pos <= maxPos; pos++ {
+		addr, ok := set.byPos[pos]
+		if !ok {
+			continue
+		}
+		if n := c.nodeByAddr[addr]; n != nil && n.alive {
+			out = append(out, addr)
+		}
+	}
+	return out, set.m
+}
+
+// ecRecoverable reports whether (pod, seq) can be rebuilt from shards:
+// at least M of the M+R holders are still alive.
+func (c *Coordinator) ecRecoverable(pod string, seq int) bool {
+	live, m := c.ecLiveHolders(pod, seq)
+	return m > 0 && len(live) >= m
+}
+
 // placeRecovery decides the restore sequence and the new home (and
 // source replica) for every failed pod.
 func (c *Coordinator) placeRecovery(rec *recoveryOp) {
@@ -328,12 +417,13 @@ func (c *Coordinator) placeRecovery(rec *recoveryOp) {
 		}
 	}
 	// seq*: the newest committed checkpoint every failed pod still has a
-	// living holder for.
+	// living holder for — a full replica, or enough live erasure-code
+	// shard holders to decode the chain.
 	seqStar := 0
 	for s := c.committed[job.Name]; s >= 1 && seqStar == 0; s-- {
 		ok := true
 		for _, p := range failedPods {
-			if len(c.holderNodes(p, s)) == 0 {
+			if len(c.holderNodes(p, s)) == 0 && !c.ecRecoverable(p, s) {
 				ok = false
 				break
 			}
@@ -387,9 +477,52 @@ func (c *Coordinator) placeRecovery(rec *recoveryOp) {
 			return
 		}
 		rec.assign[p] = target.addr
+		holders := c.holderNodes(p, seqStar)
+		if len(holders) == 0 {
+			// No full replica survives: the new home reconstructs from M
+			// live shard holders. The target's own shards (if it is one)
+			// count toward M via its local lookup, so exclude it from the
+			// pull list; positions are distinct, so the first M entries
+			// give M distinct shards per stripe.
+			live, m := c.ecLiveHolders(p, seqStar)
+			need := m
+			var pull []tcpip.AddrPort
+			for _, h := range live {
+				if h == target.addr {
+					need--
+					continue
+				}
+				pull = append(pull, h)
+			}
+			if need < 1 {
+				need = 1 // the fetch protocol needs at least one source
+			}
+			if len(pull) < need {
+				rec.Fail(fmt.Errorf("%w: pod %s (ec shards)", ErrNoReplica, p))
+				return
+			}
+			pull = pull[:need]
+			if rec.ecSources == nil {
+				rec.ecSources = make(map[string][]tcpip.AddrPort)
+			}
+			rec.ecSources[p] = pull
+			from := target.name
+			if n := c.nodeByAddr[pull[0]]; n != nil {
+				from = n.name
+			}
+			rec.pods = append(rec.pods, RecoveredPod{
+				Pod: p, From: from, To: target.name,
+				Transferred: true, Reconstructed: true,
+			})
+			if c.tr.Enabled() {
+				c.tr.InstantCtx(rec.span.Context(), c.stack.Name(), "core", "recovery.placed",
+					trace.Str("pod", p), trace.Str("to", target.name),
+					trace.Str("mode", "reconstruct"), trace.Int("sources", int64(len(pull))))
+			}
+			continue
+		}
 		// Source: the lightest-loaded surviving holder (registration
 		// order breaks ties); irrelevant when the target already holds.
-		holders := c.holderNodes(p, seqStar)
 		src := holders[0]
 		for _, h := range holders[1:] {
 			if h.load < src.load {
@@ -442,6 +575,17 @@ func (c *Coordinator) placeRecovery(rec *recoveryOp) {
 				rec.Fail(fmt.Errorf("%w: %s", ErrNotConnected, target))
 				return
 			}
+			if rp.Reconstructed {
+				srcs := rec.ecSources[rp.Pod]
+				members := make([]GroupMember, 0, len(srcs))
+				for _, s := range srcs {
+					members = append(members, GroupMember{IP: s.Addr, Port: s.Port})
+				}
+				cc.send(&wireMsg{Type: msgECFetch, Seq: rec.seq, Pod: rp.Pod, Repl: &replPayload{
+					Sources: members,
+				}, ctx: rec.phTransfer.Context()})
+				return
+			}
 			var src *nodeInfo
 			for _, n := range c.nodes {
 				if n.name == rp.From {
@@ -482,6 +626,11 @@ func (c *Coordinator) handleFetchDone(m *wireMsg) {
 	c.addHolder(m.Pod, m.Seq, rec.assign[m.Pod])
 	if m.Repl != nil {
 		rec.transferBytes += m.Repl.Bytes
+	}
+	// A reconstructed pod reports its decode-to-disk window; the phase
+	// barrier makes the slowest one the Transfer decomposition.
+	if m.LocalDuration > rec.reconstruct {
+		rec.reconstruct = m.LocalDuration
 	}
 	if rec.Cleared("fetch") {
 		c.startRecoveryRestart(rec)
@@ -532,6 +681,7 @@ func (c *Coordinator) startRecoveryRestart(rec *recoveryOp) {
 				Transfer:      rec.transfer,
 				Restart:       restartDur,
 				MTTR:          rec.detect + rec.place + rec.transfer + restartDur,
+				Reconstruct:   rec.reconstruct,
 				TransferBytes: rec.transferBytes,
 				RestartResult: res,
 			}

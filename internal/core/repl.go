@@ -39,7 +39,11 @@ type replOp struct {
 	// Migration rounds use it to pace the stream — the next round starts
 	// only once the destination has adopted this one.
 	onDone func(int64, error)
-	span   trace.Span
+	// tier is the send-path priority of this exchange's bulk data frame:
+	// TierBackground for durability replication (paced, yields to
+	// everything), TierStream for migration rounds and recovery fetches.
+	tier ctl.Tier
+	span trace.Span
 }
 
 // fetchOp is the target side of a coordinator-directed fetch: this agent
@@ -74,6 +78,9 @@ func (a *Agent) peerConn(addr tcpip.AddrPort) (*ctlConn, error) {
 			delete(a.peerConns, addr)
 		}
 	})
+	if a.pacer != nil {
+		cc.SetPacer(a.pacer)
+	}
 	a.peerConns[addr] = cc
 	return cc, nil
 }
@@ -93,7 +100,7 @@ func (a *Agent) startReplication(pod string, seq, replicas int, coord msgSink, c
 			a.Stats.ReplFailures++
 			continue
 		}
-		a.replicateOn(cc, pod, seq, peer, coord, ctx, nil)
+		a.replicateOn(cc, pod, seq, peer, coord, ctx, ctl.TierBackground, nil)
 	}
 }
 
@@ -101,7 +108,7 @@ func (a *Agent) startReplication(pod string, seq, replicas int, coord msgSink, c
 // onDone (optional) observes the exchange's completion. It returns the
 // exchange's op (nil if one was already in flight) so callers that pace
 // on the transfer — migration rounds — can cancel it on abort.
-func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord msgSink, ctx trace.SpanContext, onDone func(int64, error)) *ctl.Op {
+func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPort, coord msgSink, ctx trace.SpanContext, tier ctl.Tier, onDone func(int64, error)) *ctl.Op {
 	o, err := a.table.Begin("replicate", replKey(pod, seq, cc.TCP().RemoteAddr()), seq)
 	if err != nil {
 		if onDone != nil {
@@ -109,7 +116,7 @@ func (a *Agent) replicateOn(cc *ctlConn, pod string, seq int, peer tcpip.AddrPor
 		}
 		return nil // this exchange is already in flight
 	}
-	op := &replOp{Op: o, pod: pod, peer: peer, conn: cc, coord: coord, onDone: onDone}
+	op := &replOp{Op: o, pod: pod, peer: peer, conn: cc, coord: coord, onDone: onDone, tier: tier}
 	o.Data = op
 	if a.tr.Enabled() {
 		op.span = a.tr.BeginChild(ctx, a.kern.Name(), "core", "agent.replicate",
@@ -184,7 +191,7 @@ func (a *Agent) handleReplWant(c *ctlConn, m *wireMsg) {
 		if !op.Active() {
 			return
 		}
-		op.conn.send(&wireMsg{Type: msgReplData, Seq: m.Seq, Pod: m.Pod, ctx: op.span.Context(), Repl: &replPayload{
+		op.conn.send(&wireMsg{Type: msgReplData, Seq: m.Seq, Pod: m.Pod, ctx: op.span.Context(), tier: op.tier, Repl: &replPayload{
 			Blobs: tx.Blobs, Manifests: tx.Manifests, Chunks: tx.Chunks, Bytes: tx.TotalBytes,
 		}})
 	})
@@ -290,7 +297,7 @@ func (a *Agent) handleFetchPull(c *ctlConn, m *wireMsg) {
 		a.fail(c, msgReplOffer, m, ckpt.ErrNoImage)
 		return
 	}
-	a.replicateOn(c, m.Pod, m.Seq, tcpip.AddrPort{}, nil, m.ctx, nil)
+	a.replicateOn(c, m.Pod, m.Seq, tcpip.AddrPort{}, nil, m.ctx, ctl.TierStream, nil)
 }
 
 // finishFetch completes a pending fetch after the adopted transfer lands.

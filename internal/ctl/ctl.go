@@ -30,7 +30,8 @@ const frameHeader = 4 + 16
 type Conn struct {
 	tc       *tcpip.TCPConn
 	rbuf     []byte
-	wqueue   []wframe // output queue; head may be partially written
+	wqueue   [numTiers][]wframe // per-tier output queues; a head may be partially written
+	pacer    *Pacer             // paces TierBackground frames; nil = unpaced
 	onFrame  func(*Conn, []byte)
 	onErr    func(*Conn, error)
 	frameCtx trace.SpanContext
@@ -65,7 +66,33 @@ type Conn struct {
 type wframe struct {
 	buf []byte
 	off int
+	// admitted marks a background frame whose bytes already cleared the
+	// pacer, so a send retry after ErrWouldBlock is not charged twice.
+	admitted bool
 }
+
+// Tier classifies a frame's scheduling priority on the send path.
+// Lower tiers drain first at every frame boundary, so queued durability
+// bulk never delays a control message or a migration round that arrives
+// behind it — and TierBackground frames additionally pass through the
+// connection's Pacer (when one is attached), so background durability
+// traffic is rate-limited off the link foreground flows share.
+type Tier int
+
+const (
+	// TierForeground is the default: control messages and anything on a
+	// foreground critical path (freeze windows, restarts, commits).
+	TierForeground Tier = iota
+	// TierStream carries pre-copy / migration round data: bulk, but
+	// latency-sensitive — it bounds downtime and round convergence.
+	TierStream
+	// TierBackground carries durability traffic (replication and
+	// erasure-coded shard distribution): bulk with no deadline. It
+	// yields to both other tiers and is token-bucket paced.
+	TierBackground
+
+	numTiers = 3
+)
 
 // Frame-pool sizing: control messages are small and pool densely; bulk
 // frames (checkpoint replication, migration rounds) are megabytes, so a
@@ -154,6 +181,13 @@ func (c *Conn) Send(payload []byte) error {
 // SendCtx transmits one frame stamped with the trace context ctx, which
 // the receiver surfaces through FrameCtx during frame dispatch.
 func (c *Conn) SendCtx(payload []byte, ctx trace.SpanContext) error {
+	return c.SendTierCtx(payload, ctx, TierForeground)
+}
+
+// SendTierCtx transmits one frame on a specific priority tier. Frames on
+// lower tiers overtake queued higher-tier frames at frame boundaries;
+// TierBackground frames are additionally paced when a Pacer is attached.
+func (c *Conn) SendTierCtx(payload []byte, ctx trace.SpanContext, tier Tier) error {
 	if err := c.tc.Err(); err != nil {
 		return fmt.Errorf("ctl: send on dead conn: %w", err)
 	}
@@ -163,20 +197,61 @@ func (c *Conn) SendCtx(payload []byte, ctx trace.SpanContext) error {
 	binary.BigEndian.PutUint64(frame[12:], uint64(ctx.Span))
 	copy(frame[frameHeader:], payload)
 	c.Sent++
-	c.wqueue = append(c.wqueue, wframe{buf: frame})
+	c.wqueue[tier] = append(c.wqueue[tier], wframe{buf: frame})
 	if c.tc.Established() {
 		c.drain()
 	}
 	return nil
 }
 
+// SetPacer attaches the node's background-traffic pacer to this
+// connection. Only TierBackground frames consult it.
+func (c *Conn) SetPacer(p *Pacer) { c.pacer = p }
+
 // QueuedBytes returns the bytes waiting for send-buffer space.
 func (c *Conn) QueuedBytes() int {
 	n := 0
-	for _, f := range c.wqueue {
-		n += len(f.buf) - f.off
+	for t := range c.wqueue {
+		for _, f := range c.wqueue[t] {
+			n += len(f.buf) - f.off
+		}
 	}
 	return n
+}
+
+func (c *Conn) queued() bool {
+	for t := range c.wqueue {
+		if len(c.wqueue[t]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextTier picks the queue to drain from. A partially-written frame must
+// finish first (frames are atomic on the wire); otherwise the lowest
+// tier with queued frames wins, and a background head additionally needs
+// pacer tokens to start.
+func (c *Conn) nextTier() (Tier, bool) {
+	for t := Tier(0); t < numTiers; t++ {
+		if len(c.wqueue[t]) > 0 && c.wqueue[t][0].off > 0 {
+			return t, true
+		}
+	}
+	for t := Tier(0); t < numTiers; t++ {
+		if len(c.wqueue[t]) == 0 {
+			continue
+		}
+		f := &c.wqueue[t][0]
+		if t == TierBackground && c.pacer != nil && !f.admitted {
+			if !c.pacer.admit(c, int64(len(f.buf))) {
+				return 0, false
+			}
+			f.admitted = true
+		}
+		return t, true
+	}
+	return 0, false
 }
 
 // drain pushes queued frames into the TCP send buffer until it fills.
@@ -184,8 +259,12 @@ func (c *Conn) QueuedBytes() int {
 // Send copies accepted bytes, so a fully-sent frame buffer is dead and
 // returns to the pool.
 func (c *Conn) drain() {
-	for len(c.wqueue) > 0 {
-		f := &c.wqueue[0]
+	for {
+		t, ok := c.nextTier()
+		if !ok {
+			return
+		}
+		f := &c.wqueue[t][0]
 		n, err := c.tc.Send(f.buf[f.off:])
 		if err == tcpip.ErrWouldBlock {
 			c.Blocked++
@@ -201,7 +280,7 @@ func (c *Conn) drain() {
 			return
 		}
 		c.putFrameBuf(f.buf)
-		c.wqueue = c.wqueue[1:]
+		c.wqueue[t] = c.wqueue[t][1:]
 	}
 }
 
@@ -216,7 +295,7 @@ func (c *Conn) Pump() {
 		}
 		return
 	}
-	if c.tc.Established() && len(c.wqueue) > 0 {
+	if c.tc.Established() && c.queued() {
 		c.drain()
 	}
 	if c.scratch == nil {

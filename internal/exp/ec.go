@@ -1,0 +1,260 @@
+package exp
+
+import (
+	"fmt"
+
+	"cruz"
+	"cruz/internal/apps/slm"
+)
+
+// ECScheme names one durability configuration of the ablation.
+type ECScheme string
+
+const (
+	// SchemeRepl3 is 3-way ring replication (PR 3's durability tier):
+	// every committed image streams whole to three peers.
+	SchemeRepl3 ECScheme = "repl_k3"
+	// SchemeEC42 is the erasure-coded tier: 4 data + 2 parity shards per
+	// stripe, one shard subset per holder.
+	SchemeEC42 ECScheme = "ec_4p2"
+)
+
+// ECRow reports one scheme's run of the erasure-coding ablation: the
+// bytes durability moved for the first (full) and second (incremental)
+// checkpoint, the storage overhead factor, and the MTTR decomposition of
+// a kill-and-recover — with the reconstruct window broken out for the EC
+// scheme, where the new home decodes the image instead of fetching a
+// surviving replica.
+type ECRow struct {
+	Nodes  int
+	Scheme ECScheme
+
+	// ImageMB is the committed checkpoint's total image bytes.
+	ImageMB float64
+	// WireMB is what the first checkpoint's durability distribution
+	// shipped (replica streams or shard subsets — also what landed on
+	// peer disks, since the delta protocol only ships what is missing).
+	WireMB float64
+	// SteadyMB is the same measure for the second, incremental
+	// checkpoint: the steady-state durability cost per checkpoint.
+	SteadyMB float64
+	// Overhead is WireMB / ImageMB — the durable-copies factor
+	// (k for replication, (m+r)/m for erasure coding).
+	Overhead float64
+
+	DetectMs      float64
+	PlaceMs       float64
+	TransferMs    float64
+	ReconstructMs float64
+	RestartMs     float64
+	MTTRMs        float64
+	TransferMB    float64
+	// Reconstructed reports whether recovery had to decode shards (no
+	// surviving full copy) rather than fetch a replica.
+	Reconstructed bool
+}
+
+// durabilityBytes sums what every agent's durability protocol shipped so
+// far (full replica streams plus erasure-coded shard subsets).
+func durabilityBytes(cl *cruz.Cluster) int64 {
+	var n int64
+	for _, node := range cl.Nodes {
+		n += node.Agent.Stats.ReplBytes + node.Agent.Stats.ECShardBytes
+	}
+	return n
+}
+
+// ecAblationRun measures one scheme: deploy the n-pod slm ring, take two
+// deduplicated checkpoints (full then incremental) measuring durability
+// bytes for each, then kill a pod-hosting node and report the automatic
+// recovery's MTTR split.
+func ecAblationRun(n int, scale float64, scheme ECScheme) (*ECRow, error) {
+	cfg := cruz.Config{Nodes: n, Seed: int64(n)*131 + 17, AutoRecover: true}
+	ec, err := cruz.ParseECParams("4+2")
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case SchemeRepl3:
+		cfg.Replicas = 3
+	case SchemeEC42:
+		cfg.EC = ec
+	default:
+		return nil, fmt.Errorf("exp: unknown EC scheme %q", scheme)
+	}
+	cl, err := cruz.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Wide cells reuse the A9 light workload so n=64 stays tractable;
+	// paper-scale cells use the benchmark slm configuration.
+	wcfg := slmConfig(n, scale)
+	if n > 16 {
+		wcfg = wideSlmConfig(n, scale)
+		// Keep each partition a few dozen chunks so stripe padding (a
+		// partial final stripe per image) stays a rounding error in the
+		// byte comparison rather than dominating it.
+		if wcfg.GridBytes < 256<<10 {
+			wcfg.GridBytes = 256 << 10
+		}
+	}
+	// Salt each rank's grid: the default fill gives every rank the same
+	// page set, so cross-pod dedup would ship replication almost for
+	// free and invert the byte comparison this ablation exists for.
+	wcfg.UniquePages = true
+	var names []string
+	var ips []cruz.Addr
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("ec-%d", i)
+		pod, perr := cl.NewPod(i, name)
+		if perr != nil {
+			return nil, perr
+		}
+		names = append(names, name)
+		ips = append(ips, pod.IP())
+	}
+	var workers []*slm.Worker
+	for i, name := range names {
+		w := slm.NewWorker(wcfg, i, ips[(i+1)%n])
+		if _, err := cl.Pod(name).Spawn("slm", w); err != nil {
+			return nil, err
+		}
+		workers = append(workers, w)
+	}
+	job, err := cl.DefineJob("ec", names...)
+	if err != nil {
+		return nil, err
+	}
+	ok := cl.RunUntil(func() bool {
+		for _, w := range workers {
+			if w.StepsDone < 2 {
+				return false
+			}
+		}
+		return true
+	}, 10*60*cruz.Second)
+	if !ok {
+		return nil, fmt.Errorf("exp: ec ring never started (n=%d)", n)
+	}
+
+	// durable drives one deduplicated checkpoint and waits until the
+	// coordinator has registered its full durability placement.
+	durable := func() (*cruz.CheckpointResult, error) {
+		res, cerr := cl.Checkpoint(job, cruz.CheckpointOptions{Dedup: true})
+		if cerr != nil {
+			return nil, cerr
+		}
+		settled := cl.RunUntil(func() bool {
+			for _, name := range names {
+				switch scheme {
+				case SchemeEC42:
+					if cl.Coordinator.KnownECShards(name, res.Seq) < ec.M+ec.R {
+						return false
+					}
+				default:
+					if cl.Coordinator.KnownHolders(name, res.Seq) < cfg.Replicas+1 {
+						return false
+					}
+				}
+			}
+			return true
+		}, 5*60*cruz.Second)
+		if !settled {
+			return nil, fmt.Errorf("exp: ec durability never settled (n=%d %s seq=%d)", n, scheme, res.Seq)
+		}
+		return res, nil
+	}
+
+	first, err := durable()
+	if err != nil {
+		return nil, err
+	}
+	wire := durabilityBytes(cl)
+	row := &ECRow{
+		Nodes: n, Scheme: scheme,
+		ImageMB:  float64(first.TotalImageBytes) / (1 << 20),
+		WireMB:   float64(wire) / (1 << 20),
+		Overhead: float64(wire) / float64(first.TotalImageBytes),
+	}
+
+	// Steady state: run on, checkpoint incrementally, measure the delta
+	// the durability tier ships (unchanged chunks — and for EC unchanged
+	// stripes' parity — dedupe away on re-offer).
+	cl.Run(200 * cruz.Millisecond)
+	if _, err := durable(); err != nil {
+		return nil, err
+	}
+	row.SteadyMB = float64(durabilityBytes(cl)-wire) / (1 << 20)
+
+	// Kill the pod host. Under replication the new home is usually a
+	// replica holder (free transfer); under EC nobody holds the full
+	// image, so the new home pulls M shard subsets and reconstructs.
+	cl.FailNode(1)
+	if !cl.AwaitRecovery(1, 60*cruz.Second) {
+		return nil, fmt.Errorf("exp: ec recovery never completed (n=%d %s)", n, scheme)
+	}
+	if err := cl.RecoveryErr(); err != nil {
+		return nil, fmt.Errorf("exp: ec recovery n=%d %s: %w", n, scheme, err)
+	}
+	res := cl.Recoveries()[0]
+	row.DetectMs = res.Detect.Milliseconds()
+	row.PlaceMs = res.Place.Milliseconds()
+	row.TransferMs = res.Transfer.Milliseconds()
+	row.ReconstructMs = res.Reconstruct.Milliseconds()
+	row.RestartMs = res.Restart.Milliseconds()
+	row.MTTRMs = res.MTTR.Milliseconds()
+	row.TransferMB = float64(res.TransferBytes) / (1 << 20)
+	for _, rp := range res.Pods {
+		if rp.Reconstructed {
+			row.Reconstructed = true
+		}
+	}
+
+	// Prove the job actually resumed before reporting numbers.
+	resolve := func(i int) *slm.Worker {
+		return cl.Pod(names[i]).Process(1).Program().(*slm.Worker)
+	}
+	before := make([]int, n)
+	for i := range before {
+		before[i] = resolve(i).StepsDone
+	}
+	progressed := cl.RunUntil(func() bool {
+		for i := 0; i < n; i++ {
+			if resolve(i).StepsDone <= before[i] {
+				return false
+			}
+		}
+		return true
+	}, 60*cruz.Second)
+	if !progressed {
+		return nil, fmt.Errorf("exp: ec ring stuck after recovery (n=%d %s)", n, scheme)
+	}
+	live := make([]*slm.Worker, n)
+	for i := range live {
+		live[i] = resolve(i)
+	}
+	if err := checkWorkers(live); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// ECAblation is the storage-tier ablation the erasure-coding design
+// argues from: for each node count, the same workload runs under 3-way
+// replication and under 4+2 erasure coding, reporting durability bytes
+// (first and steady-state checkpoints), the storage overhead factor, and
+// the MTTR decomposition of an automatic kill-and-recover — where the EC
+// scheme pays a reconstruct window for its ~2× byte savings.
+func ECAblation(nodeCounts []int, scale float64) ([]ECRow, error) {
+	var rows []ECRow
+	for _, n := range nodeCounts {
+		for _, scheme := range []ECScheme{SchemeRepl3, SchemeEC42} {
+			row, err := ecAblationRun(n, scale, scheme)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}

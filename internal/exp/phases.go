@@ -304,6 +304,34 @@ func JSONBench(nodeCounts []int, ckpts int, scale float64) (*BenchReport, error)
 		}
 	}
 
+	// A11 erasure-coded storage tier: the same 8-node workload under
+	// 3-way replication and under 4+2 striping — durability bytes for the
+	// full and steady-state checkpoints, the storage-overhead factor, and
+	// the kill-and-recover MTTR with the EC reconstruct window broken out.
+	{
+		rows, err := ECAblation([]int{8}, scale)
+		if err != nil {
+			return nil, fmt.Errorf("exp: jsonbench ec: %w", err)
+		}
+		add := func(key string, v float64) {
+			var s metrics.Summary
+			s.Add(v)
+			rep.Experiments[key] = s.Dist()
+		}
+		for _, r := range rows {
+			prefix := fmt.Sprintf("ec_n%d_%s", r.Nodes, r.Scheme)
+			add(prefix+"/image_mb", r.ImageMB)
+			add(prefix+"/wire_mb", r.WireMB)
+			add(prefix+"/steady_mb", r.SteadyMB)
+			add(prefix+"/overhead", r.Overhead)
+			add(prefix+"/mttr_ms", r.MTTRMs)
+			add(prefix+"/detect_ms", r.DetectMs)
+			add(prefix+"/transfer_ms", r.TransferMs)
+			add(prefix+"/reconstruct_ms", r.ReconstructMs)
+			add(prefix+"/restart_ms", r.RestartMs)
+		}
+	}
+
 	// A10 live migration: pod slm-1 of a 4-worker ring bounced to a
 	// spare node and back, live (pre-copy + address takeover) and
 	// stop-and-copy; migrate_n4/downtime_ms against

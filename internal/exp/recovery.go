@@ -84,12 +84,17 @@ func recoveryCluster(n int, scale float64, cfg RecoveryConfig, traced bool) (*cr
 	if !ok {
 		return nil, fmt.Errorf("exp: recovery slm ring never started (n=%d)", n)
 	}
-	if _, err := cl.Checkpoint(job, cruz.CheckpointOptions{}); err != nil {
+	res, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	if err != nil {
 		return nil, err
 	}
+	// Gate on the coordinator's holder registry, not the agents' counters:
+	// an agent counts a replication in the event that enqueues its
+	// <replicated> report, one network flight before the coordinator can
+	// use the copy for placement — a node kill must not outrun that.
 	ok = cl.RunUntil(func() bool {
-		for i := 0; i < n; i++ {
-			if cl.Nodes[i].Agent.Stats.Replications < uint64(cfg.Replicas) {
+		for _, name := range names {
+			if cl.Coordinator.KnownHolders(name, res.Seq) < cfg.Replicas+1 {
 				return false
 			}
 		}

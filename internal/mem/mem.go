@@ -68,6 +68,20 @@ func hashPage(data *[PageSize]byte) PageHash {
 	return PageHash{Lo: lo, Hi: hi}
 }
 
+// HashBlock computes the content hash of an arbitrary page-sized block
+// (an erasure-coding parity block, say) with the same algorithm as page
+// hashing, so equal bytes share one identity in content-addressed
+// tables regardless of which path produced them.
+func HashBlock(data []byte) PageHash {
+	lo := uint64(fnvOffset64)
+	hi := uint64(fnvOffsetAlt)
+	for _, b := range data {
+		lo = (lo ^ uint64(b)) * fnvPrime64
+		hi = (hi ^ uint64(b<<1|b>>7)) * fnvPrime64
+	}
+	return PageHash{Lo: lo, Hi: hi}
+}
+
 // zeroPageHash is the hash of an all-zero (never-written) page, computed
 // once on demand.
 var zeroPageHash = hashPage(&[PageSize]byte{})

@@ -375,3 +375,66 @@ func TestStopCopyMigrationBaseline(t *testing.T) {
 	}
 	migrateOpenOps(t, cl, -1)
 }
+
+// migrateAfterCheckpoint builds a 4-node ring cluster, checkpoints it
+// (waiting for any configured replication to land on the coordinator's
+// holder registry), runs on a little, and migrates wb to node 3.
+func migrateAfterCheckpoint(t *testing.T, replicas int) *cruz.MigrationResult {
+	t.Helper()
+	cl, err := cruz.New(cruz.Config{Nodes: 4, Seed: 17, Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, job := deployRingCfg(t, cl, migrateSlm(3))
+	cl.Run(300 * cruz.Millisecond)
+	ck, err := cl.Checkpoint(job, cruz.CheckpointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replicas > 0 {
+		ok := cl.RunUntil(func() bool {
+			return cl.Coordinator.KnownHolders("wb", ck.Seq) >= replicas+1
+		}, 10*cruz.Second)
+		if !ok {
+			t.Fatal("replication never completed")
+		}
+	}
+	cl.Run(200 * cruz.Millisecond)
+	res, err := cl.Migrate(job, "wb", 3, cruz.MigrateOptions{
+		Precopy: cruz.PrecopyConfig{MaxRounds: 6, DirtyThresholdPages: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(300 * cruz.Millisecond)
+	for _, n := range names {
+		w := ringWorker(cl, n)
+		if w.Fault != "" || w.StepsDone == 0 {
+			t.Fatalf("pod %s after migration: steps=%d fault=%q", n, w.StepsDone, w.Fault)
+		}
+	}
+	if node := cl.PodNode("wb"); node == nil || node.Index != 3 {
+		t.Fatalf("pod did not re-home: %+v", node)
+	}
+	migrateOpenOps(t, cl, -1)
+	return res
+}
+
+// TestMigrationReusesReplicatedBase: when background durability already
+// placed the pod's newest checkpoint chain on the destination, the
+// round-0 base negotiation must stream only the delta against that
+// shared base instead of the full image — the identical scenario without
+// replication is the control.
+func TestMigrationReusesReplicatedBase(t *testing.T) {
+	// Replicas=2 puts wb's chain on nodes 2 and 3 (node 1's next ring
+	// peers) — node 3 is the migration destination.
+	reused := migrateAfterCheckpoint(t, 2)
+	control := migrateAfterCheckpoint(t, 0)
+	if reused.BytesStreamed <= 0 || control.BytesStreamed <= 0 {
+		t.Fatalf("accounting: reused=%d control=%d", reused.BytesStreamed, control.BytesStreamed)
+	}
+	if reused.BytesStreamed*2 >= control.BytesStreamed {
+		t.Fatalf("base reuse saved too little: %d vs control %d bytes",
+			reused.BytesStreamed, control.BytesStreamed)
+	}
+}
